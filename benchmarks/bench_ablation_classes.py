@@ -1,0 +1,79 @@
+"""Ablation: what the two-class structure of Sections 3.3.1-3.3.2 buys.
+
+The refined predictors need a (reduction-object-size, global-reduction)
+class assignment per application.  This ablation runs the global-reduction
+model for k-means (constant / linear-constant) and vortex detection
+(linear / constant-linear) twice — once with the correct classes and once
+with the classes swapped — and shows that misassignment measurably hurts
+where the serialized terms matter (large compute-node counts).
+"""
+
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    PredictionTarget,
+    Profile,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime
+from repro.workloads.configs import PAPER_CONFIG_GRID, make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+SWAPPED = {
+    "constant": "linear",
+    "linear": "constant",
+    "linear-constant": "constant-linear",
+    "constant-linear": "linear-constant",
+}
+
+
+def run_ablation(workload: str, size: str):
+    spec = WORKLOADS[workload]
+    dataset = spec.make_dataset(size)
+    profile_config = make_run_config(1, 1)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        spec.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    correct = GlobalReductionModel(
+        ModelClasses.parse(spec.natural_object_class, spec.natural_global_class)
+    )
+    swapped = GlobalReductionModel(
+        ModelClasses.parse(
+            SWAPPED[spec.natural_object_class],
+            SWAPPED[spec.natural_global_class],
+        )
+    )
+
+    errors = {"correct": [], "swapped": []}
+    for n, c in PAPER_CONFIG_GRID:
+        config = make_run_config(n, c)
+        actual = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        for label, model in [("correct", correct), ("swapped", swapped)]:
+            predicted = model.predict(profile, target)
+            errors[label].append(
+                relative_error(actual.breakdown.total, predicted.total)
+            )
+    return errors
+
+
+def test_class_misassignment_hurts_kmeans(benchmark):
+    errors = run_once(benchmark, lambda: run_ablation("kmeans", "350 MB"))
+    correct = max(errors["correct"])
+    swapped = max(errors["swapped"])
+    print(f"\nkmeans class ablation: max error correct={correct:.2%} "
+          f"swapped={swapped:.2%}")
+    assert swapped > correct
+
+
+def test_class_misassignment_hurts_vortex(benchmark):
+    errors = run_once(benchmark, lambda: run_ablation("vortex", "710 MB"))
+    correct = max(errors["correct"])
+    swapped = max(errors["swapped"])
+    print(f"\nvortex class ablation: max error correct={correct:.2%} "
+          f"swapped={swapped:.2%}")
+    assert swapped >= correct

@@ -1,0 +1,75 @@
+"""Ablation: serialized vs binomial-tree reduction-object gather.
+
+FREERIDE-G serializes the gather at the master, which is exactly why the
+paper's T_ro grows with the compute-node count and why the
+no-communication model degrades at 16 nodes.  This ablation re-runs
+k-means at increasing node counts under both gather topologies and shows
+(a) the serialized gather's T_ro grows ~linearly while the tree's grows
+~logarithmically, and (b) how much of the no-communication model's error
+a tree gather would have removed.
+"""
+
+from repro.core import (
+    NoCommunicationModel,
+    PredictionTarget,
+    Profile,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime, GatherTopology
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+
+def run_gather_study():
+    spec = WORKLOADS["kmeans"]
+    dataset = spec.make_dataset("350 MB")
+
+    profile_config = make_run_config(1, 1)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        spec.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+    model = NoCommunicationModel()
+
+    rows = []
+    for c in (2, 4, 8, 16):
+        config = make_run_config(2, c)
+        entry = {"c": c}
+        for topology in (GatherTopology.SERIAL, GatherTopology.TREE):
+            run = FreerideGRuntime(
+                config.with_gather_topology(topology)
+            ).execute(spec.make_app(), dataset)
+            target = PredictionTarget(
+                config=config, dataset_bytes=dataset.nbytes
+            )
+            predicted = model.predict(profile, target)
+            entry[topology.value] = {
+                "t_ro": run.breakdown.t_ro,
+                "total": run.breakdown.total,
+                "err": relative_error(run.breakdown.total, predicted.total),
+            }
+        rows.append(entry)
+    return rows
+
+
+def test_gather_topology_ablation(benchmark):
+    rows = run_once(benchmark, run_gather_study)
+
+    print()
+    print(f"{'c':>4} {'serial t_ro':>12} {'tree t_ro':>12} "
+          f"{'no-comm err (serial)':>21} {'no-comm err (tree)':>19}")
+    for r in rows:
+        print(f"{r['c']:>4} {r['serial']['t_ro']:11.5f}s "
+              f"{r['tree']['t_ro']:11.5f}s "
+              f"{100 * r['serial']['err']:20.2f}% "
+              f"{100 * r['tree']['err']:18.2f}%")
+
+    # The serialized gather's cost grows much faster than the tree's.
+    serial_growth = rows[-1]["serial"]["t_ro"] / rows[0]["serial"]["t_ro"]
+    tree_growth = rows[-1]["tree"]["t_ro"] / rows[0]["tree"]["t_ro"]
+    assert serial_growth > 2.0 * tree_growth
+    # At 16 nodes the tree gather removes part of the no-communication
+    # model's error (less unmodelled serialized time remains).
+    assert rows[-1]["tree"]["err"] < rows[-1]["serial"]["err"]

@@ -1,0 +1,99 @@
+"""Ablation: end-to-end resource-selection quality.
+
+The framework exists to drive resource selection (Sections 2.1 and 3): it
+must pick the (replica, configuration) pair with minimum cost.  This bench
+builds a small grid with two replicas (one behind a thin WAN link), ranks
+every candidate with the global-reduction model, then executes *every*
+candidate for real and reports:
+
+- the **regret** of the predicted best (actual time of the predicted best
+  divided by the actual optimum, minus one), and
+- the **pairwise ranking agreement** between predicted and actual orders.
+"""
+
+import itertools
+
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    Profile,
+)
+from repro.core.selection import ResourceSelector
+from repro.middleware import FreerideGRuntime, ReplicaCatalog
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.topology import GridTopology, SiteKind
+from repro.workloads.clusters import pentium_myrinet_cluster
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+ALLOCATIONS = [(1, 1), (1, 4), (2, 4), (2, 8), (4, 8), (4, 16), (8, 16)]
+
+
+def run_selection_study(workload: str = "kmeans", size: str = "350 MB"):
+    spec = WORKLOADS[workload]
+    dataset = spec.make_dataset(size)
+    cluster = pentium_myrinet_cluster()
+
+    topo = GridTopology()
+    topo.add_site("repo-near", SiteKind.REPOSITORY, cluster)
+    topo.add_site("repo-far", SiteKind.REPOSITORY, cluster)
+    topo.add_site("hpc", SiteKind.COMPUTE, cluster)
+    topo.connect("repo-near", "hpc", bw=2.0e6)
+    topo.connect("repo-far", "hpc", bw=4.0e5)
+    catalog = ReplicaCatalog(topo)
+    catalog.add(dataset.name, "repo-near")
+    catalog.add(dataset.name, "repo-far")
+
+    profile_config = make_run_config(1, 1)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        spec.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+    model = GlobalReductionModel(
+        ModelClasses.parse(spec.natural_object_class, spec.natural_global_class)
+    )
+
+    outcome = ResourceSelector(topo, catalog, model, ALLOCATIONS).select(
+        dataset.name, dataset.nbytes, profile
+    )
+
+    actual = {}
+    for cand in outcome:
+        config = RunConfig(
+            storage_cluster=cluster,
+            compute_cluster=cluster,
+            data_nodes=cand.data_nodes,
+            compute_nodes=cand.compute_nodes,
+            bandwidth=cand.bandwidth,
+        )
+        run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+        actual[cand.label] = run.breakdown.total
+
+    predicted_order = [c.label for c in outcome]
+    actual_best = min(actual.values())
+    regret = actual[outcome.best.label] / actual_best - 1.0
+
+    agree = total = 0
+    for a, b in itertools.combinations(predicted_order, 2):
+        total += 1
+        if actual[a] <= actual[b]:
+            agree += 1
+    return {
+        "regret": regret,
+        "ranking_agreement": agree / total,
+        "candidates": len(predicted_order),
+        "best": outcome.best.label,
+    }
+
+
+def test_selection_quality(benchmark):
+    stats = run_once(benchmark, run_selection_study)
+    print(
+        f"\nselection over {stats['candidates']} candidates: "
+        f"best={stats['best']}  regret={stats['regret']:.2%}  "
+        f"pairwise ranking agreement={stats['ranking_agreement']:.1%}"
+    )
+    assert stats["regret"] < 0.02
+    assert stats["ranking_agreement"] > 0.9

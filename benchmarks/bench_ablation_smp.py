@@ -1,0 +1,83 @@
+"""Ablation: cluster-of-SMPs execution (FREERIDE-G's Section 1 feature).
+
+On the dual-processor Opteron cluster, compares configurations with equal
+total compute slots — ``2c`` nodes with one process each vs ``c`` nodes
+with two processes each.  The SMP configuration halves the number of
+gathered reduction objects (threads merge in shared memory) but pays
+memory-bus contention on the kernel; the bench reports both effects and
+checks that the slot-aware predictor stays accurate for SMP targets it has
+never profiled.
+"""
+
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    PredictionTarget,
+    Profile,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime
+from repro.workloads.clusters import opteron_infiniband_cluster
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+
+def run_smp_study():
+    spec = WORKLOADS["em"]
+    dataset = spec.make_dataset("350 MB")
+    opteron = opteron_infiniband_cluster()
+
+    profile_config = make_run_config(1, 1, storage_cluster=opteron)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        spec.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+    model = GlobalReductionModel(
+        ModelClasses.parse(spec.natural_object_class, spec.natural_global_class)
+    )
+
+    rows = []
+    for nodes, ppn in [(4, 1), (8, 1), (4, 2), (16, 1), (8, 2)]:
+        config = make_run_config(
+            2, nodes, storage_cluster=opteron
+        ).with_processes_per_node(ppn)
+        run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = model.predict(profile, target)
+        rows.append(
+            {
+                "nodes": nodes,
+                "ppn": ppn,
+                "slots": config.compute_slots,
+                "actual": run.breakdown.total,
+                "t_ro": run.breakdown.t_ro,
+                "t_compute": run.breakdown.t_compute,
+                "predicted": predicted.total,
+                "error": relative_error(run.breakdown.total, predicted.total),
+            }
+        )
+    return rows
+
+
+def test_smp_tradeoff_and_prediction(benchmark):
+    rows = run_once(benchmark, run_smp_study)
+
+    print()
+    print(f"{'nodes':>6} {'ppn':>4} {'slots':>6} {'actual':>9} "
+          f"{'t_ro':>9} {'t_comp':>9} {'pred':>9} {'err':>7}")
+    by_key = {}
+    for r in rows:
+        by_key[(r["nodes"], r["ppn"])] = r
+        print(f"{r['nodes']:>6} {r['ppn']:>4} {r['slots']:>6} "
+              f"{r['actual']:8.4f}s {r['t_ro']:8.5f}s {r['t_compute']:8.4f}s "
+              f"{r['predicted']:8.4f}s {100 * r['error']:6.2f}%")
+
+    # Same slot count: the SMP variant gathers half as many objects...
+    assert by_key[(4, 2)]["t_ro"] < by_key[(8, 1)]["t_ro"]
+    assert by_key[(8, 2)]["t_ro"] < by_key[(16, 1)]["t_ro"]
+    # ...but pays memory contention on the kernel.
+    assert by_key[(4, 2)]["t_compute"] > by_key[(8, 1)]["t_compute"]
+    # The slot-aware predictor stays accurate for unseen SMP targets.
+    assert all(r["error"] < 0.10 for r in rows)

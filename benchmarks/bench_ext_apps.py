@@ -1,0 +1,31 @@
+"""Extension benches: the Section 2.2 applications the paper names but
+does not evaluate.
+
+Apriori association mining and artificial-neural-network training are the
+other two canonical generalized reductions listed in Section 2.2 of the
+paper.  Running them under the Figure 2-6 protocol checks that the
+prediction framework generalizes beyond the five evaluated applications:
+the same model ordering and error shapes must emerge, with no per-app
+tuning.
+"""
+
+from repro.analysis import model_ordering_holds
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_ext_apriori(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("ext-apriori"))
+    figure_report(result)
+
+    assert model_ordering_holds(result, tolerance=1e-4)
+    assert result.max_error("global reduction") < 0.08
+
+
+def test_ext_neuralnet(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("ext-neuralnet"))
+    figure_report(result)
+
+    assert model_ordering_holds(result, tolerance=1e-4)
+    assert result.max_error("global reduction") < 0.08

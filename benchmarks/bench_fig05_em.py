@@ -1,0 +1,32 @@
+"""Figure 5: prediction errors for EM clustering (em).
+
+Reproduces the paper's Figure 5: relative prediction error of the three
+model levels (*no communication*, *reduction communication*, *global
+reduction*) over the 14 (data nodes, compute nodes) configurations, all
+predicted from a single 1-1 base profile on the 1.4 GB dataset.
+
+Expected shape (matching the paper): the three models are nested in
+accuracy — the global-reduction model is the most accurate everywhere and
+stays within a few percent; the no-communication model degrades as the
+configuration scales up (largest errors at 8-8 / 8-16 style
+configurations).
+"""
+
+from repro.analysis import model_ordering_holds
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig05_em(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("fig05"))
+    figure_report(result)
+
+    assert model_ordering_holds(result, tolerance=1e-4)
+    assert result.max_error("global reduction") < 0.05
+    assert result.max_error("no communication") < 0.12
+    # The no-communication model's worst configuration is a scale-up.
+    from repro.analysis import worst_configuration
+
+    worst = worst_configuration(result, "no communication")
+    assert worst.compute_nodes >= 8

@@ -1,0 +1,23 @@
+"""Figure 8: defect detection, dataset-size scaling (130 MB -> 1.8 GB).
+
+The most aggressive extrapolation in the paper: the profile dataset is
+~14x smaller than the predicted one.
+
+Expected shape: errors stay within a few percent; within each data-node
+group the equal-node-count configuration is the hardest, recovering as
+compute nodes scale up; retrieval scales linearly to 4 data nodes and
+mildly sub-linearly at 8 (the repository backplane).
+"""
+
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig08_defect_dataset_scaling(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("fig08"))
+    figure_report(result)
+
+    assert result.max_error("global reduction") < 0.04
+    by_label = {row.label: row.error for row in result.rows}
+    assert by_label["8-16"] <= by_label["8-8"] + 1e-3

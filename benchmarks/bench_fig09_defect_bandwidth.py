@@ -1,0 +1,20 @@
+"""Figure 9: defect detection under halved network bandwidth.
+
+Profile collected at the model equivalent of the paper's "500 Kbps"
+synthetic bandwidth on 1-1; predictions target the halved bandwidth on all
+14 configurations (global-reduction model).
+
+Expected shape: errors are the smallest of any experiment family (the
+paper's Figure 9 tops out below 0.2%; we allow a small multiple of that).
+"""
+
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig09_defect_bandwidth(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("fig09"))
+    figure_report(result)
+
+    assert result.max_error("global reduction") < 0.02

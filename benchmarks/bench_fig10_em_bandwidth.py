@@ -1,0 +1,18 @@
+"""Figure 10: EM clustering under halved network bandwidth.
+
+Same protocol as Figure 9 for the EM application.
+
+Expected shape: errors below ~1-2% everywhere; changing only the
+bandwidth leaves the error-vs-configuration shape unchanged.
+"""
+
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_em_bandwidth(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("fig10"))
+    figure_report(result)
+
+    assert result.max_error("global reduction") < 0.02

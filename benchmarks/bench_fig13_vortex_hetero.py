@@ -1,0 +1,26 @@
+"""Figure 13: vortex detection predicted on a different cluster.
+
+Base profile: 1-1 on the Pentium cluster with 710 MB; predictions target
+the Opteron cluster with 1.85 GB.  Factors averaged over k-means, kNN and
+EM.
+
+Expected shape (per the paper): the largest inaccuracies occur at
+configurations with equal numbers of data and compute nodes — the same
+configurations that were hardest within-cluster — so "modeling different
+resources does not impact prediction accuracy" beyond the averaged-factor
+error.
+"""
+
+from repro.analysis import worst_configuration
+from repro.workloads.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_vortex_cross_cluster(benchmark, figure_report):
+    result = run_once(benchmark, lambda: run_experiment("fig13"))
+    figure_report(result)
+
+    assert result.max_error("cross-cluster") < 0.10
+    worst = worst_configuration(result, "cross-cluster")
+    assert worst.compute_nodes == worst.data_nodes

@@ -1,0 +1,66 @@
+"""Section 5.4's observation: per-application compute scaling factors.
+
+The paper: "scaling factors for the computation component did vary
+considerably across applications, ranging from 0.233 for kNN to 0.370 for
+Vortex detection."  This bench measures all five applications on identical
+configurations on both clusters and prints the componentwise factors; the
+spread across applications is the fundamental accuracy limit of the
+averaged-factor approach of Section 3.4.
+"""
+
+from repro.core import Profile, measure_scaling_factors
+from repro.middleware import FreerideGRuntime
+from repro.workloads.clusters import (
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+SMALL_SIZE = {
+    "kmeans": "350 MB",
+    "em": "350 MB",
+    "knn": "350 MB",
+    "vortex": "710 MB",
+    "defect": "130 MB",
+    "apriori": "250 MB",
+    "neuralnet": "250 MB",
+}
+
+
+def measure_all_factors():
+    pentium = pentium_myrinet_cluster()
+    opteron = opteron_infiniband_cluster()
+    pairs = []
+    for name, spec in sorted(WORKLOADS.items()):
+        dataset = spec.make_dataset(SMALL_SIZE[name])
+        config_a = make_run_config(2, 4, storage_cluster=pentium)
+        run_a = FreerideGRuntime(config_a).execute(spec.make_app(), dataset)
+        config_b = make_run_config(2, 4, storage_cluster=opteron)
+        run_b = FreerideGRuntime(config_b).execute(spec.make_app(), dataset)
+        pairs.append(
+            (
+                Profile.from_run(config_a, run_a.breakdown),
+                Profile.from_run(config_b, run_b.breakdown),
+            )
+        )
+    return measure_scaling_factors(pairs)
+
+
+def test_compute_scaling_factors_vary_by_application(benchmark):
+    factors = run_once(benchmark, measure_all_factors)
+
+    print()
+    print("componentwise scaling factors, Pentium/Myrinet -> Opteron/InfiniBand")
+    print(f"  averaged: sd={factors.sd:.3f}  sn={factors.sn:.3f}  sc={factors.sc:.3f}")
+    for app, (sd, sn, sc) in sorted(factors.per_app.items()):
+        print(f"  {app:8s} sd={sd:.3f}  sn={sn:.3f}  sc={sc:.3f}")
+
+    sc_values = {app: r[2] for app, r in factors.per_app.items()}
+    # The paper's spread: kNN lowest (0.233), vortex highest (0.370).
+    assert min(sc_values, key=sc_values.get) in {"knn", "defect"}
+    assert max(sc_values.values()) - min(sc_values.values()) > 0.05
+    # All components speed up on the newer cluster.
+    assert all(r[2] < 1.0 for r in factors.per_app.values())

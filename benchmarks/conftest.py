@@ -1,0 +1,62 @@
+"""Benchmark harness fixtures.
+
+Every ``bench_figXX_*.py`` regenerates one figure of the paper on the full
+14-configuration grid, prints the error table a reader can compare against
+the paper, and writes it to ``benchmarks/results/<figure>.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The timing reported by pytest-benchmark is the wall time of the whole
+figure reproduction (profile run + 14 actual runs + predictions); the
+interesting output is the table, shown with ``-s`` or found under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import format_experiment, save_result
+from repro.analysis.expectations import EXPECTATIONS, check_expectation
+from repro.workloads.experiments import ExperimentResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_report():
+    """Print a reproduced figure, persist it, and check the paper's claims.
+
+    The figure table goes to ``benchmarks/results/<figure>.txt`` and a
+    machine-readable JSON copy next to it (a baseline for
+    :func:`repro.analysis.compare_results`).  When the figure has a
+    recorded :class:`~repro.analysis.expectations.FigureExpectation`, any
+    violated claim fails the bench.
+    """
+
+    def report(result: ExperimentResult) -> None:
+        text = format_experiment(result)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = f"{result.experiment_id}_{result.workload}"
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        save_result(result, RESULTS_DIR / f"{stem}.json")
+
+        if result.experiment_id in EXPECTATIONS:
+            violations = check_expectation(result)
+            assert not violations, (
+                f"{result.experiment_id} no longer matches the paper: "
+                + "; ".join(violations)
+            )
+
+    return report
+
+
+def run_once(benchmark, fn):
+    """Execute a deterministic experiment exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Obtaining b̂: wide-area bandwidth forecasting for the network predictor.
+
+The paper's T̂_network formula needs the bandwidth of the *target* data
+movement (Section 3.2 points to wide-area bandwidth prediction work for
+it).  This example synthesizes a shared-WAN bandwidth trace with diurnal
+load and congestion episodes, runs the NWS-style forecaster family over
+it, and shows how each forecaster's b̂ propagates into the predicted
+network time for a kNN transfer.
+
+Run:  python examples/bandwidth_forecasting.py
+"""
+
+from repro.core import Profile
+from repro.core.bandwidth import (
+    AdaptivePredictor,
+    BandwidthTrace,
+    EWMAPredictor,
+    LastValuePredictor,
+    RunningMeanPredictor,
+    SlidingMedianPredictor,
+    evaluate_predictors,
+)
+from repro.core.predictors import predict_network_time
+from repro.core.target import PredictionTarget
+from repro.middleware import FreerideGRuntime
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+
+def main() -> None:
+    base_bw = 1.0e6
+    trace = BandwidthTrace.synthesize(
+        300, base_bw=base_bw, congestion_prob=0.05, seed=23
+    )
+    print(f"synthetic WAN trace: {len(trace)} observations, "
+          f"min {min(trace.samples):.0f} B/s, max {max(trace.samples):.0f} B/s")
+
+    # ------------------------------------------------------------------
+    # 1. Score the forecasters on the raw trace.
+    # ------------------------------------------------------------------
+    predictors = [
+        LastValuePredictor(initial=base_bw),
+        RunningMeanPredictor(initial=base_bw),
+        SlidingMedianPredictor(window=10, initial=base_bw),
+        EWMAPredictor(alpha=0.3, initial=base_bw),
+        AdaptivePredictor(),
+    ]
+    scores = evaluate_predictors(trace, predictors)
+    print("\none-step-ahead forecast accuracy:")
+    for label, score in sorted(
+        scores.items(), key=lambda kv: kv[1].mean_absolute_percentage_error
+    ):
+        print(f"  {label:22s} MAPE {100 * score.mean_absolute_percentage_error:6.2f}%")
+
+    # ------------------------------------------------------------------
+    # 2. Propagate one forecast into the paper's network predictor.
+    # ------------------------------------------------------------------
+    spec = WORKLOADS["knn"]
+    dataset = spec.make_dataset("350 MB")
+    profile_config = make_run_config(1, 1, bandwidth=base_bw)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        spec.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    actual_bw = trace.samples[-1]
+    ewma = EWMAPredictor(alpha=0.3, initial=base_bw)
+    for value in trace.samples[:-1]:
+        ewma.observe(value)
+    forecast_bw = ewma.predict()
+
+    config = make_run_config(2, 4, bandwidth=base_bw)
+    actual = predict_network_time(
+        profile,
+        PredictionTarget(
+            config=config.with_bandwidth(actual_bw),
+            dataset_bytes=dataset.nbytes,
+        ),
+    )
+    forecast = predict_network_time(
+        profile,
+        PredictionTarget(
+            config=config.with_bandwidth(forecast_bw),
+            dataset_bytes=dataset.nbytes,
+        ),
+    )
+    print(f"\nkNN transfer on 2-4 at the trace's final step:")
+    print(f"  actual bandwidth   {actual_bw:10.0f} B/s -> T_network {actual:.4f}s")
+    print(f"  EWMA forecast b̂   {forecast_bw:10.0f} B/s -> T̂_network {forecast:.4f}s")
+    print(f"  relative error     {abs(forecast - actual) / actual:10.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Predicting execution on hardware you have never profiled on.
+
+Section 3.4 of the paper: measure a few representative applications on
+identical configurations on both clusters, average their componentwise
+speedups (s_d, s_n, s_c), and rescale a same-cluster prediction.  This
+example profiles EM clustering on the simulated 700 MHz Pentium/Myrinet
+cluster and predicts its execution on the 2.4 GHz Opteron/InfiniBand
+cluster — then validates against actual Opteron executions.
+
+Run:  python examples/cross_cluster_prediction.py
+"""
+
+from repro.core import (
+    CrossClusterPredictor,
+    GlobalReductionModel,
+    ModelClasses,
+    PredictionTarget,
+    Profile,
+    measure_scaling_factors,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime
+from repro.workloads import (
+    make_run_config,
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.registry import WORKLOADS
+
+REPRESENTATIVES = ["kmeans", "knn", "vortex"]  # EM itself is excluded
+
+
+def main() -> None:
+    pentium = pentium_myrinet_cluster()
+    opteron = opteron_infiniband_cluster()
+
+    # ------------------------------------------------------------------
+    # 1. Component scaling factors from the representative applications.
+    # ------------------------------------------------------------------
+    pairs = []
+    for name in REPRESENTATIVES:
+        spec = WORKLOADS[name]
+        dataset = spec.make_dataset()
+        config_a = make_run_config(2, 4, storage_cluster=pentium)
+        run_a = FreerideGRuntime(config_a).execute(spec.make_app(), dataset)
+        config_b = make_run_config(2, 4, storage_cluster=opteron)
+        run_b = FreerideGRuntime(config_b).execute(spec.make_app(), dataset)
+        pairs.append(
+            (
+                Profile.from_run(config_a, run_a.breakdown),
+                Profile.from_run(config_b, run_b.breakdown),
+            )
+        )
+    factors = measure_scaling_factors(pairs)
+
+    print("componentwise scaling factors (Pentium -> Opteron):")
+    print(f"  averaged: s_d={factors.sd:.3f}  s_n={factors.sn:.3f}  "
+          f"s_c={factors.sc:.3f}")
+    for app, (sd, sn, sc) in factors.per_app.items():
+        print(f"  {app:8s} s_d={sd:.3f}  s_n={sn:.3f}  s_c={sc:.3f}")
+    print("  (the s_c spread across applications is the paper's Section 5.4"
+          " observation)")
+
+    # ------------------------------------------------------------------
+    # 2. Profile EM on the Pentium cluster, predict on the Opteron one.
+    # ------------------------------------------------------------------
+    em = WORKLOADS["em"]
+    dataset = em.make_dataset("350 MB")
+    profile_config = make_run_config(1, 1, storage_cluster=pentium)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        em.make_app(), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    base = GlobalReductionModel(
+        ModelClasses.parse(em.natural_object_class, em.natural_global_class)
+    )
+    predictor = CrossClusterPredictor(base, factors)
+
+    print("\nEM on the Opteron cluster, predicted from a Pentium profile:")
+    print(f"{'config':>8} {'actual':>10} {'predicted':>10} {'error':>8}")
+    for n, c in [(1, 1), (2, 4), (4, 8), (8, 16)]:
+        config = make_run_config(n, c, storage_cluster=opteron)
+        actual = FreerideGRuntime(config).execute(em.make_app(), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = predictor.predict(profile, target)
+        err = relative_error(actual.breakdown.total, predicted.total)
+        print(f"{config.label:>8} {actual.breakdown.total:9.3f}s "
+              f"{predicted.total:9.3f}s {100 * err:7.2f}%")
+
+
+if __name__ == "__main__":
+    main()

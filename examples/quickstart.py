@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: profile once, predict everywhere.
+
+Runs the k-means workload once on the 1-1 base configuration of the
+simulated Pentium/Myrinet cluster to collect a profile, then predicts the
+execution time of several other (data nodes, compute nodes) configurations
+with the paper's three model levels — and validates each prediction
+against an actual (simulated) execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    NoCommunicationModel,
+    PredictionTarget,
+    Profile,
+    ReductionCommunicationModel,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime
+from repro.workloads import make_app, make_dataset, make_run_config
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. One profile run: k-means on 1 data node, 1 compute node.
+    # ------------------------------------------------------------------
+    dataset = make_dataset("kmeans")  # the paper's 1.4 GB point dataset
+    profile_config = make_run_config(data_nodes=1, compute_nodes=1)
+    profile_run = FreerideGRuntime(profile_config).execute(
+        make_app("kmeans"), dataset
+    )
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    print("profile run (1-1):")
+    print(f"  T_disk    = {profile.t_disk:8.3f} s")
+    print(f"  T_network = {profile.t_network:8.3f} s")
+    print(f"  T_compute = {profile.t_compute:8.3f} s "
+          f"(T_ro = {profile.t_ro:.4f}, T_g = {profile.t_g:.4f})")
+    print(f"  total     = {profile.total:8.3f} s")
+    print(f"  reduction object: {profile.max_object_bytes:.0f} bytes, "
+          f"{profile.gather_rounds} gather rounds")
+
+    # ------------------------------------------------------------------
+    # 2. Predict other configurations from that single profile.
+    # ------------------------------------------------------------------
+    classes = ModelClasses.parse("constant", "linear-constant")  # k-means
+    models = [
+        NoCommunicationModel(),
+        ReductionCommunicationModel(classes),
+        GlobalReductionModel(classes),
+    ]
+
+    print("\npredictions vs actual executions:")
+    header = f"{'config':>8} {'actual':>9}"
+    for model in models:
+        header += f" | {model.label:>24}"
+    print(header)
+    for n, c in [(1, 4), (2, 8), (4, 8), (8, 16)]:
+        config = make_run_config(n, c)
+        actual = FreerideGRuntime(config).execute(make_app("kmeans"), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        line = f"{config.label:>8} {actual.breakdown.total:8.3f}s"
+        for model in models:
+            predicted = model.predict(profile, target)
+            err = relative_error(actual.breakdown.total, predicted.total)
+            line += f" | {predicted.total:8.3f}s ({100 * err:5.2f}%)"
+        print(line)
+
+    print("\nThe global-reduction model should be the most accurate column —")
+    print("that is the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

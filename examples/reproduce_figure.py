@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Reproduce any evaluation figure of the paper from the command line.
+
+Usage:
+    python examples/reproduce_figure.py fig02            # full 14-config grid
+    python examples/reproduce_figure.py fig08 --fast     # reduced grid
+    python examples/reproduce_figure.py --list
+
+Figures: fig02-fig06 model comparison, fig07-fig08 dataset scaling,
+fig09-fig10 bandwidth, fig11-fig13 cross-cluster.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import format_experiment
+from repro.workloads.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", nargs="?", help="figure id, e.g. fig04")
+    parser.add_argument(
+        "--fast", action="store_true", help="use the reduced config grid"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figures"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        for figure_id in sorted(EXPERIMENTS):
+            print(figure_id)
+        return 0
+
+    result = run_experiment(args.figure, fast=args.fast)
+    print(format_experiment(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The two scientific feature-mining workloads, end to end.
+
+Runs vortex detection on a synthetic CFD velocity field and molecular
+defect detection on a synthetic Si lattice — the paper's Sections 4.4-4.5
+applications — on a parallel configuration, and shows that the features
+found match the planted ground truth while the middleware reports the
+execution-time breakdown the prediction framework consumes.
+
+Run:  python examples/scientific_mining.py
+"""
+
+from repro.middleware import FreerideGRuntime
+from repro.workloads import make_app, make_dataset, make_run_config
+
+
+def show_breakdown(label, breakdown) -> None:
+    print(f"  {label}: total {breakdown.total:.3f}s = "
+          f"disk {breakdown.t_disk:.3f} + net {breakdown.t_network:.3f} + "
+          f"compute {breakdown.t_compute:.3f} "
+          f"(T_ro {breakdown.t_ro:.4f}, T_g {breakdown.t_g:.4f})")
+
+
+def main() -> None:
+    config = make_run_config(data_nodes=4, compute_nodes=8)
+
+    # ------------------------------------------------------------------
+    # Vortex detection on CFD output (the paper's 710 MB dataset).
+    # ------------------------------------------------------------------
+    field = make_dataset("vortex")
+    run = FreerideGRuntime(config).execute(make_app("vortex"), field)
+    truth = field.meta["true_vortices"]
+    print(f"vortex detection on a {field.shape[0]}x{field.shape[1]} velocity "
+          f"field split into {field.num_chunks} row-block chunks:")
+    print(f"  planted vortices: {len(truth)}, detected: {run.result['count']}")
+    strongest = run.result["vortices"][0]
+    print(f"  strongest region: rows {strongest['ymin']}-{strongest['ymax']}, "
+          f"cols {strongest['xmin']}-{strongest['xmax']}, "
+          f"area {strongest['area']}, "
+          f"{'counter-clockwise' if strongest['sign'] > 0 else 'clockwise'}")
+    joined = sum(1 for v in run.result["vortices"] if v["num_fragments"] > 1)
+    print(f"  regions joined across partition boundaries: {joined}")
+    show_breakdown("breakdown", run.breakdown)
+
+    # ------------------------------------------------------------------
+    # Molecular defect detection (the paper's 130 MB lattice).
+    # ------------------------------------------------------------------
+    lattice = make_dataset("defect")
+    run = FreerideGRuntime(config).execute(make_app("defect"), lattice)
+    truth = lattice.meta["true_defects"]
+    nz, ny, nx = lattice.shape
+    print(f"\ndefect detection on a {nz}x{ny}x{nx} Si lattice split into "
+          f"{lattice.num_chunks} z-slab chunks:")
+    print(f"  planted defects: {len(truth)}, detected: {run.result['count']}")
+    print(f"  defect catalog grew to {run.result['catalog_size']} classes "
+          f"(seeded with 2; new shapes were discovered and broadcast)")
+    by_class: dict = {}
+    for defect in run.result["defects"]:
+        by_class[defect["class_id"]] = by_class.get(defect["class_id"], 0) + 1
+    print(f"  population by class id: {dict(sorted(by_class.items()))}")
+    show_breakdown("breakdown", run.breakdown)
+
+
+if __name__ == "__main__":
+    main()

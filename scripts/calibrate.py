@@ -1,0 +1,36 @@
+"""Calibration sweep: Figure 2-6 style error tables for all five apps."""
+import sys, time
+from repro.workloads import make_app, make_dataset, make_run_config, PAPER_CONFIG_GRID
+from repro.workloads.registry import WORKLOADS
+from repro.middleware import FreerideGRuntime
+from repro.core import (Profile, PredictionTarget, NoCommunicationModel,
+                        ReductionCommunicationModel, GlobalReductionModel,
+                        ModelClasses, relative_error)
+
+apps = sys.argv[1:] or ["kmeans", "vortex", "defect", "em", "knn"]
+for name in apps:
+    spec = WORKLOADS[name]
+    ds = make_dataset(name)
+    t0 = time.time()
+    # profile at 1-1
+    cfg11 = make_run_config(1, 1)
+    run11 = FreerideGRuntime(cfg11).execute(make_app(name), ds)
+    prof = Profile.from_run(cfg11, run11.breakdown)
+    classes = ModelClasses.parse(spec.natural_object_class, spec.natural_global_class)
+    models = [NoCommunicationModel(), ReductionCommunicationModel(classes), GlobalReductionModel(classes)]
+    print(f"\n=== {name} (profile 1-1, total={prof.total:.3f}, td={prof.t_disk:.3f} tn={prof.t_network:.3f} tc={prof.t_compute:.3f} tro={prof.t_ro:.4f} tg={prof.t_g:.4f} r={prof.max_object_bytes:.0f})")
+    print(f"{'cfg':>6} {'actual':>8} | " + " | ".join(f"{m.label:>22}" for m in models))
+    for (n, c) in PAPER_CONFIG_GRID:
+        cfg = make_run_config(n, c)
+        run = FreerideGRuntime(cfg).execute(make_app(name), ds)
+        actual = run.breakdown.total
+        tgt = PredictionTarget(config=cfg, dataset_bytes=ds.nbytes)
+        cells = []
+        for m in models:
+            pred = m.predict(prof, tgt)
+            err = relative_error(actual, pred.total)
+            cells.append(f"{pred.total:8.3f} ({100*err:5.2f}%)")
+        a = run.breakdown
+        print(f"{n}-{c:>2} {actual:8.3f} | " + " | ".join(cells) +
+              f"   [ro={a.t_ro:.4f} g={a.t_g:.4f}]")
+    print(f"  ({time.time()-t0:.1f}s)")

@@ -1,0 +1,80 @@
+"""Calibration: dataset-scaling (Fig 7/8), bandwidth (Fig 9/10), cross-cluster (Fig 11-13)."""
+import sys
+from repro.workloads import (make_run_config, PAPER_CONFIG_GRID,
+                             pentium_myrinet_cluster, opteron_infiniband_cluster)
+from repro.workloads.clusters import LOW_BANDWIDTH, HALF_LOW_BANDWIDTH, DEFAULT_BANDWIDTH
+from repro.workloads.registry import WORKLOADS
+from repro.middleware import FreerideGRuntime
+from repro.core import (Profile, PredictionTarget, GlobalReductionModel, ModelClasses,
+                        relative_error, measure_scaling_factors, CrossClusterPredictor)
+
+def run(name, n, c, size=None, bw=DEFAULT_BANDWIDTH, cluster=None):
+    spec = WORKLOADS[name]
+    ds = spec.make_dataset(size)
+    cl = cluster or pentium_myrinet_cluster()
+    cfg = make_run_config(n, c, storage_cluster=cl, bandwidth=bw)
+    res = FreerideGRuntime(cfg).execute(spec.make_app(), ds)
+    return cfg, ds, res
+
+def gmodel(name):
+    spec = WORKLOADS[name]
+    return GlobalReductionModel(ModelClasses.parse(spec.natural_object_class, spec.natural_global_class))
+
+mode = sys.argv[1]
+if mode == "scaling":
+    for name, small, big in [("em", "350 MB", "1.4 GB"), ("defect", "130 MB", "1.8 GB")]:
+        cfg, ds, res = run(name, 1, 1, small)
+        prof = Profile.from_run(cfg, res.breakdown)
+        m = gmodel(name)
+        print(f"\n{name}: profile 1-1 @ {small} -> predict @ {big}")
+        for (n, c) in PAPER_CONFIG_GRID:
+            cfgt, dst, rest = run(name, n, c, big)
+            tgt = PredictionTarget(config=cfgt, dataset_bytes=dst.nbytes)
+            pred = m.predict(prof, tgt)
+            e = relative_error(rest.breakdown.total, pred.total)
+            print(f"  {n}-{c:<2} actual={rest.breakdown.total:8.3f} pred={pred.total:8.3f} err={100*e:5.2f}%")
+elif mode == "bandwidth":
+    for name in ["defect", "em"]:
+        cfg, ds, res = run(name, 1, 1, None, bw=LOW_BANDWIDTH)
+        prof = Profile.from_run(cfg, res.breakdown)
+        m = gmodel(name)
+        print(f"\n{name}: profile 1-1 @ 500Kbps -> predict @ 250Kbps")
+        for (n, c) in PAPER_CONFIG_GRID:
+            cfgt, dst, rest = run(name, n, c, None, bw=HALF_LOW_BANDWIDTH)
+            tgt = PredictionTarget(config=cfgt, dataset_bytes=dst.nbytes)
+            pred = m.predict(prof, tgt)
+            e = relative_error(rest.breakdown.total, pred.total)
+            print(f"  {n}-{c:<2} actual={rest.breakdown.total:8.3f} pred={pred.total:8.3f} err={100*e:5.2f}%")
+elif mode == "hetero":
+    pent, opt = pentium_myrinet_cluster(), opteron_infiniband_cluster()
+    # scaling factors from representative apps at 2-4 config, default sizes
+    reps = {"em": ["kmeans", "knn", "vortex"], "defect": ["kmeans", "knn", "em"],
+            "vortex": ["kmeans", "knn", "em"]}
+    cases = [("em", "350 MB", "700 MB", 8, 8), ("defect", "130 MB", "1.8 GB", 4, 4),
+             ("vortex", "710 MB", "1.85 GB", 1, 1)]
+    for name, psize, tsize, pn, pc in cases:
+        pairs = []
+        for rep in reps[name]:
+            ca, da, ra = run(rep, 2, 4, None, cluster=pent)
+            cb = make_run_config(2, 4, storage_cluster=opt)
+            rb = FreerideGRuntime(cb).execute(WORKLOADS[rep].make_app(), da)
+            pairs.append((Profile.from_run(ca, ra.breakdown), Profile.from_run(cb, rb.breakdown)))
+        factors = measure_scaling_factors(pairs)
+        print(f"\n{name}: factors sd={factors.sd:.3f} sn={factors.sn:.3f} sc={factors.sc:.3f}")
+        print("  per-app sc:", {k: round(v[2],3) for k,v in factors.per_app.items()})
+        cfg, ds, res = run(name, pn, pc, psize, cluster=pent)
+        prof = Profile.from_run(cfg, res.breakdown)
+        xm = CrossClusterPredictor(gmodel(name), factors)
+        # observed sc for this app:
+        ca2, da2, ra2 = run(name, 2, 4, None, cluster=pent)
+        cb2 = make_run_config(2, 4, storage_cluster=opt)
+        rb2 = FreerideGRuntime(cb2).execute(WORKLOADS[name].make_app(), da2)
+        print(f"  observed sc for {name}: {rb2.breakdown.t_compute/ra2.breakdown.t_compute:.3f}")
+        for (n, c) in PAPER_CONFIG_GRID:
+            cfgt = make_run_config(n, c, storage_cluster=opt)
+            dst = WORKLOADS[name].make_dataset(tsize)
+            rest = FreerideGRuntime(cfgt).execute(WORKLOADS[name].make_app(), dst)
+            tgt = PredictionTarget(config=cfgt, dataset_bytes=dst.nbytes)
+            pred = xm.predict(prof, tgt)
+            e = relative_error(rest.breakdown.total, pred.total)
+            print(f"  {n}-{c:<2} actual={rest.breakdown.total:8.3f} pred={pred.total:8.3f} err={100*e:5.2f}%")

@@ -1,0 +1,9 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (PEP 517 editable installs require it); all metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Reporting utilities for the reproduced experiments.
+
+- :mod:`repro.analysis.report` — figure-style ASCII error tables and the
+  EXPERIMENTS.md generator.
+- :mod:`repro.analysis.stats`  — summary statistics and shape checks
+  (model ordering, error trends) over experiment results.
+"""
+
+from repro.analysis.ascii import error_bar_chart, horizontal_bar
+from repro.analysis.breakdown import (
+    ComponentShares,
+    format_shares,
+    shares_of,
+    sweep_shares,
+)
+from repro.analysis.expectations import (
+    EXPECTATIONS,
+    FigureExpectation,
+    check_expectation,
+)
+from repro.analysis.report import format_experiment, format_summary
+from repro.analysis.results_io import (
+    RowDelta,
+    compare_results,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.analysis.stats import (
+    error_summary,
+    mean,
+    model_ordering_holds,
+    worst_configuration,
+)
+
+__all__ = [
+    "error_bar_chart",
+    "horizontal_bar",
+    "ComponentShares",
+    "format_shares",
+    "shares_of",
+    "sweep_shares",
+    "EXPECTATIONS",
+    "FigureExpectation",
+    "check_expectation",
+    "RowDelta",
+    "compare_results",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "format_experiment",
+    "format_summary",
+    "error_summary",
+    "mean",
+    "model_ordering_holds",
+    "worst_configuration",
+]

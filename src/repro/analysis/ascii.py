@@ -1,0 +1,78 @@
+"""ASCII bar charts for terminal-rendered figures.
+
+The paper's evaluation figures are grouped bar charts: relative prediction
+error on the y-axis, data-node count groups on the x-axis, one bar per
+(compute-node count, model).  :func:`error_bar_chart` renders the same
+structure with unicode block bars so a reproduced figure can be eyeballed
+against the paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import ExperimentResult
+
+__all__ = ["horizontal_bar", "error_bar_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def horizontal_bar(value: float, max_value: float, width: int = 40) -> str:
+    """A unicode bar of ``value`` scaled so ``max_value`` fills ``width``.
+
+    >>> horizontal_bar(1.0, 2.0, width=4)
+    '██'
+    """
+    if width <= 0:
+        raise ConfigurationError("bar width must be positive")
+    if max_value < 0 or value < 0:
+        raise ConfigurationError("bar values must be >= 0")
+    if max_value == 0:
+        return ""
+    fraction = min(value / max_value, 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if partial_index > 0 and full < width:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def error_bar_chart(
+    result: ExperimentResult, model: str | None = None, width: int = 40
+) -> str:
+    """Render one model's error-by-configuration series as a bar chart.
+
+    ``model`` defaults to the last (most refined) model in the result.
+    Configurations are grouped by data-node count, like the paper's
+    x-axis.
+    """
+    models = result.models
+    if not models:
+        raise ConfigurationError("experiment result has no rows")
+    chosen = model or models[-1]
+    rows = result.rows_for_model(chosen)
+    if not rows:
+        raise ConfigurationError(f"no rows for model '{chosen}'")
+
+    peak = max(row.error for row in rows)
+    scale = peak if peak > 0 else 1.0
+    lines: List[str] = [
+        f"{result.experiment_id} — {chosen} — relative error "
+        f"(full bar = {100 * peak:.2f}%)"
+    ]
+    groups: Dict[int, List] = {}
+    for row in rows:
+        groups.setdefault(row.data_nodes, []).append(row)
+    for data_nodes in sorted(groups):
+        lines.append(f"  {data_nodes} data node(s):")
+        for row in groups[data_nodes]:
+            bar = horizontal_bar(row.error, scale, width=width)
+            lines.append(
+                f"    {row.compute_nodes:>2} cn {100 * row.error:6.2f}% {bar}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure-style ASCII tables for experiment results.
+
+The paper's figures plot relative prediction error grouped by the number of
+data nodes, one bar/line per compute-node count and model.  The formatter
+below prints the same structure as a table so a terminal user can compare
+directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import error_summary
+from repro.workloads.experiments import ExperimentResult
+
+__all__ = ["format_experiment", "format_summary"]
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render one reproduced figure as an ASCII table.
+
+    Rows are (data nodes, compute nodes) configurations; columns are the
+    models; cells are relative errors in percent.
+    """
+    models = result.models
+    header = f"{'config':>8} " + " ".join(f"{m:>26}" for m in models)
+    lines: List[str] = [
+        f"{result.experiment_id}: {result.title}",
+        f"workload: {result.workload}",
+        header,
+        "-" * len(header),
+    ]
+    configs: List[str] = []
+    for row in result.rows:
+        if row.label not in configs:
+            configs.append(row.label)
+    by_key: Dict[tuple, float] = {}
+    actual: Dict[str, float] = {}
+    for row in result.rows:
+        by_key[(row.label, row.model)] = row.error
+        actual[row.label] = row.actual
+    for label in configs:
+        cells = []
+        for model in models:
+            err = by_key.get((label, model))
+            cells.append(f"{100.0 * err:25.2f}%" if err is not None else " " * 26)
+        lines.append(f"{label:>8} " + " ".join(cells))
+    lines.append("")
+    lines.append(format_summary(result))
+    return "\n".join(lines)
+
+
+def format_summary(result: ExperimentResult) -> str:
+    """One-line-per-model mean/max error summary."""
+    parts: List[str] = []
+    for model, stats in error_summary(result).items():
+        parts.append(
+            f"{model}: mean {100 * stats['mean']:.2f}%  "
+            f"max {100 * stats['max']:.2f}%"
+        )
+    return " | ".join(parts)

@@ -1,0 +1,153 @@
+"""Experiment-result persistence and comparison.
+
+Figure reproductions are deterministic, so a stored result is a baseline:
+re-running after a change and diffing against the stored copy is the
+regression workflow (`compare_results`), and archived results feed the
+report generators without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import ExperimentResult, ExperimentRow
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "RowDelta",
+    "compare_results",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of an experiment result."""
+    metadata = {}
+    for key, value in result.metadata.items():
+        if isinstance(value, (str, int, float, bool, list, dict, type(None))):
+            metadata[key] = value
+        else:
+            metadata[key] = repr(value)
+    return {
+        "format_version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "workload": result.workload,
+        "metadata": metadata,
+        "rows": [
+            {
+                "data_nodes": row.data_nodes,
+                "compute_nodes": row.compute_nodes,
+                "model": row.model,
+                "actual": row.actual,
+                "predicted": row.predicted,
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild an experiment result from :func:`result_to_dict` output."""
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result format version {data.get('format_version')!r}"
+        )
+    try:
+        result = ExperimentResult(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            workload=str(data["workload"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+        for row in data["rows"]:
+            result.rows.append(
+                ExperimentRow(
+                    data_nodes=int(row["data_nodes"]),
+                    compute_nodes=int(row["compute_nodes"]),
+                    model=str(row["model"]),
+                    actual=float(row["actual"]),
+                    predicted=float(row["predicted"]),
+                )
+            )
+        return result
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed experiment result: {exc}") from exc
+
+
+def save_result(
+    result: ExperimentResult, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write an experiment result to a JSON file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def load_result(path: str | pathlib.Path) -> ExperimentResult:
+    """Read an experiment result from a JSON file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no experiment result at '{path}'")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"'{path}' is not valid JSON: {exc}") from exc
+    return result_from_dict(data)
+
+
+@dataclass(frozen=True)
+class RowDelta:
+    """Error change of one (configuration, model) cell between two runs."""
+
+    label: str
+    model: str
+    baseline_error: float
+    current_error: float
+
+    @property
+    def delta(self) -> float:
+        """Signed change (positive = got worse)."""
+        return self.current_error - self.baseline_error
+
+
+def compare_results(
+    baseline: ExperimentResult,
+    current: ExperimentResult,
+    threshold: float = 0.0,
+) -> List[RowDelta]:
+    """Cells whose relative error moved by more than ``threshold``.
+
+    Raises when the two results are not the same experiment or do not
+    cover the same (configuration, model) cells.
+    """
+    if baseline.experiment_id != current.experiment_id:
+        raise ConfigurationError(
+            f"cannot compare '{baseline.experiment_id}' against "
+            f"'{current.experiment_id}'"
+        )
+    base_cells = {(r.label, r.model): r.error for r in baseline.rows}
+    cur_cells = {(r.label, r.model): r.error for r in current.rows}
+    if set(base_cells) != set(cur_cells):
+        raise ConfigurationError(
+            "results cover different (configuration, model) cells"
+        )
+    deltas = [
+        RowDelta(
+            label=label,
+            model=model,
+            baseline_error=base_cells[(label, model)],
+            current_error=cur_cells[(label, model)],
+        )
+        for (label, model) in sorted(base_cells)
+    ]
+    return [d for d in deltas if abs(d.delta) > threshold]

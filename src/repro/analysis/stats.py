@@ -1,0 +1,59 @@
+"""Summary statistics and shape checks over experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import ExperimentResult, ExperimentRow
+
+__all__ = ["mean", "error_summary", "model_ordering_holds", "worst_configuration"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (errors on empty input)."""
+    if not values:
+        raise ConfigurationError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def error_summary(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Per-model mean/max relative error (fractions)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for model in result.models:
+        errors = result.errors_for_model(model)
+        summary[model] = {
+            "mean": mean(errors),
+            "max": max(errors),
+            "min": min(errors),
+        }
+    return summary
+
+
+def model_ordering_holds(
+    result: ExperimentResult, tolerance: float = 0.0
+) -> bool:
+    """Check the paper's headline ordering on *mean* error.
+
+    The global-reduction model should be at least as accurate (on average)
+    as the reduction-communication model, which in turn should beat the
+    no-communication model.  ``tolerance`` allows a small absolute slack.
+    """
+    models = result.models
+    if len(models) < 2:
+        raise ConfigurationError(
+            "model ordering needs at least two models in the result"
+        )
+    means = [mean(result.errors_for_model(m)) for m in models]
+    return all(
+        later <= earlier + tolerance
+        for earlier, later in zip(means, means[1:])
+    )
+
+
+def worst_configuration(result: ExperimentResult, model: str) -> ExperimentRow:
+    """The configuration with the largest relative error for a model."""
+    rows = result.rows_for_model(model)
+    if not rows:
+        raise ConfigurationError(f"no rows for model '{model}'")
+    return max(rows, key=lambda r: r.error)

@@ -1,0 +1,61 @@
+"""The paper's five evaluation applications, as FREERIDE-G reductions.
+
+Three traditional data-mining techniques and two scientific feature-mining
+algorithms (Section 4 of the paper):
+
+- :mod:`repro.apps.kmeans`  — k-means clustering (constant reduction-object
+  size; linear-constant global reduction).
+- :mod:`repro.apps.em`      — Expectation-Maximization clustering of a
+  Gaussian mixture, alternating E and M passes.
+- :mod:`repro.apps.knn`     — k-nearest-neighbour search (constant object
+  size; linear-constant global reduction).
+- :mod:`repro.apps.vortex`  — vortex detection in CFD velocity fields
+  (linear object size; constant-linear global reduction).
+- :mod:`repro.apps.defect`  — molecular defect detection and categorization
+  in Si lattices (linear object size; constant-linear global reduction).
+
+Each application performs its computation for real on the synthetic data
+and charges operation counts to the middleware's instrumentation; results
+are invariant to the (data nodes, compute nodes) configuration.
+
+Two further generalized reductions the paper's Section 2.2 names as
+canonical for the middleware are also provided (they are not part of the
+paper's evaluation figures):
+
+- :mod:`repro.apps.apriori`   — apriori association mining.
+- :mod:`repro.apps.neuralnet` — artificial-neural-network training.
+"""
+
+from typing import Callable, Dict
+
+from repro.apps.apriori import AprioriMining
+from repro.apps.defect import DefectDetection
+from repro.apps.em import EMClustering
+from repro.apps.kmeans import KMeansClustering
+from repro.apps.knn import KNNSearch
+from repro.apps.neuralnet import NeuralNetTraining
+from repro.apps.vortex import VortexDetection
+from repro.middleware.api import GeneralizedReduction
+
+#: name -> zero-argument factory producing a fresh application instance
+#: with the default evaluation parameters.
+APP_FACTORIES: Dict[str, Callable[[], GeneralizedReduction]] = {
+    KMeansClustering.name: KMeansClustering,
+    EMClustering.name: EMClustering,
+    KNNSearch.name: KNNSearch,
+    VortexDetection.name: VortexDetection,
+    DefectDetection.name: DefectDetection,
+    AprioriMining.name: AprioriMining,
+    NeuralNetTraining.name: NeuralNetTraining,
+}
+
+__all__ = [
+    "APP_FACTORIES",
+    "AprioriMining",
+    "DefectDetection",
+    "EMClustering",
+    "KMeansClustering",
+    "KNNSearch",
+    "NeuralNetTraining",
+    "VortexDetection",
+]

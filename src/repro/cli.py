@@ -1,0 +1,357 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+- ``repro list-workloads`` — the available workloads and dataset sizes.
+- ``repro run WORKLOAD -n N -c C [...]`` — execute a workload on the
+  simulated grid and print the time breakdown; optionally save the profile.
+- ``repro predict PROFILE.json -n N -c C [...]`` — predict a target
+  configuration from a saved profile.
+- ``repro classify WORKLOAD`` — auto-detect the workload's model classes
+  from multiple profile runs (the paper's Section 3.3 procedure).
+- ``repro figure FIGID [--fast]`` — reproduce one paper figure.
+
+All times are in the simulator's model units (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import format_experiment
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    NoCommunicationModel,
+    PredictionTarget,
+    Profile,
+    ReductionCommunicationModel,
+    classify_global_reduction,
+    classify_object_size,
+)
+from repro.core.store import load_profile, save_profile
+from repro.middleware import FreerideGRuntime
+from repro.simgrid.errors import SimulationError
+from repro.workloads.clusters import (
+    DEFAULT_BANDWIDTH,
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.configs import make_run_config
+from repro.workloads.experiments import EXPERIMENTS, run_experiment
+from repro.workloads.registry import WORKLOADS
+
+__all__ = ["main"]
+
+_CLUSTERS = {
+    "pentium-myrinet": pentium_myrinet_cluster,
+    "opteron-infiniband": opteron_infiniband_cluster,
+}
+
+_MODELS = {
+    "no-communication": lambda classes: NoCommunicationModel(),
+    "reduction-communication": ReductionCommunicationModel,
+    "global-reduction": GlobalReductionModel,
+}
+
+
+def _print_breakdown(breakdown) -> None:
+    print(f"  T_disk    = {breakdown.t_disk:10.4f} s")
+    print(f"  T_network = {breakdown.t_network:10.4f} s")
+    print(
+        f"  T_compute = {breakdown.t_compute:10.4f} s "
+        f"(T_ro={breakdown.t_ro:.5f}, T_g={breakdown.t_g:.5f})"
+    )
+    print(f"  total     = {breakdown.total:10.4f} s")
+
+
+def _cmd_list_workloads(_args) -> int:
+    for name, spec in sorted(WORKLOADS.items()):
+        sizes = ", ".join(sorted(spec.dataset_sizes_gb))
+        origin = "paper eval" if spec.in_paper_evaluation else "extension"
+        print(f"{name:10s} [{origin}]  sizes: {sizes}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = WORKLOADS.get(args.workload)
+    if spec is None:
+        print(f"unknown workload '{args.workload}'", file=sys.stderr)
+        return 2
+    dataset = spec.make_dataset(args.size)
+    cluster = _CLUSTERS[args.cluster]()
+    config = make_run_config(
+        args.data_nodes,
+        args.compute_nodes,
+        storage_cluster=cluster,
+        bandwidth=args.bandwidth,
+    ).with_processes_per_node(args.processes_per_node)
+    run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+    print(
+        f"{args.workload} on {config.label} ({args.cluster}), "
+        f"dataset {dataset.name} ({dataset.nbytes:.0f} model bytes), "
+        f"{run.breakdown.num_passes} pass(es):"
+    )
+    _print_breakdown(run.breakdown)
+    if args.save_profile:
+        profile = Profile.from_run(config, run.breakdown)
+        path = save_profile(profile, args.save_profile)
+        print(f"profile saved to {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    profile = load_profile(args.profile)
+    spec = WORKLOADS.get(profile.app)
+    if args.model == "no-communication":
+        model = NoCommunicationModel()
+    else:
+        if spec is not None:
+            classes = ModelClasses.parse(
+                spec.natural_object_class, spec.natural_global_class
+            )
+        else:
+            classes = ModelClasses.parse(
+                args.object_class, args.global_class
+            )
+        model = _MODELS[args.model](classes)
+
+    cluster = _CLUSTERS[args.cluster]()
+    config = make_run_config(
+        args.data_nodes,
+        args.compute_nodes,
+        storage_cluster=cluster,
+        bandwidth=args.bandwidth,
+    )
+    dataset_bytes = (
+        args.dataset_bytes if args.dataset_bytes else profile.dataset_bytes
+    )
+    target = PredictionTarget(config=config, dataset_bytes=dataset_bytes)
+    predicted = model.predict(profile, target)
+    print(
+        f"predicting {profile.app} on {config.label} ({args.cluster}) from "
+        f"the {profile.label} profile, with the {args.model} model:"
+    )
+    _print_breakdown(predicted)
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    spec = WORKLOADS.get(args.workload)
+    if spec is None:
+        print(f"unknown workload '{args.workload}'", file=sys.stderr)
+        return 2
+    sizes = sorted(spec.dataset_sizes_gb, key=spec.dataset_sizes_gb.get)
+    runs = [(1, 1, sizes[0]), (1, 4, sizes[0]), (1, 1, sizes[-1])]
+    profiles = []
+    for n, c, size in runs:
+        dataset = spec.make_dataset(size)
+        config = make_run_config(n, c)
+        result = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+        profiles.append(Profile.from_run(config, result.breakdown))
+        print(f"  profiled {n}-{c} @ {size}")
+    obj_class = classify_object_size(profiles)
+    tg_class = classify_global_reduction(profiles)
+    print(f"reduction object size class: {obj_class.value}")
+    print(f"global reduction time class: {tg_class.value}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    result = run_experiment(args.figure, fast=args.fast)
+    print(format_experiment(result))
+    if args.chart:
+        from repro.analysis import error_bar_chart
+
+        print()
+        for model in result.models:
+            print(error_bar_chart(result, model))
+            print()
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.core.whatif import (
+        marginal_speedups,
+        recommend_nodes,
+        sweep_configurations,
+    )
+    from repro.workloads.configs import PAPER_CONFIG_GRID
+
+    profile = load_profile(args.profile)
+    spec = WORKLOADS.get(profile.app)
+    if spec is not None:
+        classes = ModelClasses.parse(
+            spec.natural_object_class, spec.natural_global_class
+        )
+    else:
+        classes = ModelClasses.parse("constant", "linear-constant")
+    model = GlobalReductionModel(classes)
+    cluster = _CLUSTERS[args.cluster]()
+    template = make_run_config(1, 1, storage_cluster=cluster,
+                               bandwidth=args.bandwidth)
+
+    forecasts = sweep_configurations(
+        profile, model, template, PAPER_CONFIG_GRID
+    )
+    print(f"predicted execution time of {profile.app} per configuration:")
+    for f in forecasts:
+        print(f"  {f.label:>6} {f.predicted_total:10.4f}s "
+              f"({f.node_cost} machines)")
+    scale_up = [f for f in forecasts if f.data_nodes == 1]
+    print("\nmarginal speedups along the 1-data-node column:")
+    for frm, to, speedup in marginal_speedups(scale_up):
+        print(f"  {frm} -> {to}: {speedup:.2f}x")
+    pick = recommend_nodes(forecasts, tolerance=args.tolerance)
+    print(f"\nrecommended (within {100 * args.tolerance:.0f}% of fastest, "
+          f"fewest machines): {pick.label} "
+          f"at {pick.predicted_total:.4f}s")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.workloads.suite import run_paper_suite
+
+    report = run_paper_suite(
+        fast=args.fast,
+        experiment_ids=args.only or None,
+        progress=print,
+    )
+    print()
+    for line in report.summary_lines():
+        print(line)
+    if report.ok:
+        print("\nall experiments match the paper's claims")
+        return 0
+    print(f"\n{len(report.failures)} experiment(s) no longer match the paper")
+    return 1
+
+
+def _cmd_shares(args) -> int:
+    from repro.analysis import format_shares, sweep_shares
+
+    spec = WORKLOADS.get(args.workload)
+    if spec is None:
+        print(f"unknown workload '{args.workload}'", file=sys.stderr)
+        return 2
+    dataset = spec.make_dataset(args.size)
+    configs = [
+        make_run_config(n, c, bandwidth=args.bandwidth)
+        for n, c in [(1, 1), (1, 4), (2, 4), (4, 8), (8, 16)]
+    ]
+    shares = sweep_shares(spec.make_app, dataset, configs)
+    print(f"component shares for {args.workload} "
+          f"({args.size or spec.default_size}):")
+    print(format_shares(shares))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Performance Prediction Framework for "
+            "Grid-Based Data Mining Applications'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "list-workloads", help="list available workloads"
+    ).set_defaults(func=_cmd_list_workloads)
+
+    run_p = sub.add_parser("run", help="execute a workload on the simulator")
+    run_p.add_argument("workload")
+    run_p.add_argument("-n", "--data-nodes", type=int, default=1)
+    run_p.add_argument("-c", "--compute-nodes", type=int, default=1)
+    run_p.add_argument("--size", default=None, help="dataset size label")
+    run_p.add_argument("--bandwidth", type=float, default=DEFAULT_BANDWIDTH)
+    run_p.add_argument("--processes-per-node", type=int, default=1)
+    run_p.add_argument(
+        "--cluster", choices=sorted(_CLUSTERS), default="pentium-myrinet"
+    )
+    run_p.add_argument("--save-profile", default=None, metavar="PATH")
+    run_p.set_defaults(func=_cmd_run)
+
+    pred_p = sub.add_parser("predict", help="predict from a saved profile")
+    pred_p.add_argument("profile", help="path to a saved profile JSON")
+    pred_p.add_argument("-n", "--data-nodes", type=int, required=True)
+    pred_p.add_argument("-c", "--compute-nodes", type=int, required=True)
+    pred_p.add_argument("--bandwidth", type=float, default=DEFAULT_BANDWIDTH)
+    pred_p.add_argument(
+        "--dataset-bytes", type=float, default=None,
+        help="target dataset size in model bytes (defaults to the profile's)",
+    )
+    pred_p.add_argument(
+        "--cluster", choices=sorted(_CLUSTERS), default="pentium-myrinet"
+    )
+    pred_p.add_argument(
+        "--model", choices=sorted(_MODELS), default="global-reduction"
+    )
+    pred_p.add_argument("--object-class", default="constant")
+    pred_p.add_argument("--global-class", default="linear-constant")
+    pred_p.set_defaults(func=_cmd_predict)
+
+    cls_p = sub.add_parser(
+        "classify", help="auto-detect a workload's model classes"
+    )
+    cls_p.add_argument("workload")
+    cls_p.set_defaults(func=_cmd_classify)
+
+    fig_p = sub.add_parser("figure", help="reproduce one paper figure")
+    fig_p.add_argument("figure", choices=sorted(EXPERIMENTS))
+    fig_p.add_argument("--fast", action="store_true")
+    fig_p.add_argument(
+        "--chart", action="store_true", help="also render ASCII bar charts"
+    )
+    fig_p.set_defaults(func=_cmd_figure)
+
+    suite_p = sub.add_parser(
+        "suite", help="run every experiment and check the paper's claims"
+    )
+    suite_p.add_argument("--fast", action="store_true")
+    suite_p.add_argument(
+        "--only", nargs="*", metavar="FIGID",
+        help="restrict to specific experiments",
+    )
+    suite_p.set_defaults(func=_cmd_suite)
+
+    shares_p = sub.add_parser(
+        "shares", help="component shares of a workload across configurations"
+    )
+    shares_p.add_argument("workload")
+    shares_p.add_argument("--size", default=None)
+    shares_p.add_argument("--bandwidth", type=float, default=DEFAULT_BANDWIDTH)
+    shares_p.set_defaults(func=_cmd_shares)
+
+    whatif_p = sub.add_parser(
+        "whatif",
+        help="configuration sweep + node recommendation from a profile",
+    )
+    whatif_p.add_argument("profile", help="path to a saved profile JSON")
+    whatif_p.add_argument(
+        "--cluster", choices=sorted(_CLUSTERS), default="pentium-myrinet"
+    )
+    whatif_p.add_argument("--bandwidth", type=float, default=DEFAULT_BANDWIDTH)
+    whatif_p.add_argument("--tolerance", type=float, default=0.05)
+    whatif_p.set_defaults(func=_cmd_whatif)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

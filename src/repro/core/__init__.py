@@ -1,0 +1,115 @@
+"""The paper's contribution: the performance prediction framework.
+
+Given a single **profile run** (one configuration, one dataset size), the
+framework predicts the execution time of a FREERIDE-G application on any
+other configuration — a different number of storage nodes, compute nodes,
+dataset size, network bandwidth, or even a different cluster — by modelling
+the three components of ``T_exec = T_disk + T_network + T_compute``
+separately (Section 3 of the paper):
+
+- :mod:`repro.core.profile`       — the profile artefact collected from one
+  execution.
+- :mod:`repro.core.target`        — the configuration being predicted.
+- :mod:`repro.core.predictors`    — component predictors (Sections 3.2-3.3).
+- :mod:`repro.core.classes`       — the reduction-object-size and
+  global-reduction-time application classes (Sections 3.3.1-3.3.2).
+- :mod:`repro.core.classify`      — class auto-detection from multiple
+  profile runs.
+- :mod:`repro.core.models`        — the three nested model levels compared
+  in Section 5.1 (*no communication*, *reduction communication*, *global
+  reduction*).
+- :mod:`repro.core.heterogeneous` — cross-cluster prediction via averaged
+  component scaling factors (Section 3.4).
+- :mod:`repro.core.selection`     — replica + computing-configuration
+  selection (the middleware's resource-selection framework).
+- :mod:`repro.core.errors`        — the relative-error metric of Section 5.
+"""
+
+from repro.core.allocation import (
+    GridScheduler,
+    Job,
+    Placement,
+    Schedule,
+    max_parallelism_policy,
+    predicted_best_policy,
+    random_policy,
+)
+from repro.core.cache_selection import (
+    CachePlan,
+    CacheSiteOption,
+    select_cache_site,
+)
+from repro.core.classes import (
+    GlobalReductionClass,
+    ModelClasses,
+    ReductionObjectClass,
+    estimate_global_reduction_time,
+    estimate_object_size,
+)
+from repro.core.classify import classify_global_reduction, classify_object_size
+from repro.core.errors import relative_error
+from repro.core.heterogeneous import (
+    ComponentScalingFactors,
+    CrossClusterPredictor,
+    measure_scaling_factors,
+)
+from repro.core.models import (
+    GlobalReductionModel,
+    NoCommunicationModel,
+    PredictedBreakdown,
+    PredictionModel,
+    ReductionCommunicationModel,
+)
+from repro.core.pipeline_model import PipelinedBottleneckModel
+from repro.core.profile import Profile
+from repro.core.selection import (
+    ResourceSelector,
+    SelectionCandidate,
+    SelectionOutcome,
+)
+from repro.core.target import PredictionTarget
+from repro.core.whatif import (
+    ConfigurationForecast,
+    marginal_speedups,
+    recommend_nodes,
+    sweep_configurations,
+)
+
+__all__ = [
+    "GridScheduler",
+    "Job",
+    "Placement",
+    "Schedule",
+    "max_parallelism_policy",
+    "predicted_best_policy",
+    "random_policy",
+    "CachePlan",
+    "CacheSiteOption",
+    "select_cache_site",
+    "GlobalReductionClass",
+    "ModelClasses",
+    "ReductionObjectClass",
+    "estimate_global_reduction_time",
+    "estimate_object_size",
+    "classify_global_reduction",
+    "classify_object_size",
+    "relative_error",
+    "ComponentScalingFactors",
+    "CrossClusterPredictor",
+    "measure_scaling_factors",
+    "GlobalReductionModel",
+    "NoCommunicationModel",
+    "PredictedBreakdown",
+    "PredictionModel",
+    "ReductionCommunicationModel",
+    "PipelinedBottleneckModel",
+    "Profile",
+    "ResourceSelector",
+    "SelectionCandidate",
+    "SelectionOutcome",
+    "PredictionTarget",
+    "ConfigurationForecast",
+    "marginal_speedups",
+    "recommend_nodes",
+    "sweep_configurations",
+]

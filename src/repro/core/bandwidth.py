@@ -1,0 +1,283 @@
+"""Wide-area bandwidth prediction for obtaining b̂.
+
+Section 3.2 of the paper assumes the bandwidth between storage and compute
+nodes is known, noting that "in recent years, many efforts have focused on
+determining the effective bandwidth available for a particular data
+movement task [23, 28, 35, 36].  We can directly use this work to
+determine b̂."  This module supplies that ingredient in the style of those
+efforts (NWS-like forecasters; Vazhkudai-Schopf regression on past
+transfers):
+
+- :class:`BandwidthTrace` — a synthetic shared-WAN bandwidth time series
+  (AR(1) variation around a base rate, a diurnal swing, and occasional
+  congestion episodes), standing in for the production traces we cannot
+  obtain.
+- A family of one-step-ahead predictors: last value, running mean, sliding
+  window mean/median, and EWMA.
+- :class:`AdaptivePredictor` — NWS-style forecaster selection: at each
+  step, use whichever member predictor has the lowest mean absolute error
+  so far.
+- :func:`evaluate_predictors` — walk a trace and score every predictor.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "BandwidthTrace",
+    "BandwidthPredictor",
+    "LastValuePredictor",
+    "RunningMeanPredictor",
+    "SlidingMeanPredictor",
+    "SlidingMedianPredictor",
+    "EWMAPredictor",
+    "AdaptivePredictor",
+    "PredictorScore",
+    "evaluate_predictors",
+]
+
+
+class BandwidthTrace:
+    """A synthetic time series of observed transfer bandwidths (bytes/s)."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        samples = list(float(s) for s in samples)
+        if not samples:
+            raise ConfigurationError("a bandwidth trace needs samples")
+        if any(s <= 0 for s in samples):
+            raise ConfigurationError("bandwidth samples must be positive")
+        self.samples = samples
+
+    @classmethod
+    def synthesize(
+        cls,
+        length: int,
+        base_bw: float = 1.0e6,
+        ar_coefficient: float = 0.8,
+        noise_level: float = 0.1,
+        diurnal_amplitude: float = 0.2,
+        diurnal_period: int = 96,
+        congestion_prob: float = 0.02,
+        congestion_depth: float = 0.6,
+        seed: int = 0,
+    ) -> "BandwidthTrace":
+        """Generate a plausible shared-link bandwidth series.
+
+        AR(1) multiplicative noise around ``base_bw`` plus a sinusoidal
+        diurnal load swing; with probability ``congestion_prob`` a step
+        starts a congestion episode that cuts bandwidth by
+        ``congestion_depth`` and decays over a few steps.
+        """
+        if length <= 0:
+            raise ConfigurationError("trace length must be positive")
+        if not 0.0 <= ar_coefficient < 1.0:
+            raise ConfigurationError("AR coefficient must be in [0, 1)")
+        rng = np.random.default_rng(seed)
+        samples: List[float] = []
+        state = 0.0
+        congestion = 0.0
+        for step in range(length):
+            state = ar_coefficient * state + rng.normal(0.0, noise_level)
+            diurnal = diurnal_amplitude * np.sin(
+                2.0 * np.pi * step / diurnal_period
+            )
+            if rng.random() < congestion_prob:
+                congestion = congestion_depth
+            congestion *= 0.7  # episodes decay over a few steps
+            factor = max(1.0 + state + diurnal - congestion, 0.05)
+            samples.append(base_bw * factor)
+        return cls(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+
+class BandwidthPredictor(abc.ABC):
+    """One-step-ahead bandwidth forecaster."""
+
+    label = "predictor"
+
+    @abc.abstractmethod
+    def predict(self) -> float:
+        """Forecast the next observation (before seeing it)."""
+
+    @abc.abstractmethod
+    def observe(self, value: float) -> None:
+        """Feed the actual observation."""
+
+
+class LastValuePredictor(BandwidthPredictor):
+    """Predicts the previous observation (persistence forecast)."""
+
+    label = "last value"
+
+    def __init__(self, initial: float = 1.0e6) -> None:
+        self._last = float(initial)
+
+    def predict(self) -> float:
+        return self._last
+
+    def observe(self, value: float) -> None:
+        self._last = float(value)
+
+
+class RunningMeanPredictor(BandwidthPredictor):
+    """Predicts the mean of all observations so far."""
+
+    label = "running mean"
+
+    def __init__(self, initial: float = 1.0e6) -> None:
+        self._sum = float(initial)
+        self._count = 1
+
+    def predict(self) -> float:
+        return self._sum / self._count
+
+    def observe(self, value: float) -> None:
+        self._sum += float(value)
+        self._count += 1
+
+
+class SlidingMeanPredictor(BandwidthPredictor):
+    """Predicts the mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 10, initial: float = 1.0e6) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.label = f"sliding mean ({window})"
+        self._window: deque = deque([float(initial)], maxlen=window)
+
+    def predict(self) -> float:
+        return sum(self._window) / len(self._window)
+
+    def observe(self, value: float) -> None:
+        self._window.append(float(value))
+
+
+class SlidingMedianPredictor(BandwidthPredictor):
+    """Predicts the median of the last ``window`` observations.
+
+    Medians resist the congestion outliers that drag means down — the
+    Vazhkudai-Schopf observation for sporadic grid transfers.
+    """
+
+    def __init__(self, window: int = 10, initial: float = 1.0e6) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.label = f"sliding median ({window})"
+        self._window: deque = deque([float(initial)], maxlen=window)
+
+    def predict(self) -> float:
+        return float(np.median(list(self._window)))
+
+    def observe(self, value: float) -> None:
+        self._window.append(float(value))
+
+
+class EWMAPredictor(BandwidthPredictor):
+    """Exponentially weighted moving average forecast."""
+
+    def __init__(self, alpha: float = 0.3, initial: float = 1.0e6) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.label = f"EWMA ({alpha})"
+        self.alpha = alpha
+        self._value = float(initial)
+
+    def predict(self) -> float:
+        return self._value
+
+    def observe(self, value: float) -> None:
+        self._value = self.alpha * float(value) + (1.0 - self.alpha) * self._value
+
+
+class AdaptivePredictor(BandwidthPredictor):
+    """NWS-style forecaster selection over member predictors.
+
+    Each step forecasts with the member whose mean absolute error on past
+    observations is lowest, then feeds the observation to every member.
+    """
+
+    label = "adaptive (NWS-style)"
+
+    def __init__(self, members: Sequence[BandwidthPredictor] | None = None) -> None:
+        if members is None:
+            members = [
+                LastValuePredictor(),
+                SlidingMeanPredictor(window=10),
+                SlidingMedianPredictor(window=10),
+                EWMAPredictor(alpha=0.3),
+            ]
+        if not members:
+            raise ConfigurationError("adaptive predictor needs members")
+        self.members = list(members)
+        self._abs_error = [0.0] * len(self.members)
+        self._steps = 0
+
+    def predict(self) -> float:
+        best = min(
+            range(len(self.members)), key=lambda i: self._abs_error[i]
+        )
+        return self.members[best].predict()
+
+    def observe(self, value: float) -> None:
+        for i, member in enumerate(self.members):
+            self._abs_error[i] += abs(member.predict() - float(value))
+            member.observe(value)
+        self._steps += 1
+
+
+@dataclass(frozen=True)
+class PredictorScore:
+    """Accuracy of one predictor over a trace."""
+
+    label: str
+    mean_absolute_error: float
+    mean_absolute_percentage_error: float
+
+
+def evaluate_predictors(
+    trace: BandwidthTrace,
+    predictors: Sequence[BandwidthPredictor],
+    warmup: int = 5,
+) -> Dict[str, PredictorScore]:
+    """Walk a trace, scoring every predictor's one-step-ahead forecasts.
+
+    The first ``warmup`` observations prime the predictors without being
+    scored.
+    """
+    if not predictors:
+        raise ConfigurationError("need at least one predictor")
+    if warmup < 0 or warmup >= len(trace):
+        raise ConfigurationError("warmup must be inside the trace")
+    abs_err = {p.label: 0.0 for p in predictors}
+    pct_err = {p.label: 0.0 for p in predictors}
+    scored = 0
+    for step, value in enumerate(trace):
+        if step >= warmup:
+            scored += 1
+            for predictor in predictors:
+                forecast = predictor.predict()
+                abs_err[predictor.label] += abs(forecast - value)
+                pct_err[predictor.label] += abs(forecast - value) / value
+        for predictor in predictors:
+            predictor.observe(value)
+    return {
+        p.label: PredictorScore(
+            label=p.label,
+            mean_absolute_error=abs_err[p.label] / scored,
+            mean_absolute_percentage_error=pct_err[p.label] / scored,
+        )
+        for p in predictors
+    }

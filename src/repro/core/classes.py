@@ -1,0 +1,114 @@
+"""Application model classes (Sections 3.3.1-3.3.2 of the paper).
+
+Two independent two-way classifications determine how the serialized parts
+of the processing component scale to a new configuration:
+
+**Reduction-object size** (Section 3.3.1) — how the per-node reduction
+object's size scales:
+
+- ``CONSTANT`` — "the reduction object size depends only on the
+  application parameters, and does not change with respect to dataset size
+  or the number of processors" (k-means centroids, kNN candidate lists, EM
+  sufficient statistics).
+- ``LINEAR`` — the object holds features extracted from the node's local
+  data, so it scales with the node's data share ``s / c`` (vortex
+  fragments, molecular defects).  At the aggregate level the communicated
+  volume then "grows linearly with the number of processing nodes, as well
+  as the dataset size" — the paper's phrasing — because ``c - 1`` such
+  objects are gathered.
+
+**Global-reduction time** (Section 3.3.2):
+
+- ``LINEAR_CONSTANT`` — "scales up linearly with the number of processing
+  nodes, but is independent of the dataset size" (merging ``c``
+  fixed-size objects: k-means, kNN).
+- ``CONSTANT_LINEAR`` — "remains constant as the number of processing
+  nodes is varied, but is linear on the dataset size" (joining /
+  de-noising / categorizing feature sets: vortex, defect).
+
+Either classification can be supplied by the user or auto-detected from
+two or more profile runs (:mod:`repro.core.classify`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.profile import Profile
+from repro.core.target import PredictionTarget
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "ReductionObjectClass",
+    "GlobalReductionClass",
+    "ModelClasses",
+    "estimate_object_size",
+    "estimate_global_reduction_time",
+]
+
+
+class ReductionObjectClass(str, enum.Enum):
+    """How per-node reduction-object size scales across configurations."""
+
+    CONSTANT = "constant"
+    LINEAR = "linear"
+
+
+class GlobalReductionClass(str, enum.Enum):
+    """How global-reduction time scales across configurations."""
+
+    LINEAR_CONSTANT = "linear-constant"
+    CONSTANT_LINEAR = "constant-linear"
+
+
+@dataclass(frozen=True)
+class ModelClasses:
+    """The pair of class assignments used by the refined predictors."""
+
+    object_size: ReductionObjectClass
+    global_reduction: GlobalReductionClass
+
+    @classmethod
+    def parse(cls, object_size: str, global_reduction: str) -> "ModelClasses":
+        """Build from the string labels used in workload specs."""
+        try:
+            return cls(
+                object_size=ReductionObjectClass(object_size),
+                global_reduction=GlobalReductionClass(global_reduction),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+
+
+def estimate_object_size(
+    profile: Profile,
+    target: PredictionTarget,
+    object_class: ReductionObjectClass,
+) -> float:
+    """Estimate the per-node reduction-object size r̂ on the target.
+
+    "The size of a reduction object for a particular configuration can be
+    estimated from the size of the reduction object on the profile
+    configuration" (Section 3.3.1).
+    """
+    r = profile.max_object_bytes
+    if object_class is ReductionObjectClass.CONSTANT:
+        return r
+    # LINEAR: the object scales with the node's local data share.
+    share_profile = profile.dataset_bytes / profile.compute_nodes
+    share_target = target.dataset_bytes / target.compute_nodes
+    if share_profile <= 0:
+        raise ConfigurationError("profile data share must be positive")
+    return r * share_target / share_profile
+
+
+def estimate_global_reduction_time(
+    profile: Profile,
+    target: PredictionTarget,
+    global_class: GlobalReductionClass,
+) -> float:
+    """Estimate T̂_g on the target from the profile's measured ``T_g``."""
+    if global_class is GlobalReductionClass.LINEAR_CONSTANT:
+        return profile.t_g * (target.compute_nodes / profile.compute_nodes)
+    return profile.t_g * (target.dataset_bytes / profile.dataset_bytes)

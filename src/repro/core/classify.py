@@ -1,0 +1,100 @@
+"""Class auto-detection from multiple profile runs.
+
+Section 3.3.1: "Whether an application falls into the linear object size
+or constant reduction object size class can be determined in one of many
+ways.  A user of the FREERIDE-G can provide this information ...
+Alternatively, by looking at reduction object size from two or more
+profile runs with different dataset size and/or processing nodes, we can
+obtain this information."  Section 3.3.2 makes the same observation for
+the global-reduction time classes.
+
+Both detectors below compare the relative residuals of the two candidate
+hypotheses over all profile pairs and pick the better-fitting class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.classes import GlobalReductionClass, ReductionObjectClass
+from repro.core.profile import Profile
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["classify_object_size", "classify_global_reduction"]
+
+
+def _require_varied_profiles(profiles: Sequence[Profile]) -> None:
+    if len(profiles) < 2:
+        raise ConfigurationError(
+            "class detection needs at least two profile runs"
+        )
+    varied = any(
+        p.compute_nodes != profiles[0].compute_nodes
+        or p.dataset_bytes != profiles[0].dataset_bytes
+        for p in profiles[1:]
+    )
+    if not varied:
+        raise ConfigurationError(
+            "profile runs must differ in dataset size and/or compute nodes"
+        )
+
+
+def _mean_relative_residual(
+    observed: Sequence[float], predicted: Sequence[float]
+) -> float:
+    total = 0.0
+    for obs, pred in zip(observed, predicted):
+        denom = max(abs(obs), 1e-12)
+        total += abs(obs - pred) / denom
+    return total / len(observed)
+
+
+def classify_object_size(
+    profiles: Sequence[Profile],
+) -> ReductionObjectClass:
+    """Pick CONSTANT vs LINEAR from measured reduction-object sizes.
+
+    The CONSTANT hypothesis predicts every profile's object size equals
+    the first profile's; the LINEAR hypothesis predicts it scales with the
+    per-node data share ``s / c``.
+    """
+    _require_varied_profiles(profiles)
+    base = profiles[0]
+    observed = [p.max_object_bytes for p in profiles]
+    constant = [base.max_object_bytes for _ in profiles]
+    base_share = base.dataset_bytes / base.compute_nodes
+    linear = [
+        base.max_object_bytes
+        * (p.dataset_bytes / p.compute_nodes)
+        / base_share
+        for p in profiles
+    ]
+    if _mean_relative_residual(observed, constant) <= _mean_relative_residual(
+        observed, linear
+    ):
+        return ReductionObjectClass.CONSTANT
+    return ReductionObjectClass.LINEAR
+
+
+def classify_global_reduction(
+    profiles: Sequence[Profile],
+) -> GlobalReductionClass:
+    """Pick LINEAR_CONSTANT vs CONSTANT_LINEAR from measured ``T_g``.
+
+    LINEAR_CONSTANT predicts ``T_g ∝ compute nodes``; CONSTANT_LINEAR
+    predicts ``T_g ∝ dataset size``.
+    """
+    _require_varied_profiles(profiles)
+    base = profiles[0]
+    observed = [p.t_g for p in profiles]
+    linear_constant = [
+        base.t_g * (p.compute_nodes / base.compute_nodes) for p in profiles
+    ]
+    constant_linear = [
+        base.t_g * (p.dataset_bytes / base.dataset_bytes) for p in profiles
+    ]
+    if _mean_relative_residual(
+        observed, linear_constant
+    ) <= _mean_relative_residual(observed, constant_linear):
+        return GlobalReductionClass.LINEAR_CONSTANT
+    return GlobalReductionClass.CONSTANT_LINEAR

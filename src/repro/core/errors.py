@@ -1,0 +1,24 @@
+"""The evaluation metric of Section 5.
+
+``E = |T_exact - T_predicted| / T_exact`` — prediction error relative to
+the actual execution time.
+"""
+
+from __future__ import annotations
+
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["relative_error"]
+
+
+def relative_error(actual: float, predicted: float) -> float:
+    """Relative prediction error (a fraction; multiply by 100 for %).
+
+    >>> relative_error(10.0, 9.5)
+    0.05
+    """
+    if actual <= 0:
+        raise ConfigurationError("actual execution time must be positive")
+    if predicted < 0:
+        raise ConfigurationError("predicted execution time must be >= 0")
+    return abs(actual - predicted) / actual

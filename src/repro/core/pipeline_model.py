@@ -1,0 +1,78 @@
+"""A bottleneck model for pipelining middleware (extension).
+
+The paper's ``T_exec = T_disk + T_network + T_compute`` is exact for
+FREERIDE-G because the middleware runs the stages as strict phases.  A
+chunk-streaming middleware (see :mod:`repro.middleware.pipelined`)
+overlaps them, and the additive model then overestimates by up to the
+sum-vs-max gap (quantified in ``bench_ablation_pipelining``).
+
+The natural generalization keeps the paper's per-component predictors and
+changes only the composition: a saturated pipeline finishes when its
+*bottleneck stage* finishes, plus the serialized tail that cannot overlap
+(reduction-object gather, global reduction, broadcast):
+
+``T̂_pipe = max(T̂_disk, T̂_network, T̂_local) + T̂_ro + T̂_g``
+
+where ``T̂_local`` is the scalable compute component.  Pipeline fill and
+drain (the first chunk's latency through the earlier stages) are ignored,
+so the model is slightly optimistic for short runs; the bench quantifies
+the residual.
+
+Multi-pass applications overlap only within a pass; the profile's
+aggregate components compose the same way, so the formula applies
+unchanged — cache-fed passes simply have no disk/network share.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import ModelClasses, estimate_global_reduction_time
+from repro.core.models import PredictedBreakdown, PredictionModel
+from repro.core.predictors import (
+    predict_disk_time,
+    predict_network_time,
+    predict_reduction_comm_time,
+)
+from repro.core.profile import Profile
+from repro.core.target import PredictionTarget
+from repro.simgrid.network import CommCostModel
+
+__all__ = ["PipelinedBottleneckModel"]
+
+
+class PipelinedBottleneckModel(PredictionModel):
+    """Bottleneck composition of the paper's component predictors."""
+
+    label = "pipelined bottleneck"
+
+    def __init__(self, classes: ModelClasses) -> None:
+        self.classes = classes
+
+    def predict(
+        self, profile: Profile, target: PredictionTarget
+    ) -> PredictedBreakdown:
+        comm_model = CommCostModel.fit_for_cluster(
+            target.config.compute_cluster
+        )
+        t_disk = predict_disk_time(profile, target)
+        t_network = predict_network_time(profile, target)
+        t_ro_hat = predict_reduction_comm_time(
+            profile, target, self.classes.object_size, comm_model
+        )
+        t_g_hat = estimate_global_reduction_time(
+            profile, target, self.classes.global_reduction
+        )
+        size_ratio = target.dataset_bytes / profile.dataset_bytes
+        slot_ratio = profile.compute_slots / target.config.compute_slots
+        t_local = size_ratio * slot_ratio * profile.scalable_compute
+
+        bottleneck = max(t_disk, t_network, t_local)
+        # Report the makespan through t_compute so ``total`` (which sums
+        # the three components) equals the bottleneck composition: the
+        # overlapped stages contribute nothing beyond the bottleneck.
+        return PredictedBreakdown(
+            t_disk=0.0,
+            t_network=0.0,
+            t_compute=bottleneck + t_ro_hat + t_g_hat,
+            t_ro=t_ro_hat,
+            t_g=t_g_hat,
+        )

@@ -1,0 +1,179 @@
+"""Resource and replica selection (Sections 2.1 and 3 of the paper).
+
+"We are given a dataset, which is replicated at r sites.  We have also
+identified c different computing configurations where the processing can
+be performed. ... Our goal is to choose a replica and computing
+configuration pair where the data processing can be performed with the
+minimum cost."
+
+:class:`ResourceSelector` enumerates every (replica site, compute site,
+node allocation) combination, obtains the path bandwidth from the grid
+topology, predicts the execution time with the supplied model, and ranks
+the candidates by predicted cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.models import PredictedBreakdown, PredictionModel
+from repro.core.profile import Profile
+from repro.core.target import PredictionTarget
+from repro.middleware.replica import ReplicaCatalog
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError, TopologyError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+__all__ = ["SelectionCandidate", "SelectionOutcome", "ResourceSelector"]
+
+
+@dataclass(frozen=True)
+class SelectionCandidate:
+    """One (replica, computing configuration) pair with its predicted cost."""
+
+    replica_site: str
+    compute_site: str
+    data_nodes: int
+    compute_nodes: int
+    bandwidth: float
+    prediction: PredictedBreakdown
+
+    @property
+    def predicted_total(self) -> float:
+        """Predicted execution time (the selection cost)."""
+        return self.prediction.total
+
+    @property
+    def label(self) -> str:
+        """Human-readable candidate description."""
+        return (
+            f"{self.replica_site}[{self.data_nodes}] -> "
+            f"{self.compute_site}[{self.compute_nodes}]"
+        )
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Ranked candidates; ``best`` minimizes predicted execution time."""
+
+    candidates: Tuple[SelectionCandidate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ConfigurationError("selection produced no candidates")
+
+    @property
+    def best(self) -> SelectionCandidate:
+        return self.candidates[0]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+class ResourceSelector:
+    """Enumerates and ranks (replica, configuration) pairs.
+
+    Parameters
+    ----------
+    topology:
+        The grid; provides path bandwidth between replica and compute
+        sites.
+    catalog:
+        Replica locations per dataset.
+    model_for_site:
+        Maps a compute-site name to the prediction model to use there —
+        typically a within-cluster model for the profile's own cluster and
+        a :class:`~repro.core.heterogeneous.CrossClusterPredictor` for
+        other machine types.  A plain :class:`PredictionModel` may be
+        passed instead to use one model everywhere.
+    allocations:
+        Candidate ``(data_nodes, compute_nodes)`` pairs to consider at
+        every site pair; infeasible ones (exceeding a cluster's size) are
+        skipped silently.
+    """
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        catalog: ReplicaCatalog,
+        model_for_site: PredictionModel | Callable[[str], PredictionModel],
+        allocations: Sequence[Tuple[int, int]],
+    ) -> None:
+        if not allocations:
+            raise ConfigurationError("need at least one candidate allocation")
+        self.topology = topology
+        self.catalog = catalog
+        self._model_for_site = model_for_site
+        self.allocations = list(allocations)
+
+    def _model(self, compute_site: str) -> PredictionModel:
+        if isinstance(self._model_for_site, PredictionModel):
+            return self._model_for_site
+        return self._model_for_site(compute_site)
+
+    def select(
+        self,
+        dataset: str,
+        dataset_bytes: float,
+        profile: Profile,
+        compute_sites: Optional[Sequence[str]] = None,
+    ) -> SelectionOutcome:
+        """Rank every feasible (replica, compute site, allocation) triple."""
+        if dataset_bytes <= 0:
+            raise ConfigurationError("dataset size must be positive")
+        replicas = self.catalog.replicas_of(dataset)
+        if compute_sites is None:
+            sites = [s.name for s in self.topology.sites(SiteKind.COMPUTE)]
+        else:
+            sites = list(compute_sites)
+        if not sites:
+            raise ConfigurationError("no compute sites to consider")
+
+        candidates: List[SelectionCandidate] = []
+        for replica in replicas:
+            storage_cluster = self.topology.site(replica.site).cluster
+            for site_name in sites:
+                compute_cluster = self.topology.site(site_name).cluster
+                try:
+                    bandwidth = self.topology.bandwidth_between(
+                        replica.site, site_name
+                    )
+                except TopologyError:
+                    continue  # unreachable pair
+                model = self._model(site_name)
+                for data_nodes, compute_nodes in self.allocations:
+                    try:
+                        config = RunConfig(
+                            storage_cluster=storage_cluster,
+                            compute_cluster=compute_cluster,
+                            data_nodes=data_nodes,
+                            compute_nodes=compute_nodes,
+                            bandwidth=bandwidth,
+                        )
+                    except ConfigurationError:
+                        continue  # infeasible allocation at this site pair
+                    target = PredictionTarget(
+                        config=config, dataset_bytes=dataset_bytes
+                    )
+                    prediction = model.predict(profile, target)
+                    candidates.append(
+                        SelectionCandidate(
+                            replica_site=replica.site,
+                            compute_site=site_name,
+                            data_nodes=data_nodes,
+                            compute_nodes=compute_nodes,
+                            bandwidth=bandwidth,
+                            prediction=prediction,
+                        )
+                    )
+
+        if not candidates:
+            raise ConfigurationError(
+                f"no feasible (replica, configuration) pair for '{dataset}'"
+            )
+        candidates.sort(key=lambda cand: (cand.predicted_total, cand.label))
+        return SelectionOutcome(candidates=tuple(candidates))

@@ -1,0 +1,138 @@
+"""Profile persistence.
+
+Profiles are meant to be collected once and reused for many predictions —
+possibly in later sessions, by a scheduler daemon, or on another machine.
+This module provides a JSON round-trip for
+:class:`~repro.core.profile.Profile` and a small directory-backed store.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List
+
+from repro.core.profile import Profile
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.serialize import cluster_from_dict, cluster_to_dict
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+    "ProfileStore",
+]
+
+_FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: Profile) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of a profile."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "app": profile.app,
+        "storage_cluster": cluster_to_dict(profile.storage_cluster),
+        "compute_cluster": cluster_to_dict(profile.compute_cluster),
+        "data_nodes": profile.data_nodes,
+        "compute_nodes": profile.compute_nodes,
+        "bandwidth": profile.bandwidth,
+        "dataset_bytes": profile.dataset_bytes,
+        "t_disk": profile.t_disk,
+        "t_network": profile.t_network,
+        "t_compute": profile.t_compute,
+        "t_ro": profile.t_ro,
+        "t_g": profile.t_g,
+        "max_object_bytes": profile.max_object_bytes,
+        "broadcast_bytes": profile.broadcast_bytes,
+        "gather_rounds": profile.gather_rounds,
+        "processes_per_node": profile.processes_per_node,
+        "t_cache": profile.t_cache,
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> Profile:
+    """Rebuild a profile from :func:`profile_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported profile format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        return Profile(
+            app=str(data["app"]),
+            storage_cluster=cluster_from_dict(data["storage_cluster"]),
+            compute_cluster=cluster_from_dict(data["compute_cluster"]),
+            data_nodes=int(data["data_nodes"]),
+            compute_nodes=int(data["compute_nodes"]),
+            bandwidth=float(data["bandwidth"]),
+            dataset_bytes=float(data["dataset_bytes"]),
+            t_disk=float(data["t_disk"]),
+            t_network=float(data["t_network"]),
+            t_compute=float(data["t_compute"]),
+            t_ro=float(data["t_ro"]),
+            t_g=float(data["t_g"]),
+            max_object_bytes=float(data["max_object_bytes"]),
+            broadcast_bytes=float(data.get("broadcast_bytes", 0.0)),
+            gather_rounds=int(data.get("gather_rounds", 1)),
+            processes_per_node=int(data.get("processes_per_node", 1)),
+            t_cache=float(data.get("t_cache", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed profile: {exc}") from exc
+
+
+def save_profile(profile: Profile, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a profile to a JSON file; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile_to_dict(profile), indent=2) + "\n")
+    return path
+
+
+def load_profile(path: str | pathlib.Path) -> Profile:
+    """Read a profile from a JSON file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no profile at '{path}'")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"'{path}' is not valid JSON: {exc}") from exc
+    return profile_from_dict(data)
+
+
+class ProfileStore:
+    """A directory of named profiles.
+
+    >>> import tempfile
+    >>> from tests.core.conftest import make_profile  # doctest: +SKIP
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> pathlib.Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ConfigurationError(f"invalid profile name '{name}'")
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, profile: Profile) -> pathlib.Path:
+        """Persist a profile under ``name``."""
+        return save_profile(profile, self._path(name))
+
+    def load(self, name: str) -> Profile:
+        """Load a previously saved profile."""
+        return load_profile(self._path(name))
+
+    def names(self) -> List[str]:
+        """All stored profile names, sorted."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self._path(name).exists()
+
+    def __len__(self) -> int:
+        return len(self.names())

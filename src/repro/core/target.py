@@ -1,0 +1,58 @@
+"""The configuration a prediction is made for."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["PredictionTarget"]
+
+
+@dataclass(frozen=True)
+class PredictionTarget:
+    """A (resources, dataset size) pair to predict execution time for.
+
+    Wraps a :class:`~repro.middleware.scheduler.RunConfig` (which carries
+    the hatted quantities n̂, ĉ, b̂ and the target clusters) together with
+    the dataset size ŝ.
+    """
+
+    config: RunConfig
+    dataset_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dataset_bytes <= 0:
+            raise ConfigurationError("target dataset size must be positive")
+
+    @property
+    def data_nodes(self) -> int:
+        """n̂ — storage nodes in the target configuration."""
+        return self.config.data_nodes
+
+    @property
+    def compute_nodes(self) -> int:
+        """ĉ — compute nodes in the target configuration."""
+        return self.config.compute_nodes
+
+    @property
+    def bandwidth(self) -> float:
+        """b̂ — repository-to-compute bandwidth in the target."""
+        return self.config.bandwidth
+
+    @property
+    def label(self) -> str:
+        """The paper's 'n-c' notation."""
+        return self.config.label
+
+    def with_dataset_bytes(self, dataset_bytes: float) -> "PredictionTarget":
+        """A copy predicting for a different dataset size."""
+        return replace(self, dataset_bytes=dataset_bytes)
+
+    @classmethod
+    def from_run_config(
+        cls, config: RunConfig, dataset_bytes: float
+    ) -> "PredictionTarget":
+        """Convenience constructor mirroring :meth:`Profile.from_run`."""
+        return cls(config=config, dataset_bytes=dataset_bytes)

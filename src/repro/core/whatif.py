@@ -1,0 +1,121 @@
+"""What-if analysis: configuration sensitivity from a single profile.
+
+Resource selection (Section 3) boils down to comparing predicted costs of
+candidate configurations.  This module packages the comparisons a grid
+operator actually asks for:
+
+- :func:`sweep_configurations` — predicted time over a grid of
+  (data nodes, compute nodes) pairs;
+- :func:`marginal_speedups` — how much each doubling of compute nodes
+  buys (predicted), exposing the knee of the scaling curve;
+- :func:`recommend_nodes` — the smallest allocation whose predicted time
+  is within ``tolerance`` of the best, i.e. "don't burn nodes for nothing"
+  (the flip side of the paper's 8-storage/8-compute vs 4-storage/16-compute
+  example in Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.models import PredictionModel
+from repro.core.profile import Profile
+from repro.core.target import PredictionTarget
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "ConfigurationForecast",
+    "sweep_configurations",
+    "marginal_speedups",
+    "recommend_nodes",
+]
+
+
+@dataclass(frozen=True)
+class ConfigurationForecast:
+    """Predicted execution time of one candidate configuration."""
+
+    data_nodes: int
+    compute_nodes: int
+    predicted_total: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.data_nodes}-{self.compute_nodes}"
+
+    @property
+    def node_cost(self) -> int:
+        """Total machines the configuration occupies."""
+        return self.data_nodes + self.compute_nodes
+
+
+def sweep_configurations(
+    profile: Profile,
+    model: PredictionModel,
+    template: RunConfig,
+    pairs: Sequence[Tuple[int, int]],
+    dataset_bytes: float | None = None,
+) -> List[ConfigurationForecast]:
+    """Predict every (data nodes, compute nodes) pair in ``pairs``.
+
+    ``template`` supplies the clusters and bandwidth; ``dataset_bytes``
+    defaults to the profile's.
+    """
+    if not pairs:
+        raise ConfigurationError("need at least one configuration pair")
+    size = dataset_bytes if dataset_bytes is not None else profile.dataset_bytes
+    out: List[ConfigurationForecast] = []
+    for data_nodes, compute_nodes in pairs:
+        config = template.with_nodes(data_nodes, compute_nodes)
+        target = PredictionTarget(config=config, dataset_bytes=size)
+        out.append(
+            ConfigurationForecast(
+                data_nodes=data_nodes,
+                compute_nodes=compute_nodes,
+                predicted_total=model.predict(profile, target).total,
+            )
+        )
+    return out
+
+
+def marginal_speedups(
+    forecasts: Sequence[ConfigurationForecast],
+) -> List[Tuple[str, str, float]]:
+    """Speedup of each successive forecast over its predecessor.
+
+    Forecasts are taken in the given order (typically increasing compute
+    nodes); returns ``(from_label, to_label, speedup)`` triples.
+    """
+    if len(forecasts) < 2:
+        raise ConfigurationError("need at least two forecasts to compare")
+    out = []
+    for prev, nxt in zip(forecasts, forecasts[1:]):
+        if nxt.predicted_total <= 0:
+            raise ConfigurationError("predicted totals must be positive")
+        out.append(
+            (prev.label, nxt.label, prev.predicted_total / nxt.predicted_total)
+        )
+    return out
+
+
+def recommend_nodes(
+    forecasts: Sequence[ConfigurationForecast],
+    tolerance: float = 0.05,
+) -> ConfigurationForecast:
+    """The cheapest configuration within ``tolerance`` of the fastest.
+
+    "Cheapest" means fewest total machines, ties broken by predicted
+    time.  With ``tolerance=0`` this is simply the predicted-fastest
+    configuration.
+    """
+    if not forecasts:
+        raise ConfigurationError("no forecasts to recommend from")
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be >= 0")
+    best = min(f.predicted_total for f in forecasts)
+    acceptable = [
+        f for f in forecasts if f.predicted_total <= best * (1.0 + tolerance)
+    ]
+    return min(acceptable, key=lambda f: (f.node_cost, f.predicted_total))

@@ -1,0 +1,200 @@
+"""Synthetic CFD velocity fields with embedded vortices.
+
+Substitute for the paper's CFD simulation output (the EVITA terascale
+datasets of Machiraju et al.): a 2-D velocity field composed of a background
+shear flow plus superposed Lamb-Oseen vortices.  Vortex count scales with
+field area, so the vortex-detection application's reduction object (its
+feature list) grows linearly with dataset size — the behaviour that puts it
+in the paper's *linear object size* class.
+
+Chunks are horizontal row blocks with a one-row halo on each side: the
+"special approach to partitioning data between nodes (overlapping data
+instances from neighboring partitions)" of Section 4.4, which lets the
+detection phase run without communication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.middleware.dataset import Dataset
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["generate_velocity_field", "FieldDataset", "make_field_dataset"]
+
+#: Bytes per grid cell in the stored field (u, v as float32).
+BYTES_PER_CELL = 8.0
+
+
+def generate_velocity_field(
+    ny: int,
+    nx: int,
+    num_vortices: int,
+    seed: int = 0,
+    core_radius: float = 4.0,
+    circulation: float = 60.0,
+    shear: float = 0.08,
+) -> Tuple[np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+    """A velocity field ``(u, v)`` with ``num_vortices`` embedded vortices.
+
+    Vortex centres are placed on a jittered grid with a minimum separation
+    of four core radii so each vortex produces one connected high-vorticity
+    region.  Returns ``(u, v, truth)`` where ``truth`` lists the planted
+    vortices (``cy``, ``cx``, ``sign``, ``core_radius``).
+    """
+    if ny < 8 or nx < 8:
+        raise ConfigurationError("field must be at least 8x8")
+    if num_vortices < 0:
+        raise ConfigurationError("vortex count must be >= 0")
+    rng = np.random.default_rng(seed)
+
+    yy, xx = np.meshgrid(
+        np.arange(ny, dtype=np.float64),
+        np.arange(nx, dtype=np.float64),
+        indexing="ij",
+    )
+    u = 1.0 + shear * (yy / max(ny - 1, 1) - 0.5)
+    v = np.zeros_like(u)
+
+    # Candidate centres on a jittered grid, margin away from the edges.
+    margin = 3.0 * core_radius
+    min_sep = 4.0 * core_radius
+    centres: List[Tuple[float, float]] = []
+    attempts = 0
+    while len(centres) < num_vortices:
+        attempts += 1
+        if attempts > 200 * max(num_vortices, 1):
+            raise ConfigurationError(
+                f"cannot place {num_vortices} vortices with separation "
+                f"{min_sep:.1f} in a {ny}x{nx} field"
+            )
+        cy = rng.uniform(margin, ny - 1 - margin)
+        cx = rng.uniform(margin, nx - 1 - margin)
+        if all((cy - py) ** 2 + (cx - px) ** 2 >= min_sep**2 for py, px in centres):
+            centres.append((cy, cx))
+
+    truth: List[Dict[str, Any]] = []
+    for cy, cx in centres:
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        gamma = sign * circulation * rng.uniform(0.8, 1.2)
+        dy = yy - cy
+        dx = xx - cx
+        r2 = dy**2 + dx**2
+        r2 = np.maximum(r2, 1e-9)
+        # Lamb-Oseen tangential speed divided by r, applied via the
+        # perpendicular displacement components.
+        swirl = gamma / (2.0 * np.pi * r2) * (1.0 - np.exp(-r2 / core_radius**2))
+        u += -swirl * dy
+        v += swirl * dx
+        truth.append(
+            {
+                "cy": float(cy),
+                "cx": float(cx),
+                "sign": float(sign),
+                "core_radius": float(core_radius),
+                "circulation": float(gamma),
+            }
+        )
+
+    return u.astype(np.float32), v.astype(np.float32), truth
+
+
+class FieldDataset(Dataset):
+    """A chunked 2-D velocity field.
+
+    Chunks are contiguous row blocks.  Each payload carries one halo row on
+    each side (where available) so per-chunk finite differences match the
+    global field exactly — detection then needs no inter-node
+    communication, as in the paper's parallelization.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        u: np.ndarray,
+        v: np.ndarray,
+        num_chunks: int,
+        nbytes: float | None = None,
+        meta: Dict[str, Any] | None = None,
+    ) -> None:
+        u = np.asarray(u)
+        v = np.asarray(v)
+        if u.shape != v.shape or u.ndim != 2:
+            raise ConfigurationError("u and v must be 2-D arrays of equal shape")
+        ny = u.shape[0]
+        if ny < num_chunks:
+            raise ConfigurationError(
+                f"cannot split {ny} rows into {num_chunks} chunks"
+            )
+        super().__init__(
+            name=name,
+            nbytes=float(u.nbytes + v.nbytes) if nbytes is None else float(nbytes),
+            num_chunks=num_chunks,
+            meta=meta,
+        )
+        self.u = u
+        self.v = v
+        edges = np.linspace(0, ny, num_chunks + 1).astype(int)
+        self._bounds = list(zip(edges[:-1], edges[1:]))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Field dimensions ``(ny, nx)``."""
+        return self.u.shape  # type: ignore[return-value]
+
+    def chunk_payload(self, index: int) -> Dict[str, Any]:
+        """Row block ``index`` with halo rows and placement metadata."""
+        self._check_index(index)
+        lo, hi = self._bounds[index]
+        halo_lo = 1 if lo > 0 else 0
+        halo_hi = 1 if hi < self.u.shape[0] else 0
+        sl = slice(lo - halo_lo, hi + halo_hi)
+        return {
+            "block": index,
+            "y0": lo,
+            "halo_lo": halo_lo,
+            "halo_hi": halo_hi,
+            "u": self.u[sl],
+            "v": self.v[sl],
+        }
+
+    def chunk_nbytes(self, index: int) -> float:
+        """Model bytes of the block, proportional to its interior rows."""
+        self._check_index(index)
+        lo, hi = self._bounds[index]
+        return self.nbytes * (hi - lo) / self.u.shape[0]
+
+
+def make_field_dataset(
+    name: str,
+    ny: int,
+    nx: int,
+    num_chunks: int,
+    num_vortices: int | None = None,
+    nbytes: float | None = None,
+    seed: int = 0,
+) -> FieldDataset:
+    """Generate a velocity field and wrap it as a chunked dataset.
+
+    When ``num_vortices`` is omitted it scales with field area (one vortex
+    per ~4000 cells), keeping feature density constant across dataset sizes.
+    """
+    if num_vortices is None:
+        num_vortices = max(3, (ny * nx) // 4000)
+    u, v, truth = generate_velocity_field(ny, nx, num_vortices, seed=seed)
+    return FieldDataset(
+        name=name,
+        u=u,
+        v=v,
+        num_chunks=num_chunks,
+        nbytes=nbytes,
+        meta={
+            "kind": "cfd-field",
+            "ny": ny,
+            "nx": nx,
+            "true_vortices": truth,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,142 @@
+"""Gaussian-mixture point clouds and labelled training sets.
+
+These model the dense multi-dimensional point data the paper's data-mining
+applications (k-means, EM clustering, kNN search) were evaluated on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.middleware.dataset import ArrayDataset
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "make_blobs",
+    "make_labeled_points",
+    "make_point_dataset",
+    "make_training_dataset",
+]
+
+
+def make_blobs(
+    num_points: int,
+    num_dims: int,
+    num_centers: int,
+    spread: float = 0.6,
+    box: float = 10.0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Points drawn from an isotropic Gaussian mixture.
+
+    Returns ``(points, centers, labels)`` with points float32 of shape
+    ``(num_points, num_dims)``.
+    """
+    if num_points <= 0 or num_dims <= 0 or num_centers <= 0:
+        raise ConfigurationError("blob parameters must be positive")
+    if num_points < num_centers:
+        raise ConfigurationError("need at least one point per center")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-box, box, size=(num_centers, num_dims))
+    labels = rng.integers(0, num_centers, size=num_points)
+    noise = rng.normal(0.0, spread, size=(num_points, num_dims))
+    points = centers[labels] + noise
+    return points.astype(np.float32), centers.astype(np.float64), labels
+
+
+def make_labeled_points(
+    num_points: int,
+    num_dims: int,
+    num_classes: int,
+    spread: float = 0.6,
+    box: float = 10.0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Training samples for kNN: features plus a class label column.
+
+    Returns ``(records, centers)`` where ``records`` has shape
+    ``(num_points, num_dims + 1)`` with the label in the final column.
+    """
+    points, centers, labels = make_blobs(
+        num_points, num_dims, num_classes, spread=spread, box=box, seed=seed
+    )
+    records = np.concatenate(
+        [points, labels.astype(np.float32)[:, None]], axis=1
+    )
+    return records, centers
+
+
+def make_point_dataset(
+    name: str,
+    num_points: int,
+    num_dims: int,
+    num_centers: int,
+    num_chunks: int,
+    nbytes: float | None = None,
+    seed: int = 0,
+) -> ArrayDataset:
+    """An :class:`~repro.middleware.dataset.ArrayDataset` of mixture points.
+
+    Ground truth (mixture centers) is stored in ``meta['true_centers']``.
+    """
+    points, centers, _labels = make_blobs(
+        num_points, num_dims, num_centers, seed=seed
+    )
+    return ArrayDataset(
+        name=name,
+        records=points,
+        num_chunks=num_chunks,
+        nbytes=nbytes,
+        meta={
+            "kind": "points",
+            "num_dims": num_dims,
+            "num_centers": num_centers,
+            "true_centers": centers,
+            "init_sample": _init_sample(points, seed),
+            "seed": seed,
+        },
+    )
+
+
+def _init_sample(points: np.ndarray, seed: int, size: int = 256) -> np.ndarray:
+    """A deterministic subsample used by clustering codes to seed centres.
+
+    Mirrors common practice: the middleware hands applications a small
+    sample of the data alongside its metadata so iterative algorithms can
+    initialize from data rather than from an arbitrary box.
+    """
+    rng = np.random.default_rng(seed + 0x5EED)
+    take = min(size, points.shape[0])
+    index = rng.choice(points.shape[0], size=take, replace=False)
+    return points[index].astype(np.float64)
+
+
+def make_training_dataset(
+    name: str,
+    num_points: int,
+    num_dims: int,
+    num_classes: int,
+    num_chunks: int,
+    nbytes: float | None = None,
+    seed: int = 0,
+) -> ArrayDataset:
+    """A labelled training set for kNN search (label in the last column)."""
+    records, centers = make_labeled_points(
+        num_points, num_dims, num_classes, seed=seed
+    )
+    return ArrayDataset(
+        name=name,
+        records=records,
+        num_chunks=num_chunks,
+        nbytes=nbytes,
+        meta={
+            "kind": "labeled-points",
+            "num_dims": num_dims,
+            "num_classes": num_classes,
+            "true_centers": centers,
+            "init_sample": _init_sample(records[:, :num_dims], seed),
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,107 @@
+"""Synthetic market-basket transactions with planted frequent itemsets.
+
+Support data for the apriori association-mining application (named in
+Section 2.2 of the paper as a canonical generalized reduction).  Each
+transaction is a multi-hot row over ``num_items`` items; planted patterns
+(the ground-truth frequent itemsets) are embedded with controlled support
+so the miner's output can be checked exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.middleware.dataset import ArrayDataset
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["generate_transactions", "make_transaction_dataset"]
+
+
+def generate_transactions(
+    num_transactions: int,
+    num_items: int,
+    patterns: Sequence[Tuple[int, ...]],
+    pattern_prob: float = 0.35,
+    noise_items: float = 2.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Multi-hot transaction matrix with embedded patterns.
+
+    Each transaction independently includes every planted pattern with
+    probability ``pattern_prob`` and on average ``noise_items`` random
+    single items.  Returns a float32 matrix of shape
+    ``(num_transactions, num_items)`` with entries in {0, 1}.
+    """
+    if num_transactions <= 0 or num_items <= 0:
+        raise ConfigurationError("transaction counts must be positive")
+    if not 0.0 <= pattern_prob <= 1.0:
+        raise ConfigurationError("pattern probability must be in [0, 1]")
+    for pattern in patterns:
+        if not pattern:
+            raise ConfigurationError("patterns must be non-empty")
+        if max(pattern) >= num_items or min(pattern) < 0:
+            raise ConfigurationError(
+                f"pattern {pattern} references items outside 0..{num_items - 1}"
+            )
+
+    rng = np.random.default_rng(seed)
+    data = np.zeros((num_transactions, num_items), dtype=np.float32)
+    for pattern in patterns:
+        include = rng.random(num_transactions) < pattern_prob
+        for item in pattern:
+            data[include, item] = 1.0
+    # Sparse random noise.
+    noise_prob = min(noise_items / num_items, 1.0)
+    noise = rng.random((num_transactions, num_items)) < noise_prob
+    data[noise] = 1.0
+    return data
+
+
+def default_patterns(num_items: int, seed: int = 0) -> List[Tuple[int, ...]]:
+    """A small library of disjoint planted itemsets (sizes 2-4)."""
+    rng = np.random.default_rng(seed + 0xA11)
+    items = rng.permutation(num_items)
+    patterns: List[Tuple[int, ...]] = []
+    cursor = 0
+    for size in (2, 3, 4, 2, 3):
+        if cursor + size > num_items:
+            break
+        patterns.append(tuple(sorted(int(i) for i in items[cursor : cursor + size])))
+        cursor += size
+    return patterns
+
+
+def make_transaction_dataset(
+    name: str,
+    num_transactions: int,
+    num_items: int,
+    num_chunks: int,
+    nbytes: float | None = None,
+    pattern_prob: float = 0.35,
+    seed: int = 0,
+) -> ArrayDataset:
+    """A chunked transaction dataset with ground-truth patterns in meta."""
+    patterns = default_patterns(num_items, seed=seed)
+    records = generate_transactions(
+        num_transactions,
+        num_items,
+        patterns,
+        pattern_prob=pattern_prob,
+        seed=seed,
+    )
+    meta: Dict[str, Any] = {
+        "kind": "transactions",
+        "num_items": num_items,
+        "true_patterns": patterns,
+        "pattern_prob": pattern_prob,
+        "seed": seed,
+    }
+    return ArrayDataset(
+        name=name,
+        records=records,
+        num_chunks=num_chunks,
+        nbytes=nbytes,
+        meta=meta,
+    )

@@ -1,0 +1,77 @@
+"""The FREERIDE-G data server: retrieval, distribution, communication.
+
+One data-server process runs on every on-line repository node (Section 2.1
+of the paper).  Its three roles map to three methods here:
+
+- **Data retrieval** — chunks are read from the repository disks; modelled
+  by :class:`repro.simgrid.disk.RepositoryDiskSystem`, including the shared
+  backplane that makes 8-node retrieval sub-linear.
+- **Data distribution** — every chunk is assigned a destination compute
+  node; the plan comes from :func:`repro.middleware.chunks.assign_chunks`.
+- **Data communication** — each data node streams its chunks through its
+  NIC at the configured repository-to-compute bandwidth.
+
+Retrieval and communication are distinct, non-overlapping phases, matching
+the additive ``T_disk + T_network`` structure the prediction framework
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.middleware.chunks import ChunkAssignment
+from repro.middleware.dataset import Dataset
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.disk import RepositoryDiskSystem
+from repro.simgrid.network import LinkModel
+
+__all__ = ["DataServer"]
+
+
+class DataServer:
+    """Timing model for the repository side of one run."""
+
+    def __init__(
+        self, config: RunConfig, dataset: Dataset, assignment: ChunkAssignment
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.assignment = assignment
+        self._disks = RepositoryDiskSystem(
+            config.storage_cluster, config.data_nodes
+        )
+        nic = config.storage_cluster.node.nic
+        self._link = LinkModel(
+            latency_s=nic.latency_s,
+            bw=min(nic.bw, config.bandwidth),
+        )
+
+    @property
+    def per_node_chunk_sizes(self) -> List[List[float]]:
+        """Chunk byte sizes grouped by owning data node."""
+        return [
+            [self.dataset.chunk_nbytes(c) for c in chunks]
+            for chunks in self.assignment.data_node_chunks
+        ]
+
+    def retrieval_time(self) -> float:
+        """Phase time to read every chunk from the repository disks."""
+        return self._disks.retrieval_time(self.per_node_chunk_sizes)
+
+    def communication_time(self) -> float:
+        """Phase time to ship every chunk to its destination compute node.
+
+        Each data node's NIC serializes its own chunk stream; the phase
+        completes when the slowest data node finishes.  Compute nodes never
+        receive from more than one data node (contiguous-block mapping), so
+        there is no receive-side convergence bottleneck.
+        """
+        per_node = (
+            self._link.stream_time(sizes) for sizes in self.per_node_chunk_sizes
+        )
+        return max(per_node)
+
+    def effective_disk_bw(self) -> float:
+        """Backplane-contended per-node disk bandwidth (for diagnostics)."""
+        return self._disks.per_node_effective_bw

@@ -1,0 +1,55 @@
+"""Operation counters: how real kernels charge virtual compute time.
+
+Every application kernel performs its computation for real (NumPy on the
+actual synthetic data) and then *charges* the operations it just executed to
+an :class:`OpCounter` — counts derived from the actual array shapes it
+processed.  The cluster's :class:`~repro.simgrid.hardware.CPUSpec` converts
+the accumulated :class:`~repro.simgrid.hardware.OpVector` into seconds.
+
+This keeps timing deterministic (no wall-clock noise) while the computed
+*results* — cluster centroids, detected vortices, defect catalogs — are
+genuine.
+"""
+
+from __future__ import annotations
+
+from repro.simgrid.hardware import OpVector
+
+__all__ = ["OpCounter"]
+
+
+class OpCounter:
+    """Accumulates operation counts charged by kernels.
+
+    >>> counter = OpCounter()
+    >>> counter.charge(flop=100, mem=40)
+    >>> counter.charge(branch=10)
+    >>> counter.ops.total
+    150.0
+    """
+
+    def __init__(self) -> None:
+        self._ops = OpVector.zero()
+
+    @property
+    def ops(self) -> OpVector:
+        """The accumulated operation vector."""
+        return self._ops
+
+    def charge(self, flop: float = 0.0, mem: float = 0.0, branch: float = 0.0) -> None:
+        """Add operation counts (each must be >= 0)."""
+        self._ops = self._ops + OpVector(flop=flop, mem=mem, branch=branch)
+
+    def add(self, ops: OpVector) -> None:
+        """Add a pre-built operation vector."""
+        self._ops = self._ops + ops
+
+    def take(self) -> OpVector:
+        """Return the accumulated vector and reset the counter."""
+        out = self._ops
+        self._ops = OpVector.zero()
+        return out
+
+    def reset(self) -> None:
+        """Discard the accumulated counts."""
+        self._ops = OpVector.zero()

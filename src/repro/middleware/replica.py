@@ -1,0 +1,70 @@
+"""Replica catalog: where each dataset can be retrieved from.
+
+Datasets "may be replicated across multiple repositories.  In such cases,
+the resource selection framework will choose the repository which will
+allow data retrieval, data movement, and data processing at the lowest
+cost" (Section 2.1).  The catalog maps dataset names to the repository
+sites holding a copy; :mod:`repro.core.selection` enumerates
+(replica, configuration) pairs against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simgrid.errors import TopologyError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+__all__ = ["Replica", "ReplicaCatalog"]
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One copy of a dataset at a repository site."""
+
+    dataset: str
+    site: str
+
+
+class ReplicaCatalog:
+    """Dataset-name -> replica-sites mapping, validated against a topology."""
+
+    def __init__(self, topology: Optional[GridTopology] = None) -> None:
+        self._topology = topology
+        self._replicas: Dict[str, List[Replica]] = {}
+
+    def add(self, dataset: str, site: str) -> Replica:
+        """Register a replica of ``dataset`` at ``site``."""
+        if self._topology is not None:
+            site_obj = self._topology.site(site)
+            if site_obj.kind is not SiteKind.REPOSITORY:
+                raise TopologyError(
+                    f"site '{site}' is not a data repository; replicas can "
+                    "only be placed at repository sites"
+                )
+        replica = Replica(dataset=dataset, site=site)
+        existing = self._replicas.setdefault(dataset, [])
+        if any(r.site == site for r in existing):
+            raise TopologyError(
+                f"dataset '{dataset}' already has a replica at '{site}'"
+            )
+        existing.append(replica)
+        return replica
+
+    def replicas_of(self, dataset: str) -> List[Replica]:
+        """All replicas of ``dataset`` (raises when none exist)."""
+        replicas = self._replicas.get(dataset)
+        if not replicas:
+            raise TopologyError(f"no replicas registered for dataset '{dataset}'")
+        return list(replicas)
+
+    def datasets(self) -> List[str]:
+        """All dataset names with at least one replica."""
+        return sorted(self._replicas)
+
+    def __contains__(self, dataset: object) -> bool:
+        return dataset in self._replicas
+
+    def __len__(self) -> int:
+        return len(self._replicas)

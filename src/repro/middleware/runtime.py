@@ -1,0 +1,280 @@
+"""The FREERIDE-G execution engine.
+
+:class:`FreerideGRuntime` drives a :class:`~repro.middleware.api.GeneralizedReduction`
+application over a chunked dataset on a given resource configuration and
+produces the application result together with the execution-time breakdown
+the prediction framework consumes.
+
+One pass executes the canonical phase sequence (phases do not overlap,
+matching the paper's additive model):
+
+1. **Retrieval** (pass 0, or any pass when the application did not request
+   caching): repository disks read every chunk — ``t_disk``.
+2. **Communication** (same passes): data-node NICs stream chunks to their
+   destination compute nodes — ``t_network``.
+3. **Compute**: every node folds its chunks into its replicated reduction
+   object (kernel time from charged op vectors), pays receive handling and
+   cache traffic; then reduction objects are gathered serially at the
+   master (``T_ro``), globally reduced (``T_g``) and — for iterative
+   applications — the combined object is broadcast back.
+
+The application's computation is performed **for real**: the reduction
+objects contain genuine centroids / sufficient statistics / feature lists,
+and results are invariant to the node configuration (associativity of the
+updates), which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.middleware.api import GeneralizedReduction
+from repro.middleware.chunks import ChunkAssignment, assign_chunks
+from repro.middleware.compute_server import ComputeServer
+from repro.middleware.data_server import DataServer
+from repro.middleware.dataset import Dataset
+from repro.middleware.instrument import OpCounter
+from repro.middleware.scheduler import GatherTopology, RunConfig
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.hardware import ClusterSpec
+from repro.simgrid.trace import PassRecord, TimeBreakdown
+
+__all__ = ["RunResult", "FreerideGRuntime"]
+
+#: Safety valve for iterative applications that never converge.
+MAX_PASSES = 1000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one middleware execution."""
+
+    result: Any
+    breakdown: TimeBreakdown
+    assignment: ChunkAssignment
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall time of the run."""
+        return self.breakdown.total
+
+
+def _tree_gather(
+    app: GeneralizedReduction,
+    objects: List[Any],
+    cluster: ClusterSpec,
+) -> tuple[Any, float]:
+    """Binomial-tree gather with merge-on-receive.
+
+    Round ``r`` sends the object of every node whose index has bit ``r``
+    set (and lower bits clear) to the node ``2^r`` below it; transfers in a
+    round run in parallel, so the round costs its slowest
+    (message + handling + merge).  Returns the root's merged object and
+    the total gather time.
+    """
+    holders = list(objects)
+    t_ro = 0.0
+    stride = 1
+    while stride < len(holders):
+        round_times = []
+        for receiver in range(0, len(holders), 2 * stride):
+            sender = receiver + stride
+            if sender >= len(holders):
+                continue
+            size = app.object_nbytes(holders[sender])
+            merge_counter = OpCounter()
+            holders[receiver] = app.merge_local(
+                [holders[receiver], holders[sender]], merge_counter
+            )
+            merge_time = cluster.node.cpu.compute_time(merge_counter.take())
+            round_times.append(
+                cluster.gather_message_time(size)
+                + cluster.gather_deserialize_s
+                + merge_time
+            )
+        if round_times:
+            t_ro += max(round_times)
+        stride *= 2
+    return holders[0], t_ro
+
+
+class FreerideGRuntime:
+    """Executes generalized-reduction applications on simulated resources."""
+
+    def __init__(self, config: RunConfig) -> None:
+        self.config = config
+
+    def execute(self, app: GeneralizedReduction, dataset: Dataset) -> RunResult:
+        """Run ``app`` over ``dataset``; returns result + time breakdown."""
+        config = self.config
+        assignment = assign_chunks(
+            dataset.num_chunks, config.data_nodes, config.compute_nodes
+        )
+        data_server = DataServer(config, dataset, assignment)
+        compute_servers = [
+            ComputeServer(config, j) for j in range(config.compute_nodes)
+        ]
+        per_node_chunk_sizes = [
+            [dataset.chunk_nbytes(c) for c in chunks]
+            for chunks in assignment.compute_node_chunks
+        ]
+
+        breakdown = TimeBreakdown(
+            metadata={
+                "app": app.name,
+                "config": config.label,
+                "dataset": dataset.name,
+                "dataset_nbytes": dataset.nbytes,
+                "bandwidth": config.bandwidth,
+                "storage_cluster": config.storage_cluster.name,
+                "compute_cluster": config.compute_cluster.name,
+                "processes_per_node": config.processes_per_node,
+            }
+        )
+
+        app.begin(dict(dataset.meta))
+        caching = app.multi_pass_hint
+        cached = False
+        max_object_bytes = 0.0
+
+        for pass_index in range(MAX_PASSES):
+            fed_from_network = not cached
+            t_disk = t_network = 0.0
+            if fed_from_network:
+                t_disk = data_server.retrieval_time()
+                t_network = data_server.communication_time()
+
+            # ---- per-node local reduction -------------------------------
+            # Each compute node runs `processes_per_node` reduction threads
+            # over its chunks; thread objects are merged in shared memory
+            # so a single object per node enters the gather.
+            ppn = config.processes_per_node
+            node_times: List[float] = []
+            node_cache_times: List[float] = []
+            local_objects: List[Any] = []
+            for j, server in enumerate(compute_servers):
+                node_chunks = assignment.compute_node_chunks[j]
+                counter = OpCounter()
+                thread_objects: List[Any] = []
+                thread_chunk_ops: List[List] = []
+                for t in range(ppn):
+                    obj = app.make_local_object()
+                    chunk_ops = []
+                    for chunk in node_chunks[t::ppn]:
+                        app.process_chunk(
+                            obj, dataset.chunk_payload(chunk), counter
+                        )
+                        chunk_ops.append(counter.take())
+                    thread_objects.append(obj)
+                    thread_chunk_ops.append(chunk_ops)
+
+                if ppn == 1:
+                    node_object = thread_objects[0]
+                    merge_time = 0.0
+                else:
+                    merge_counter = OpCounter()
+                    node_object = app.merge_local(thread_objects, merge_counter)
+                    merge_time = config.compute_cluster.node.cpu.compute_time(
+                        merge_counter.take()
+                    )
+                local_objects.append(node_object)
+
+                cache_time = 0.0
+                recv_time = 0.0
+                if fed_from_network:
+                    recv_time = server.receive_overhead(len(node_chunks))
+                    if caching:
+                        cache_time = server.cache_write_time(
+                            per_node_chunk_sizes[j]
+                        )
+                else:
+                    cache_time = server.cache_read_time(per_node_chunk_sizes[j])
+
+                kernel_time = server.smp_compute_time(thread_chunk_ops)
+                node_cache_times.append(cache_time)
+                node_times.append(
+                    kernel_time + merge_time + recv_time + cache_time
+                )
+
+            # Phase barrier: the pass's local stage ends with the slowest
+            # node; attribute the cache share of the critical-path node.
+            slowest = max(range(len(node_times)), key=node_times.__getitem__)
+            t_local_total = node_times[slowest]
+            t_cache = node_cache_times[slowest]
+            t_local_compute = t_local_total - t_cache
+
+            # ---- gather reduction objects at the master -----------------
+            object_sizes = [app.object_nbytes(obj) for obj in local_objects]
+            max_object_bytes = max(max_object_bytes, max(object_sizes))
+            cluster = config.compute_cluster
+            if (
+                config.gather_topology is GatherTopology.TREE
+                and len(local_objects) > 1
+            ):
+                root_object, t_ro = _tree_gather(app, local_objects, cluster)
+                combine_inputs: List[Any] = [root_object]
+            else:
+                t_ro = sum(
+                    cluster.gather_message_time(size)
+                    for size in object_sizes[1:]
+                )
+                combine_inputs = local_objects
+
+            # ---- serialized global reduction ----------------------------
+            # The master folds every reduction object — its own included —
+            # paying a fixed handling cost per object plus the charged
+            # merge/update work.  (Under a tree gather the pairwise merges
+            # already happened along the tree; the master processes the
+            # single merged object.)
+            master = OpCounter()
+            combined = app.combine(combine_inputs, master)
+            another_pass = app.update(combined, master)
+            t_g = (
+                cluster.node.cpu.compute_time(master.take())
+                + len(combine_inputs) * cluster.gather_deserialize_s
+            )
+
+            if app.broadcasts_result:
+                bcast = app.broadcast_nbytes(combined)
+                if (
+                    config.gather_topology is GatherTopology.TREE
+                    and config.compute_nodes > 1
+                ):
+                    rounds = math.ceil(math.log2(config.compute_nodes))
+                    t_ro += rounds * cluster.gather_message_time(bcast)
+                else:
+                    t_ro += (
+                        config.compute_nodes - 1
+                    ) * cluster.gather_message_time(bcast)
+                breakdown.metadata["broadcast_nbytes"] = bcast
+
+            breakdown.add_pass(
+                PassRecord(
+                    index=pass_index,
+                    t_disk=t_disk,
+                    t_network=t_network,
+                    t_local_compute=t_local_compute,
+                    t_cache=t_cache,
+                    t_ro=t_ro,
+                    t_g=t_g,
+                )
+            )
+
+            if fed_from_network and caching:
+                cached = True
+            if not another_pass:
+                break
+        else:
+            raise ConfigurationError(
+                f"application '{app.name}' did not terminate within "
+                f"{MAX_PASSES} passes"
+            )
+
+        breakdown.max_reduction_object_bytes = max_object_bytes
+        breakdown.metadata["gather_rounds"] = breakdown.num_passes
+        breakdown.metadata["broadcasts_result"] = app.broadcasts_result
+        return RunResult(
+            result=app.result(), breakdown=breakdown, assignment=assignment
+        )

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the simulation substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by :mod:`repro.simgrid`."""
+
+
+class ConfigurationError(SimulationError):
+    """A hardware or run configuration is inconsistent or out of range.
+
+    Raised, for example, when a cluster is asked for more nodes than it has,
+    when a negative bandwidth is specified, or when the middleware is asked
+    to run with more data nodes than compute nodes (the paper's M >= N
+    constraint, Section 2.1).
+    """
+
+
+class TopologyError(SimulationError):
+    """A grid-topology query cannot be satisfied.
+
+    Raised when two sites are not connected, when a site name is unknown, or
+    when a replica is placed on a site that is not a data repository.
+    """
+
+
+class EngineError(SimulationError):
+    """The discrete-event engine was used inconsistently.
+
+    Raised for scheduling events in the past or running a stopped simulator.
+    """

@@ -1,0 +1,178 @@
+"""Network transfer models.
+
+Three pieces live here:
+
+- :class:`LinkModel` — latency + bandwidth cost of a point-to-point link,
+  used for repository-to-compute chunk shipping.  The available bandwidth
+  between storage and compute nodes is a *parameter* (the paper varies it
+  synthetically in Section 5.3), so the middleware passes the experiment's
+  bandwidth in rather than reading a fixed hardware value.
+- :func:`maxmin_fair_share` — progressive-filling allocation for flows that
+  share a capacity, used to model concurrent chunk streams sharing the
+  repository egress.
+- :class:`CommCostModel` — the experimentally determined ``(w, l)`` of
+  Section 3.3.1 ("w and l are experimentally determined bandwidth and
+  latency for the target processing configuration"), obtained by fitting a
+  line to a gather microbenchmark run on the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.hardware import ClusterSpec
+
+__all__ = ["LinkModel", "maxmin_fair_share", "fit_linear_cost", "CommCostModel"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A point-to-point link with per-message latency and bandwidth."""
+
+    latency_s: float
+    bw: float  # bytes per second
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("link latency must be >= 0")
+        if self.bw <= 0:
+            raise ConfigurationError("link bandwidth must be > 0")
+
+    def message_time(self, nbytes: float) -> float:
+        """Seconds to transfer one message."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot transfer a negative size")
+        return self.latency_s + nbytes / self.bw
+
+    def stream_time(self, chunk_sizes: Sequence[float]) -> float:
+        """Seconds to push a sequence of chunks back-to-back."""
+        return sum(self.message_time(size) for size in chunk_sizes)
+
+
+def maxmin_fair_share(
+    demands: Sequence[float], capacity: float
+) -> list[float]:
+    """Max-min fair allocation of ``capacity`` among flows with rate caps.
+
+    Classic progressive filling: repeatedly give every unfrozen flow an
+    equal share; a flow whose demand is below its share is frozen at its
+    demand and the slack is redistributed.
+
+    >>> maxmin_fair_share([10.0, 10.0], 30.0)
+    [10.0, 10.0]
+    >>> maxmin_fair_share([5.0, 50.0], 30.0)
+    [5.0, 25.0]
+    >>> maxmin_fair_share([50.0, 50.0, 50.0], 30.0)
+    [10.0, 10.0, 10.0]
+    """
+    if capacity <= 0:
+        raise ConfigurationError("shared capacity must be > 0")
+    if any(d < 0 for d in demands):
+        raise ConfigurationError("flow demands must be >= 0")
+    n = len(demands)
+    alloc = [0.0] * n
+    active = [i for i in range(n) if demands[i] > 0]
+    remaining = float(capacity)
+    while active:
+        share = remaining / len(active)
+        bounded = [i for i in active if demands[i] <= share]
+        if not bounded:
+            for i in active:
+                alloc[i] = share
+            return alloc
+        for i in bounded:
+            alloc[i] = demands[i]
+            remaining -= demands[i]
+        active = [i for i in active if i not in set(bounded)]
+    return alloc
+
+
+def fit_linear_cost(
+    sizes: Sequence[float], times: Sequence[float]
+) -> tuple[float, float]:
+    """Least-squares fit ``time = w * size + l``; returns ``(w, l)``.
+
+    Used to turn microbenchmark (size, time) samples into the paper's
+    per-byte cost ``w`` and latency ``l``.
+    """
+    if len(sizes) != len(times):
+        raise ConfigurationError("sizes and times must have equal length")
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least two samples to fit a line")
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if np.ptp(x) == 0.0:
+        raise ConfigurationError("samples must span at least two distinct sizes")
+    design = np.stack([x, np.ones_like(x)], axis=1)
+    (w, l), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(w), float(l)
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Fitted reduction-object message cost: ``time = w * bytes + l``.
+
+    ``w`` and ``l`` correspond exactly to Section 3.3.1's experimentally
+    determined bandwidth and latency for the target processing
+    configuration.
+    """
+
+    w: float  # seconds per byte
+    l: float  # seconds per message
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.l < 0:
+            raise ConfigurationError("fitted comm costs must be >= 0")
+
+    def message_time(self, nbytes: float) -> float:
+        """Predicted time for a single reduction-object message."""
+        if nbytes < 0:
+            raise ConfigurationError("cannot transfer a negative size")
+        return self.w * nbytes + self.l
+
+    def gather_time(self, num_compute_nodes: int, object_bytes: float) -> float:
+        """Predicted time to gather one object from each non-master node.
+
+        The FREERIDE-G master receives ``c - 1`` reduction objects serially
+        (the serialized component of parallel processing time, Section
+        3.3.1), so the gather is ``(c - 1)`` messages.
+        """
+        if num_compute_nodes < 1:
+            raise ConfigurationError("need at least one compute node")
+        return (num_compute_nodes - 1) * self.message_time(object_bytes)
+
+    def tree_gather_time(
+        self, num_compute_nodes: int, object_bytes: float
+    ) -> float:
+        """Predicted time for a binomial-tree gather (ablation).
+
+        ``ceil(log2 c)`` rounds of parallel pairwise messages; constant
+        object size assumed (for linear-class applications the merged
+        objects grow along the tree, which this first-order formula
+        ignores).
+        """
+        if num_compute_nodes < 1:
+            raise ConfigurationError("need at least one compute node")
+        rounds = math.ceil(math.log2(num_compute_nodes)) if num_compute_nodes > 1 else 0
+        return rounds * self.message_time(object_bytes)
+
+    @classmethod
+    def fit_for_cluster(
+        cls,
+        cluster: ClusterSpec,
+        probe_sizes: Sequence[float] = (1024.0, 8192.0, 65536.0, 524288.0),
+    ) -> "CommCostModel":
+        """Run the gather microbenchmark on ``cluster`` and fit ``(w, l)``.
+
+        The microbenchmark measures single reduction-object messages on the
+        intra-cluster interconnect, mirroring how a FREERIDE-G deployment
+        would calibrate ``w`` and ``l`` once per cluster.
+        """
+        times = [cluster.gather_message_time(size) for size in probe_sizes]
+        w, l = fit_linear_cost(probe_sizes, times)
+        return cls(w=max(w, 0.0), l=max(l, 0.0))

@@ -1,0 +1,104 @@
+"""JSON-friendly (de)serialization of hardware specifications.
+
+Profiles reference the clusters they were collected on; persisting a
+profile (see :mod:`repro.core.store`) therefore needs a faithful
+round-trip for :class:`~repro.simgrid.hardware.ClusterSpec` and its
+nested specs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.hardware import (
+    ClusterSpec,
+    CPUSpec,
+    DiskSpec,
+    NICSpec,
+    NodeSpec,
+    OpCategory,
+)
+
+__all__ = ["cluster_to_dict", "cluster_from_dict"]
+
+
+def _disk_to_dict(disk: DiskSpec) -> Dict[str, float]:
+    return {"seek_s": disk.seek_s, "stream_bw": disk.stream_bw}
+
+
+def _disk_from_dict(data: Dict[str, Any]) -> DiskSpec:
+    return DiskSpec(seek_s=float(data["seek_s"]), stream_bw=float(data["stream_bw"]))
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> Dict[str, Any]:
+    """A plain-dict snapshot of a cluster spec (JSON serializable)."""
+    node = cluster.node
+    return {
+        "name": cluster.name,
+        "num_nodes": cluster.num_nodes,
+        "cpu": {
+            "name": node.cpu.name,
+            "rates": {cat.value: rate for cat, rate in node.cpu.rates.items()},
+        },
+        "disk": _disk_to_dict(node.disk),
+        "nic": {"latency_s": node.nic.latency_s, "bw": node.nic.bw},
+        "repository_backplane_bw": cluster.repository_backplane_bw,
+        "node_startup_s": cluster.node_startup_s,
+        "compute_pass_startup_s": cluster.compute_pass_startup_s,
+        "chunk_dispatch_overhead_s": cluster.chunk_dispatch_overhead_s,
+        "chunk_receive_overhead_s": cluster.chunk_receive_overhead_s,
+        "intra_latency_s": cluster.intra_latency_s,
+        "intra_bw": cluster.intra_bw,
+        "gather_deserialize_s": cluster.gather_deserialize_s,
+        "cache_disk": (
+            _disk_to_dict(cluster.cache_disk)
+            if cluster.cache_disk is not None
+            else None
+        ),
+        "smp_width": cluster.smp_width,
+        "smp_memory_contention": cluster.smp_memory_contention,
+    }
+
+
+def cluster_from_dict(data: Dict[str, Any]) -> ClusterSpec:
+    """Rebuild a cluster spec from :func:`cluster_to_dict` output."""
+    try:
+        cpu = CPUSpec(
+            name=str(data["cpu"]["name"]),
+            rates={
+                OpCategory(cat): float(rate)
+                for cat, rate in data["cpu"]["rates"].items()
+            },
+        )
+        node = NodeSpec(
+            cpu=cpu,
+            disk=_disk_from_dict(data["disk"]),
+            nic=NICSpec(
+                latency_s=float(data["nic"]["latency_s"]),
+                bw=float(data["nic"]["bw"]),
+            ),
+        )
+        cache_disk = data.get("cache_disk")
+        return ClusterSpec(
+            name=str(data["name"]),
+            node=node,
+            num_nodes=int(data["num_nodes"]),
+            repository_backplane_bw=float(data["repository_backplane_bw"]),
+            node_startup_s=float(data.get("node_startup_s", 0.0)),
+            compute_pass_startup_s=float(data.get("compute_pass_startup_s", 0.0)),
+            chunk_dispatch_overhead_s=float(
+                data.get("chunk_dispatch_overhead_s", 0.0)
+            ),
+            chunk_receive_overhead_s=float(
+                data.get("chunk_receive_overhead_s", 0.0)
+            ),
+            intra_latency_s=float(data.get("intra_latency_s", 0.0)),
+            intra_bw=float(data.get("intra_bw", 1.0e12)),
+            gather_deserialize_s=float(data.get("gather_deserialize_s", 0.0)),
+            cache_disk=_disk_from_dict(cache_disk) if cache_disk else None,
+            smp_width=int(data.get("smp_width", 1)),
+            smp_memory_contention=float(data.get("smp_memory_contention", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed cluster spec: {exc}") from exc

@@ -1,0 +1,118 @@
+"""The paper's two testbed clusters as simulator hardware specs.
+
+Section 5 of the paper: "The cluster used for these experiments comprised
+700 MHz Pentium machines connected through Myrinet LANai 7.0. ...
+Predictions were then made for a cluster of dual processor 2.4GHz Opteron
+250 machines connected through Mellanox Infiniband (1Gb)."
+
+All values are in *model units* — a uniformly scaled-down replica of the
+2007-era hardware, calibrated so the component shares of execution time
+(retrieval / communication / processing) are plausible for the paper's
+workloads.  The Opteron cluster's per-category CPU rates are deliberately
+*not* a uniform multiple of the Pentium's: branch-heavy code speeds up more
+than memory-bound code, which is what makes the per-application compute
+scaling factors differ (the paper measured 0.233 for kNN up to 0.370 for
+vortex detection, Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.simgrid.hardware import (
+    ClusterSpec,
+    CPUSpec,
+    DiskSpec,
+    NICSpec,
+    NodeSpec,
+    OpCategory,
+)
+
+__all__ = [
+    "pentium_myrinet_cluster",
+    "opteron_infiniband_cluster",
+    "DEFAULT_BANDWIDTH",
+    "LOW_BANDWIDTH",
+    "HALF_LOW_BANDWIDTH",
+]
+
+#: Default repository-to-compute bandwidth per data node (model bytes/s).
+DEFAULT_BANDWIDTH = 2.0e6
+
+#: The paper's synthetic-bandwidth experiments profile at "500 Kbps" and
+#: predict at "250 Kbps"; these are the model-unit equivalents.
+LOW_BANDWIDTH = 1.0e6
+HALF_LOW_BANDWIDTH = 0.5e6
+
+
+def pentium_myrinet_cluster(num_nodes: int = 32) -> ClusterSpec:
+    """The base-profile cluster: 700 MHz Pentium machines on Myrinet."""
+    cpu = CPUSpec(
+        name="pentium-700",
+        rates={
+            OpCategory.FLOP: 1.5e8,
+            OpCategory.MEM: 2.5e8,
+            OpCategory.BRANCH: 1.0e8,
+        },
+    )
+    node = NodeSpec(
+        cpu=cpu,
+        disk=DiskSpec(seek_s=3.0e-4, stream_bw=2.5e6),
+        nic=NICSpec(latency_s=1.0e-4, bw=1.0e7),
+    )
+    return ClusterSpec(
+        name="pentium-myrinet",
+        node=node,
+        num_nodes=num_nodes,
+        # 8 concurrent data nodes slightly exceed the backplane
+        # (2.425e6 < 2.5e6 per-node), reproducing the mildly sub-linear
+        # retrieval scaling the paper observes beyond 4 data nodes.
+        repository_backplane_bw=1.94e7,
+        node_startup_s=3.0e-4,
+        compute_pass_startup_s=2.0e-4,
+        chunk_dispatch_overhead_s=4.0e-5,
+        chunk_receive_overhead_s=6.0e-5,
+        intra_latency_s=2.5e-5,
+        intra_bw=5.0e7,
+        gather_deserialize_s=2.0e-5,
+        cache_disk=DiskSpec(seek_s=1.0e-4, stream_bw=4.0e7),
+    )
+
+
+def opteron_infiniband_cluster(num_nodes: int = 32) -> ClusterSpec:
+    """The cross-cluster prediction target: 2.4 GHz Opterons on InfiniBand.
+
+    Per-category speedups over the Pentium cluster: FLOP x2.86, MEM x2.22,
+    BRANCH x5.0 — so FLOP-heavy applications (vortex, EM) retain a larger
+    compute-time fraction (higher scaling factor) than branch-heavy ones
+    (kNN, defect), reproducing the Section 5.4 spread.
+    """
+    cpu = CPUSpec(
+        name="opteron-250",
+        rates={
+            OpCategory.FLOP: 4.29e8,
+            OpCategory.MEM: 5.56e8,
+            OpCategory.BRANCH: 5.0e8,
+        },
+    )
+    node = NodeSpec(
+        cpu=cpu,
+        disk=DiskSpec(seek_s=1.5e-4, stream_bw=5.0e6),
+        nic=NICSpec(latency_s=2.0e-5, bw=1.0e8),
+    )
+    return ClusterSpec(
+        name="opteron-infiniband",
+        node=node,
+        num_nodes=num_nodes,
+        repository_backplane_bw=3.8e7,
+        node_startup_s=1.5e-4,
+        compute_pass_startup_s=1.0e-4,
+        chunk_dispatch_overhead_s=2.0e-5,
+        chunk_receive_overhead_s=3.0e-5,
+        intra_latency_s=1.0e-5,
+        intra_bw=2.5e8,
+        gather_deserialize_s=8.0e-6,
+        cache_disk=DiskSpec(seek_s=5.0e-5, stream_bw=8.0e7),
+        # "dual processor 2.4GHz Opteron 250 machines" (Section 5): two
+        # processes per node with mild memory-bus contention.
+        smp_width=2,
+        smp_memory_contention=0.08,
+    )

@@ -1,0 +1,522 @@
+"""Per-figure experiment drivers for the paper's evaluation (Figures 2-13).
+
+Every experiment follows the paper's protocol exactly:
+
+1. Execute the application once on the **base profile** configuration and
+   collect the :class:`~repro.core.profile.Profile`.
+2. For every target configuration in the grid, execute the application for
+   real (the "actual" time) and predict its execution time from the profile
+   alone.
+3. Report ``E = |T_exact - T_predicted| / T_exact`` per configuration.
+
+The drivers return structured :class:`ExperimentResult` objects consumed by
+the benchmark harness, the report formatter and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import (
+    CrossClusterPredictor,
+    GlobalReductionModel,
+    ModelClasses,
+    NoCommunicationModel,
+    PredictionModel,
+    PredictionTarget,
+    Profile,
+    ReductionCommunicationModel,
+    measure_scaling_factors,
+    relative_error,
+)
+from repro.middleware import FreerideGRuntime
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.hardware import ClusterSpec
+from repro.workloads.clusters import (
+    DEFAULT_BANDWIDTH,
+    HALF_LOW_BANDWIDTH,
+    LOW_BANDWIDTH,
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.configs import PAPER_CONFIG_GRID, make_run_config
+from repro.workloads.registry import WORKLOADS, WorkloadSpec
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "FAST_CONFIG_GRID",
+    "run_experiment",
+    "run_model_comparison",
+    "run_dataset_scaling",
+    "run_bandwidth_scaling",
+    "run_cross_cluster",
+]
+
+#: Reduced grid used by tests (`fast=True`) to keep runtimes low.
+FAST_CONFIG_GRID: List[Tuple[int, int]] = [(1, 1), (1, 4), (2, 4), (4, 8)]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One (configuration, model) cell of a figure."""
+
+    data_nodes: int
+    compute_nodes: int
+    model: str
+    actual: float
+    predicted: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.data_nodes}-{self.compute_nodes}"
+
+    @property
+    def error(self) -> float:
+        """Relative prediction error (fraction)."""
+        return relative_error(self.actual, self.predicted)
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one reproduced figure."""
+
+    experiment_id: str
+    title: str
+    workload: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def models(self) -> List[str]:
+        """Model labels present, in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.model not in seen:
+                seen.append(row.model)
+        return seen
+
+    def rows_for_model(self, model: str) -> List[ExperimentRow]:
+        """All rows produced by one model."""
+        return [r for r in self.rows if r.model == model]
+
+    def errors_for_model(self, model: str) -> List[float]:
+        """Relative errors of one model across configurations."""
+        return [r.error for r in self.rows_for_model(model)]
+
+    def max_error(self, model: str) -> float:
+        """Worst-case relative error of one model."""
+        errors = self.errors_for_model(model)
+        if not errors:
+            raise ConfigurationError(f"no rows for model '{model}'")
+        return max(errors)
+
+    def mean_error(self, model: str) -> float:
+        """Mean relative error of one model."""
+        errors = self.errors_for_model(model)
+        if not errors:
+            raise ConfigurationError(f"no rows for model '{model}'")
+        return sum(errors) / len(errors)
+
+
+def _workload(name: str) -> WorkloadSpec:
+    spec = WORKLOADS.get(name)
+    if spec is None:
+        raise ConfigurationError(f"unknown workload '{name}'")
+    return spec
+
+
+def _execute(
+    spec: WorkloadSpec,
+    config: RunConfig,
+    size_label: Optional[str],
+):
+    dataset = spec.make_dataset(size_label)
+    result = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+    return dataset, result
+
+
+def _natural_classes(spec: WorkloadSpec) -> ModelClasses:
+    return ModelClasses.parse(
+        spec.natural_object_class, spec.natural_global_class
+    )
+
+
+def _grid(fast: bool) -> List[Tuple[int, int]]:
+    return FAST_CONFIG_GRID if fast else list(PAPER_CONFIG_GRID)
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-6: the three model levels across the configuration grid.
+# ---------------------------------------------------------------------------
+
+
+def run_model_comparison(
+    workload: str,
+    experiment_id: str,
+    title: str,
+    size_label: Optional[str] = None,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Compare the no-communication / reduction-communication / global-
+    reduction models, base profile 1-1 (Figures 2-6)."""
+    spec = _workload(workload)
+    classes = _natural_classes(spec)
+    models: List[PredictionModel] = [
+        NoCommunicationModel(),
+        ReductionCommunicationModel(classes),
+        GlobalReductionModel(classes),
+    ]
+
+    profile_config = make_run_config(1, 1)
+    dataset, profile_run = _execute(spec, profile_config, size_label)
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        workload=workload,
+        metadata={
+            "base_profile": "1-1",
+            "dataset": size_label or spec.default_size,
+            "dataset_bytes": dataset.nbytes,
+        },
+    )
+    for n, c in _grid(fast):
+        config = make_run_config(n, c)
+        _, run = _execute(spec, config, size_label)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        for model in models:
+            predicted = model.predict(profile, target)
+            result.rows.append(
+                ExperimentRow(
+                    data_nodes=n,
+                    compute_nodes=c,
+                    model=model.label,
+                    actual=run.breakdown.total,
+                    predicted=predicted.total,
+                )
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-8: dataset-size scaling, global-reduction model only.
+# ---------------------------------------------------------------------------
+
+
+def run_dataset_scaling(
+    workload: str,
+    experiment_id: str,
+    title: str,
+    profile_size: str,
+    target_size: str,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Profile on a small dataset, predict a large one (Figures 7-8)."""
+    spec = _workload(workload)
+    model = GlobalReductionModel(_natural_classes(spec))
+
+    profile_config = make_run_config(1, 1)
+    _, profile_run = _execute(spec, profile_config, profile_size)
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        workload=workload,
+        metadata={
+            "base_profile": "1-1",
+            "profile_dataset": profile_size,
+            "target_dataset": target_size,
+        },
+    )
+    for n, c in _grid(fast):
+        config = make_run_config(n, c)
+        dataset, run = _execute(spec, config, target_size)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = model.predict(profile, target)
+        result.rows.append(
+            ExperimentRow(
+                data_nodes=n,
+                compute_nodes=c,
+                model=model.label,
+                actual=run.breakdown.total,
+                predicted=predicted.total,
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-10: network-bandwidth change, global-reduction model only.
+# ---------------------------------------------------------------------------
+
+
+def run_bandwidth_scaling(
+    workload: str,
+    experiment_id: str,
+    title: str,
+    profile_bandwidth: float = LOW_BANDWIDTH,
+    target_bandwidth: float = HALF_LOW_BANDWIDTH,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Profile at one synthetic bandwidth, predict another (Figures 9-10)."""
+    spec = _workload(workload)
+    model = GlobalReductionModel(_natural_classes(spec))
+
+    profile_config = make_run_config(1, 1, bandwidth=profile_bandwidth)
+    dataset, profile_run = _execute(spec, profile_config, None)
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        workload=workload,
+        metadata={
+            "base_profile": "1-1",
+            "profile_bandwidth": profile_bandwidth,
+            "target_bandwidth": target_bandwidth,
+        },
+    )
+    for n, c in _grid(fast):
+        config = make_run_config(n, c, bandwidth=target_bandwidth)
+        _, run = _execute(spec, config, None)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = model.predict(profile, target)
+        result.rows.append(
+            ExperimentRow(
+                data_nodes=n,
+                compute_nodes=c,
+                model=model.label,
+                actual=run.breakdown.total,
+                predicted=predicted.total,
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-13: predictions for a different type of cluster.
+# ---------------------------------------------------------------------------
+
+
+def run_cross_cluster(
+    workload: str,
+    experiment_id: str,
+    title: str,
+    profile_size: str,
+    target_size: str,
+    profile_nodes: Tuple[int, int],
+    representatives: Sequence[str],
+    fast: bool = False,
+    factor_nodes: Tuple[int, int] = (2, 4),
+) -> ExperimentResult:
+    """Predict Opteron-cluster execution from a Pentium-cluster profile.
+
+    Component scaling factors are measured with the representative
+    applications executed on identical configurations on both clusters
+    (Section 3.4); the application under test is excluded from that set,
+    matching the paper's protocol.
+    """
+    spec = _workload(workload)
+    if workload in representatives:
+        raise ConfigurationError(
+            "the predicted application must not be a representative"
+        )
+    pentium = pentium_myrinet_cluster()
+    opteron = opteron_infiniband_cluster()
+
+    pairs = []
+    rep_n, rep_c = factor_nodes
+    for rep_name in representatives:
+        rep = _workload(rep_name)
+        config_a = make_run_config(rep_n, rep_c, storage_cluster=pentium)
+        dataset_a = rep.make_dataset(None)
+        run_a = FreerideGRuntime(config_a).execute(rep.make_app(), dataset_a)
+        config_b = make_run_config(rep_n, rep_c, storage_cluster=opteron)
+        run_b = FreerideGRuntime(config_b).execute(rep.make_app(), dataset_a)
+        pairs.append(
+            (
+                Profile.from_run(config_a, run_a.breakdown),
+                Profile.from_run(config_b, run_b.breakdown),
+            )
+        )
+    factors = measure_scaling_factors(pairs)
+
+    model = CrossClusterPredictor(
+        GlobalReductionModel(_natural_classes(spec)), factors
+    )
+
+    pn, pc = profile_nodes
+    profile_config = make_run_config(pn, pc, storage_cluster=pentium)
+    _, profile_run = _execute(spec, profile_config, profile_size)
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        workload=workload,
+        metadata={
+            "base_profile": f"{pn}-{pc}",
+            "profile_dataset": profile_size,
+            "target_dataset": target_size,
+            "representatives": list(representatives),
+            "sd": factors.sd,
+            "sn": factors.sn,
+            "sc": factors.sc,
+            "per_app_sc": {
+                app: ratios[2]
+                for app, ratios in (factors.per_app or {}).items()
+            },
+        },
+    )
+    for n, c in _grid(fast):
+        config = make_run_config(n, c, storage_cluster=opteron)
+        dataset, run = _execute(spec, config, target_size)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = model.predict(profile, target)
+        result.rows.append(
+            ExperimentRow(
+                data_nodes=n,
+                compute_nodes=c,
+                model=model.label,
+                actual=run.breakdown.total,
+                predicted=predicted.total,
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The figure registry.
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig02": lambda fast=False: run_model_comparison(
+        "kmeans",
+        "fig02",
+        "Prediction Errors for k-means Clustering, base profile 1-1, 1.4 GB",
+        fast=fast,
+    ),
+    "fig03": lambda fast=False: run_model_comparison(
+        "vortex",
+        "fig03",
+        "Prediction Errors for Vortex Detection, base profile 1-1, 710 MB",
+        fast=fast,
+    ),
+    "fig04": lambda fast=False: run_model_comparison(
+        "defect",
+        "fig04",
+        "Prediction Errors for Molecular Defect Detection, base profile 1-1, 130 MB",
+        fast=fast,
+    ),
+    "fig05": lambda fast=False: run_model_comparison(
+        "em",
+        "fig05",
+        "Prediction Errors for EM Clustering, base profile 1-1, 1.4 GB",
+        fast=fast,
+    ),
+    "fig06": lambda fast=False: run_model_comparison(
+        "knn",
+        "fig06",
+        "Prediction Errors for KNN Search, base profile 1-1, 1.4 GB",
+        fast=fast,
+    ),
+    "fig07": lambda fast=False: run_dataset_scaling(
+        "em",
+        "fig07",
+        "Prediction Errors for EM Clustering, 1.4 GB dataset, "
+        "base profile 1-1 with 350 MB",
+        profile_size="350 MB",
+        target_size="1.4 GB",
+        fast=fast,
+    ),
+    "fig08": lambda fast=False: run_dataset_scaling(
+        "defect",
+        "fig08",
+        "Prediction Errors for Molecular Defect Detection with 1.8 GB "
+        "dataset, base profile 1-1 with 130 MB",
+        profile_size="130 MB",
+        target_size="1.8 GB",
+        fast=fast,
+    ),
+    "fig09": lambda fast=False: run_bandwidth_scaling(
+        "defect",
+        "fig09",
+        "Prediction Errors for Molecular Defect Detection with 250 Kbps, "
+        "base profile 1-1 with 500 Kbps",
+        fast=fast,
+    ),
+    "fig10": lambda fast=False: run_bandwidth_scaling(
+        "em",
+        "fig10",
+        "Prediction Errors for EM Clustering with 250 Kbps, "
+        "base profile 1-1 with 500 Kbps",
+        fast=fast,
+    ),
+    "fig11": lambda fast=False: run_cross_cluster(
+        "em",
+        "fig11",
+        "Prediction Errors for EM Clustering on a Different Cluster, "
+        "700 MB dataset, base profile 8-8 with 350 MB",
+        profile_size="350 MB",
+        target_size="700 MB",
+        profile_nodes=(8, 8),
+        representatives=("kmeans", "knn", "vortex"),
+        fast=fast,
+    ),
+    "fig12": lambda fast=False: run_cross_cluster(
+        "defect",
+        "fig12",
+        "Prediction Errors for Molecular Defect Detection on a Different "
+        "Cluster, 1.8 GB dataset, base profile 4-4 with 130 MB",
+        profile_size="130 MB",
+        target_size="1.8 GB",
+        profile_nodes=(4, 4),
+        representatives=("kmeans", "knn", "em"),
+        fast=fast,
+    ),
+    "fig13": lambda fast=False: run_cross_cluster(
+        "vortex",
+        "fig13",
+        "Prediction Errors for Vortex Detection on a Different Cluster, "
+        "1.85 GB dataset, base profile 1-1 with 710 MB",
+        profile_size="710 MB",
+        target_size="1.85 GB",
+        profile_nodes=(1, 1),
+        representatives=("kmeans", "knn", "em"),
+        fast=fast,
+    ),
+    # ------------------------------------------------------------------
+    # Extension experiments: the Section 2.2 applications the paper names
+    # but does not evaluate, run under the Figure 2-6 protocol.
+    # ------------------------------------------------------------------
+    "ext-apriori": lambda fast=False: run_model_comparison(
+        "apriori",
+        "ext-apriori",
+        "Prediction Errors for Apriori Association Mining (extension), "
+        "base profile 1-1, 1 GB",
+        fast=fast,
+    ),
+    "ext-neuralnet": lambda fast=False: run_model_comparison(
+        "neuralnet",
+        "ext-neuralnet",
+        "Prediction Errors for Neural Network Training (extension), "
+        "base profile 1-1, 1 GB",
+        fast=fast,
+    ),
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one figure reproduction by id (``"fig02"`` ... ``"fig13"``)."""
+    runner = EXPERIMENTS.get(experiment_id)
+    if runner is None:
+        raise ConfigurationError(
+            f"unknown experiment '{experiment_id}'; known: {sorted(EXPERIMENTS)}"
+        )
+    return runner(fast=fast)

@@ -1,0 +1,72 @@
+"""Tests for ASCII bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.ascii import error_bar_chart, horizontal_bar
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import ExperimentResult, ExperimentRow
+
+
+class TestHorizontalBar:
+    def test_full_bar(self):
+        assert horizontal_bar(2.0, 2.0, width=10) == "█" * 10
+
+    def test_half_bar(self):
+        assert horizontal_bar(1.0, 2.0, width=4) == "██"
+
+    def test_zero_value(self):
+        assert horizontal_bar(0.0, 2.0, width=10) == ""
+
+    def test_zero_max(self):
+        assert horizontal_bar(0.0, 0.0, width=10) == ""
+
+    def test_value_clamped_to_max(self):
+        assert horizontal_bar(5.0, 2.0, width=4) == "████"
+
+    def test_partial_block(self):
+        bar = horizontal_bar(1.0, 8.0, width=4)  # half a cell
+        assert len(bar) == 1
+        assert bar != "█"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            horizontal_bar(1.0, 2.0, width=0)
+        with pytest.raises(ConfigurationError):
+            horizontal_bar(-1.0, 2.0)
+
+
+class TestErrorBarChart:
+    def make_result(self):
+        result = ExperimentResult("figX", "t", "kmeans")
+        result.rows = [
+            ExperimentRow(1, 1, "m", 10.0, 10.0),
+            ExperimentRow(1, 2, "m", 10.0, 9.0),
+            ExperimentRow(2, 2, "m", 10.0, 8.0),
+        ]
+        return result
+
+    def test_groups_by_data_nodes(self):
+        chart = error_bar_chart(self.make_result())
+        assert "1 data node(s):" in chart
+        assert "2 data node(s):" in chart
+
+    def test_percentages_rendered(self):
+        chart = error_bar_chart(self.make_result())
+        assert "10.00%" in chart
+        assert "20.00%" in chart
+
+    def test_peak_normalization(self):
+        chart = error_bar_chart(self.make_result(), width=10)
+        # the 20% row carries the full-width bar
+        worst_line = [
+            l for l in chart.splitlines() if "20.00%" in l and "cn" in l
+        ][0]
+        assert "█" * 10 in worst_line
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_bar_chart(self.make_result(), model="nope")
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_bar_chart(ExperimentResult("figX", "t", "w"))

@@ -1,0 +1,83 @@
+"""Tests for component-share analysis."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    ComponentShares,
+    format_shares,
+    shares_of,
+    sweep_shares,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.trace import PassRecord, TimeBreakdown
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+from repro.middleware.scheduler import RunConfig
+
+
+def make_breakdown(disk=1.0, net=2.0, compute=1.0):
+    bd = TimeBreakdown()
+    bd.add_pass(
+        PassRecord(0, t_disk=disk, t_network=net, t_local_compute=compute)
+    )
+    return bd
+
+
+class TestSharesOf:
+    def test_fractions_sum_to_one(self):
+        shares = shares_of(make_breakdown(), label="x")
+        assert shares.disk + shares.network + shares.compute == pytest.approx(1.0)
+        assert shares.label == "x"
+
+    def test_dominant_component(self):
+        assert shares_of(make_breakdown(net=5.0)).dominant == "network"
+        assert shares_of(make_breakdown(disk=9.0)).dominant == "disk"
+        assert shares_of(make_breakdown(compute=9.0)).dominant == "compute"
+
+    def test_tie_breaks_deterministically(self):
+        shares = shares_of(make_breakdown(disk=1.0, net=1.0, compute=1.0))
+        assert shares.dominant in {"disk", "network", "compute"}
+
+    def test_zero_run_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shares_of(TimeBreakdown())
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentShares("x", total=0.0, disk=0, network=0, compute=0)
+
+
+class TestSweepShares:
+    def test_sweep_runs_each_config(self):
+        cluster = small_cluster_spec()
+        configs = [
+            RunConfig(
+                storage_cluster=cluster,
+                compute_cluster=cluster,
+                data_nodes=n,
+                compute_nodes=c,
+                bandwidth=5e5,
+            )
+            for n, c in [(1, 1), (2, 4)]
+        ]
+        dataset = make_tiny_points()
+        shares = sweep_shares(SumApp, dataset, configs)
+        assert [s.label for s in shares] == ["1-1", "2-4"]
+        for s in shares:
+            assert 0 <= s.disk <= 1 and 0 <= s.compute <= 1
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_shares(SumApp, make_tiny_points(), [])
+
+
+class TestFormatShares:
+    def test_table_contains_rows(self):
+        text = format_shares([shares_of(make_breakdown(), label="1-1")])
+        assert "1-1" in text
+        assert "dominant" in text
+        assert "%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_shares([])

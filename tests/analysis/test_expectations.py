@@ -1,0 +1,100 @@
+"""Tests for the paper-expectation checker."""
+
+import pytest
+
+from repro.analysis.expectations import (
+    EXPECTATIONS,
+    FigureExpectation,
+    check_expectation,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import EXPERIMENTS, ExperimentResult, ExperimentRow
+
+
+def make_result(errors_by_model, figure="fig02"):
+    """errors_by_model: {model: [(n, c, error), ...]}"""
+    result = ExperimentResult(figure, "t", "kmeans")
+    for model, cells in errors_by_model.items():
+        for n, c, err in cells:
+            result.rows.append(
+                ExperimentRow(n, c, model, actual=1.0, predicted=1.0 - err)
+            )
+    return result
+
+
+GOOD = {
+    "no communication": [(1, 1, 0.0), (4, 4, 0.03), (8, 16, 0.08)],
+    "reduction communication": [(1, 1, 0.0), (4, 4, 0.02), (8, 16, 0.04)],
+    "global reduction": [(1, 1, 0.0), (4, 4, 0.01), (8, 16, 0.02)],
+}
+
+
+class TestRegistry:
+    def test_every_experiment_has_an_expectation(self):
+        assert set(EXPECTATIONS) == set(EXPERIMENTS)
+
+
+class TestCheckExpectation:
+    def test_clean_result_passes(self):
+        assert check_expectation(make_result(GOOD)) == []
+
+    def test_bound_violation_detected(self):
+        bad = dict(GOOD)
+        bad["global reduction"] = [(1, 1, 0.0), (8, 16, 0.30)]
+        violations = check_expectation(make_result(bad))
+        assert any("exceeds bound" in v for v in violations)
+
+    def test_ordering_violation_detected(self):
+        bad = {
+            "no communication": [(1, 1, 0.01)],
+            "reduction communication": [(1, 1, 0.02)],
+            "global reduction": [(1, 1, 0.03)],
+        }
+        violations = check_expectation(make_result(bad))
+        assert any("ordering" in v for v in violations)
+
+    def test_missing_model_detected(self):
+        bad = {"no communication": [(1, 1, 0.0)]}
+        expectation = FigureExpectation(
+            "figX", max_error_bounds={"global reduction": 0.05}
+        )
+        violations = check_expectation(make_result(bad, "figX"), expectation)
+        assert any("missing" in v for v in violations)
+
+    def test_scale_up_claim_checked(self):
+        bad = dict(GOOD)
+        bad["no communication"] = [(1, 1, 0.09), (8, 16, 0.01)]
+        violations = check_expectation(make_result(bad))
+        assert any("scale-up" in v for v in violations)
+
+    def test_scale_up_claim_skipped_on_reduced_grid(self):
+        small = {
+            model: [(1, 1, 0.01), (2, 4, 0.02)] for model in GOOD
+        }
+        # no >= 8-compute-node rows: the claim cannot be expressed
+        assert check_expectation(make_result(small)) == []
+
+    def test_equal_nodes_claim(self):
+        expectation = FigureExpectation(
+            "figY", equal_nodes_hardest="cross-cluster"
+        )
+        good = {
+            "cross-cluster": [(4, 4, 0.05), (4, 16, 0.01), (8, 8, 0.04)]
+        }
+        assert check_expectation(make_result(good, "figY"), expectation) == []
+        bad = {
+            "cross-cluster": [(4, 4, 0.01), (4, 16, 0.05), (8, 8, 0.01)]
+        }
+        violations = check_expectation(make_result(bad, "figY"), expectation)
+        assert any("hardest" in v for v in violations)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_expectation(make_result(GOOD, "fig99"))
+
+    @pytest.mark.slow
+    def test_fast_experiment_against_expectation(self):
+        from repro.workloads.experiments import run_experiment
+
+        result = run_experiment("fig06", fast=True)
+        assert check_expectation(result) == []

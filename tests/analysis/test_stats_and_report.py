@@ -1,0 +1,75 @@
+"""Tests for analysis statistics and report formatting."""
+
+import pytest
+
+from repro.analysis.report import format_experiment, format_summary
+from repro.analysis.stats import (
+    error_summary,
+    mean,
+    model_ordering_holds,
+    worst_configuration,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import ExperimentResult, ExperimentRow
+
+
+def make_result():
+    result = ExperimentResult("fig99", "Synthetic Figure", "kmeans")
+    result.rows = [
+        ExperimentRow(1, 1, "no communication", 10.0, 9.0),
+        ExperimentRow(1, 2, "no communication", 10.0, 8.0),
+        ExperimentRow(1, 1, "global reduction", 10.0, 9.9),
+        ExperimentRow(1, 2, "global reduction", 10.0, 9.8),
+    ]
+    return result
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_error_summary(self):
+        summary = error_summary(make_result())
+        assert summary["no communication"]["max"] == pytest.approx(0.2)
+        assert summary["global reduction"]["mean"] == pytest.approx(0.015)
+        assert summary["global reduction"]["min"] == pytest.approx(0.01)
+
+    def test_model_ordering_holds(self):
+        assert model_ordering_holds(make_result())
+
+    def test_model_ordering_violation_detected(self):
+        result = make_result()
+        result.rows = list(reversed(result.rows))  # global first, worse last
+        # reversed order: first model listed is 'global reduction', then
+        # 'no communication' with larger errors -> ordering violated
+        assert not model_ordering_holds(result)
+
+    def test_model_ordering_needs_two_models(self):
+        result = ExperimentResult("x", "t", "w")
+        result.rows = [ExperimentRow(1, 1, "only", 1.0, 1.0)]
+        with pytest.raises(ConfigurationError):
+            model_ordering_holds(result)
+
+    def test_worst_configuration(self):
+        worst = worst_configuration(make_result(), "no communication")
+        assert worst.label == "1-2"
+        with pytest.raises(ConfigurationError):
+            worst_configuration(make_result(), "nope")
+
+
+class TestReport:
+    def test_format_contains_configs_and_models(self):
+        text = format_experiment(make_result())
+        assert "fig99" in text
+        assert "1-1" in text and "1-2" in text
+        assert "no communication" in text
+        assert "global reduction" in text
+        assert "10.00%" in text  # the 1-1 no-comm error
+        assert "20.00%" in text
+
+    def test_summary_line(self):
+        line = format_summary(make_result())
+        assert "mean" in line and "max" in line
+        assert "no communication" in line

@@ -1,0 +1,105 @@
+"""Deliberate boundary-straddling cases for the scientific applications.
+
+The figure tests use randomly placed features; these tests *construct*
+features exactly on partition boundaries so the cross-partition joining
+paths are exercised deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.defect import DefectDetection
+from repro.apps.vortex import VortexDetection
+from repro.datagen.cfd import FieldDataset, generate_velocity_field
+from repro.datagen.lattice import LatticeDataset
+
+from tests.apps.conftest import execute
+
+
+class TestVortexOnBoundary:
+    def make_dataset(self, num_chunks):
+        """One vortex centred exactly on a chunk boundary row."""
+        ny, nx = 64, 64
+        u, v, truth = generate_velocity_field(ny, nx, 0, seed=71)
+        # Plant a synthetic swirl centred on row 32 (the 2-chunk boundary).
+        yy, xx = np.meshgrid(
+            np.arange(ny, dtype=np.float64),
+            np.arange(nx, dtype=np.float64),
+            indexing="ij",
+        )
+        dy, dx = yy - 32.0, xx - 32.0
+        r2 = np.maximum(dy**2 + dx**2, 1e-9)
+        swirl = 60.0 / (2.0 * np.pi * r2) * (1.0 - np.exp(-r2 / 16.0))
+        u = (u + (-swirl * dy).astype(np.float32)).astype(np.float32)
+        v = (v + (swirl * dx).astype(np.float32)).astype(np.float32)
+        return FieldDataset("boundary-vx", u, v, num_chunks=num_chunks)
+
+    @pytest.mark.parametrize("num_chunks", [2, 4, 8, 16])
+    def test_single_vortex_survives_any_partitioning(self, num_chunks):
+        dataset = self.make_dataset(num_chunks)
+        run = execute(VortexDetection(), dataset, 1, min(num_chunks, 4))
+        assert run.result["count"] == 1
+        vortex = run.result["vortices"][0]
+        assert vortex["ymin"] <= 32 <= vortex["ymax"]
+
+    def test_fragment_count_tracks_partitioning(self):
+        coarse = execute(VortexDetection(), self.make_dataset(2), 1, 2)
+        fine = execute(VortexDetection(), self.make_dataset(16), 1, 4)
+        assert (
+            fine.result["vortices"][0]["num_fragments"]
+            >= coarse.result["vortices"][0]["num_fragments"]
+        )
+
+    def test_area_independent_of_partitioning(self):
+        areas = set()
+        for chunks in (2, 4, 8):
+            run = execute(VortexDetection(), self.make_dataset(chunks), 1, 2)
+            areas.add(run.result["vortices"][0]["area"])
+        assert len(areas) == 1
+
+
+class TestDefectOnBoundary:
+    def make_dataset(self, anchor_z, num_chunks=8):
+        """A 2-layer defect anchored at ``anchor_z`` in a 16-layer lattice."""
+        nz, ny, nx = 16, 8, 8
+        rng = np.random.default_rng(73)
+        displacement = np.abs(rng.normal(0.0, 0.02, size=(nz, ny, nx))).astype(
+            np.float32
+        )
+        species = np.zeros((nz, ny, nx), dtype=np.int8)
+        for dz in (0, 1):  # the di-vacancy-z template
+            displacement[anchor_z + dz, 4, 4] = 0.7
+        return LatticeDataset(
+            "boundary-df",
+            displacement,
+            species,
+            num_chunks=num_chunks,
+            meta={"detection_threshold": 0.3},
+        )
+
+    @pytest.mark.parametrize("anchor_z", [1, 5, 7, 9, 13])
+    def test_z_spanning_defect_joined_exactly_once(self, anchor_z):
+        """With 2-layer slabs, odd anchors straddle a cut; the join must
+        produce exactly one 2-site defect either way."""
+        dataset = self.make_dataset(anchor_z)
+        run = execute(DefectDetection(), dataset, 2, 4)
+        assert run.result["count"] == 1
+        defect = run.result["defects"][0]
+        assert defect["num_sites"] == 2
+        assert defect["anchor"] == (anchor_z, 4, 4)
+
+    def test_straddling_defect_has_two_fragments(self):
+        run = execute(DefectDetection(), self.make_dataset(anchor_z=7), 2, 4)
+        assert run.result["defects"][0]["num_fragments"] == 2
+
+    def test_interior_defect_has_one_fragment(self):
+        run = execute(DefectDetection(), self.make_dataset(anchor_z=4), 2, 4)
+        assert run.result["defects"][0]["num_fragments"] == 1
+
+    def test_signature_matches_template_regardless_of_cut(self):
+        from repro.datagen.lattice import DEFECT_TEMPLATES, template_signature
+
+        expected = template_signature(DEFECT_TEMPLATES["di-vacancy-z"])
+        for anchor in (4, 7):
+            run = execute(DefectDetection(), self.make_dataset(anchor), 1, 2)
+            assert run.result["defects"][0]["signature"] == expected

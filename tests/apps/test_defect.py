@@ -1,0 +1,121 @@
+"""Tests for the molecular defect detection application."""
+
+import pytest
+
+from repro.apps.defect import DefectDetection, _signature
+from repro.datagen.lattice import DEFECT_TEMPLATES, make_lattice_dataset
+from repro.simgrid.errors import ConfigurationError
+
+from tests.apps.conftest import INVARIANCE_CONFIGS, execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_lattice_dataset(
+        "df-test", nz=64, ny=12, nx=12, num_chunks=32, num_defects=10, seed=23
+    )
+
+
+def make_app():
+    return DefectDetection()
+
+
+class TestDefectCorrectness:
+    def test_detects_all_planted_defects(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        assert run.result["count"] == len(dataset.meta["true_defects"])
+
+    def test_signatures_match_planted_templates(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        planted = sorted(
+            tuple(d["signature"]) for d in dataset.meta["true_defects"]
+        )
+        detected = sorted(tuple(d["signature"]) for d in run.result["defects"])
+        assert detected == planted
+
+    def test_result_invariant_across_configurations(self, dataset):
+        reference = None
+        for n, c in INVARIANCE_CONFIGS:
+            run = execute(make_app(), dataset, n, c)
+            summary = sorted(
+                (d["anchor"], d["signature"]) for d in run.result["defects"]
+            )
+            if reference is None:
+                reference = summary
+            else:
+                assert summary == reference
+
+    def test_defects_join_across_slabs(self, dataset):
+        """The di-vacancy-z template spans two z-layers; with 2-layer slabs
+        some planted defect should straddle a cut eventually.  At minimum,
+        joined results never double-count."""
+        run = execute(make_app(), dataset, 4, 8)
+        total_sites = sum(d["num_sites"] for d in run.result["defects"])
+        expected_sites = sum(
+            len(DEFECT_TEMPLATES[d["template"]])
+            for d in dataset.meta["true_defects"]
+        )
+        assert total_sites == expected_sites
+
+    def test_catalog_learns_unknown_shapes(self, dataset):
+        app = make_app()
+        run = execute(app, dataset, 1, 2)
+        # seed catalog has 2 entries; planted set includes other templates
+        assert run.result["catalog_size"] > 2
+
+    def test_known_shapes_do_not_grow_catalog(self):
+        ds = make_lattice_dataset(
+            "df-known", nz=32, ny=10, nx=10, num_chunks=16, num_defects=0, seed=29
+        )
+        app = make_app()
+        run = execute(app, ds, 1, 2)
+        assert run.result["catalog_size"] == 2
+        assert run.result["count"] == 0
+
+    def test_class_ids_stable_for_same_signature(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        by_signature = {}
+        for d in run.result["defects"]:
+            by_signature.setdefault(d["signature"], set()).add(d["class_id"])
+        for ids in by_signature.values():
+            assert len(ids) == 1
+
+    def test_threshold_from_metadata_wins(self, dataset):
+        app = DefectDetection(threshold=99.0)
+        app.begin(dict(dataset.meta))
+        assert app.threshold == dataset.meta["detection_threshold"]
+
+
+class TestDefectModelClasses:
+    def test_object_size_scales_with_local_share(self, dataset):
+        one = execute(make_app(), dataset, 1, 1)
+        sixteen = execute(make_app(), dataset, 4, 16)
+        assert (
+            sixteen.breakdown.max_reduction_object_bytes
+            < one.breakdown.max_reduction_object_bytes
+        )
+
+    def test_broadcasts_catalog(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        assert run.breakdown.metadata["broadcast_nbytes"] > 0
+
+    def test_flags(self):
+        app = make_app()
+        assert app.broadcasts_result is True
+        assert app.multi_pass_hint is False
+
+
+class TestSignature:
+    def test_translation_invariance(self):
+        a = _signature([(3, 4, 5, 0), (4, 4, 5, 0)])
+        b = _signature([(0, 0, 0, 0), (1, 0, 0, 0)])
+        assert a == b
+
+    def test_species_sensitivity(self):
+        assert _signature([(0, 0, 0, 0)]) != _signature([(0, 0, 0, 1)])
+
+
+class TestDefectValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DefectDetection(threshold=0.0)

@@ -1,0 +1,99 @@
+"""Tests for the EM clustering application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em import EMClustering
+from repro.datagen.points import make_point_dataset
+from repro.simgrid.errors import ConfigurationError
+
+from tests.apps.conftest import INVARIANCE_CONFIGS, execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_point_dataset(
+        "em-test", num_points=2000, num_dims=3, num_centers=3, num_chunks=32, seed=13
+    )
+
+
+def make_app(iters=4):
+    return EMClustering(k=3, num_iterations=iters, seed=7)
+
+
+class TestEMCorrectness:
+    def test_two_passes_per_iteration(self, dataset):
+        run = execute(make_app(iters=4), dataset, 1, 2)
+        assert run.breakdown.num_passes == 8
+        assert run.result["iterations"] == 4
+
+    def test_loglikelihood_improves(self, dataset):
+        run = execute(make_app(iters=5), dataset, 1, 2)
+        history = run.result["loglik_history"]
+        assert len(history) == 5
+        assert history[-1] > history[0]
+
+    def test_result_invariant_across_configurations(self, dataset):
+        reference = None
+        for n, c in INVARIANCE_CONFIGS:
+            run = execute(make_app(), dataset, n, c)
+            if reference is None:
+                reference = run.result
+            else:
+                np.testing.assert_allclose(
+                    run.result["means"], reference["means"], rtol=1e-6
+                )
+                np.testing.assert_allclose(
+                    run.result["covariances"], reference["covariances"], rtol=1e-6
+                )
+
+    def test_recovers_planted_means(self, dataset):
+        run = execute(make_app(iters=8), dataset, 2, 4)
+        found = run.result["means"]
+        for centre in dataset.meta["true_centers"]:
+            nearest = np.min(np.linalg.norm(found - centre, axis=1))
+            assert nearest < 1.0
+
+    def test_covariances_positive_definite(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        for cov in run.result["covariances"]:
+            eigvals = np.linalg.eigvalsh(cov)
+            assert np.all(eigvals > 0)
+
+    def test_weights_form_distribution(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        weights = run.result["weights"]
+        assert np.all(weights >= 0)
+        assert float(weights.sum()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestEMModelClasses:
+    def test_object_size_constant_across_configs(self, dataset):
+        small = execute(make_app(), dataset, 1, 1)
+        wide = execute(make_app(), dataset, 4, 16)
+        assert (
+            small.breakdown.max_reduction_object_bytes
+            == wide.breakdown.max_reduction_object_bytes
+        )
+
+    def test_e_and_m_objects_have_expected_sizes(self):
+        app = make_app()
+        app.begin({"num_dims": 3})
+        e_obj = app.make_local_object()
+        assert app.object_nbytes(e_obj) == (3 * (3 + 1) + 1) * 8 + 8
+        app._phase = "M"
+        m_obj = app.make_local_object()
+        assert app.object_nbytes(m_obj) == 3 * 9 * 8 + 8
+
+    def test_flags(self):
+        app = make_app()
+        assert app.broadcasts_result is True
+        assert app.multi_pass_hint is True
+
+
+class TestEMValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EMClustering(k=0)
+        with pytest.raises(ConfigurationError):
+            EMClustering(num_iterations=0)

@@ -1,0 +1,103 @@
+"""Tests for the k-means application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansClustering
+from repro.datagen.points import make_point_dataset
+from repro.simgrid.errors import ConfigurationError
+
+from tests.apps.conftest import INVARIANCE_CONFIGS, execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_point_dataset(
+        "km-test", num_points=2000, num_dims=3, num_centers=4, num_chunks=32, seed=11
+    )
+
+
+def make_app():
+    return KMeansClustering(k=4, num_iterations=8, seed=5)
+
+
+class TestKMeansCorrectness:
+    def test_recovers_planted_centers(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        found = run.result["centers"]
+        true = dataset.meta["true_centers"]
+        # every true centre should have a found centre nearby
+        for centre in true:
+            nearest = np.min(np.linalg.norm(found - centre, axis=1))
+            assert nearest < 1.0
+
+    def test_result_invariant_across_configurations(self, dataset):
+        reference = None
+        for n, c in INVARIANCE_CONFIGS:
+            run = execute(make_app(), dataset, n, c)
+            centers = run.result["centers"]
+            if reference is None:
+                reference = centers
+            else:
+                np.testing.assert_allclose(centers, reference, rtol=1e-8)
+
+    def test_matches_serial_reference(self, dataset):
+        app = make_app()
+        app.begin(dict(dataset.meta))
+        serial = app.run_serial(
+            [dataset.chunk_payload(i) for i in range(len(dataset))]
+        )
+        parallel = execute(make_app(), dataset, 4, 8).result
+        np.testing.assert_allclose(
+            serial["centers"], parallel["centers"], rtol=1e-8
+        )
+
+    def test_runs_fixed_iterations(self, dataset):
+        run = execute(make_app(), dataset, 1, 2)
+        assert run.result["iterations"] == 8
+        assert run.breakdown.num_passes == 8
+
+    def test_shift_history_decreases(self, dataset):
+        run = execute(make_app(), dataset, 1, 2)
+        shifts = run.result["shift_history"]
+        assert shifts[-1] < shifts[0]
+
+
+class TestKMeansModelClasses:
+    def test_object_size_constant_in_everything(self, dataset):
+        small = execute(make_app(), dataset, 1, 1)
+        wide = execute(make_app(), dataset, 4, 16)
+        assert (
+            small.breakdown.max_reduction_object_bytes
+            == wide.breakdown.max_reduction_object_bytes
+        )
+
+    def test_object_size_depends_on_k_and_d(self):
+        app = KMeansClustering(k=4, num_iterations=1)
+        app.begin({"num_dims": 3})
+        obj = app.make_local_object()
+        assert app.object_nbytes(obj) == 4 * (3 + 1) * 8 + 8
+
+    def test_global_reduction_grows_with_nodes(self, dataset):
+        narrow = execute(make_app(), dataset, 1, 2)
+        wide = execute(make_app(), dataset, 1, 16)
+        assert wide.breakdown.t_g > narrow.breakdown.t_g
+
+    def test_broadcasts_and_caches(self):
+        app = make_app()
+        assert app.broadcasts_result is True
+        assert app.multi_pass_hint is True
+
+
+class TestKMeansValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KMeansClustering(k=0)
+        with pytest.raises(ConfigurationError):
+            KMeansClustering(num_iterations=0)
+
+    def test_empty_cluster_keeps_old_center(self, dataset):
+        # k much larger than the planted centres guarantees empty clusters.
+        app = KMeansClustering(k=32, num_iterations=2, seed=5)
+        run = execute(app, dataset, 1, 2)
+        assert np.all(np.isfinite(run.result["centers"]))

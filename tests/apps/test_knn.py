@@ -1,0 +1,134 @@
+"""Tests for the kNN search application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.knn import KNNCandidates, KNNSearch
+from repro.datagen.points import make_training_dataset
+from repro.simgrid.errors import ConfigurationError
+
+from tests.apps.conftest import INVARIANCE_CONFIGS, execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_training_dataset(
+        "knn-test", num_points=2000, num_dims=3, num_classes=5, num_chunks=32, seed=17
+    )
+
+
+def make_app(k=6, q=16):
+    return KNNSearch(k=k, num_queries=q, seed=19)
+
+
+def brute_force(dataset, app):
+    """Exact reference answer computed with a single global scan."""
+    records = dataset.records.astype(np.float64)
+    features, labels = records[:, :3], records[:, 3]
+    out_d = np.empty((app.num_queries, app.k))
+    out_l = np.empty((app.num_queries, app.k))
+    for i, q in enumerate(app.queries):
+        d2 = ((features - q) ** 2).sum(axis=1)
+        order = np.argsort(d2, kind="stable")[: app.k]
+        out_d[i] = d2[order]
+        out_l[i] = labels[order]
+    return out_d, out_l
+
+
+class TestKNNCorrectness:
+    def test_matches_brute_force(self, dataset):
+        app = make_app()
+        run = execute(app, dataset, 2, 4)
+        expected_d, _ = brute_force(dataset, app)
+        np.testing.assert_allclose(
+            run.result["neighbors_dists"] ** 2, expected_d, rtol=1e-5, atol=1e-8
+        )
+
+    def test_result_invariant_across_configurations(self, dataset):
+        reference = None
+        for n, c in INVARIANCE_CONFIGS:
+            run = execute(make_app(), dataset, n, c)
+            dists = run.result["neighbors_dists"]
+            if reference is None:
+                reference = dists
+            else:
+                np.testing.assert_allclose(dists, reference, rtol=1e-6)
+
+    def test_single_pass(self, dataset):
+        run = execute(make_app(), dataset, 1, 2)
+        assert run.breakdown.num_passes == 1
+
+    def test_predictions_are_valid_classes(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        preds = run.result["predictions"]
+        assert np.all((preds >= 0) & (preds < 5))
+
+
+class TestKNNCandidates:
+    def test_empty_is_padded(self):
+        cand = KNNCandidates.empty(3, 4)
+        assert np.all(np.isinf(cand.dists))
+        assert np.all(cand.labels == -1.0)
+
+    def test_absorb_keeps_smallest(self):
+        cand = KNNCandidates.empty(1, 2)
+        cand.absorb(np.array([[3.0, 1.0, 2.0]]), np.array([[30.0, 10.0, 20.0]]))
+        np.testing.assert_allclose(cand.dists, [[1.0, 2.0]])
+        np.testing.assert_allclose(cand.labels, [[10.0, 20.0]])
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_merge_order_does_not_matter(self, dists):
+        """The min-k candidate set is a semilattice: splitting the stream
+        any way and merging yields the same result as one batch."""
+        k = 4
+        labels = np.arange(len(dists), dtype=np.float64)
+        d = np.asarray(dists)[None, :]
+        l = labels[None, :]
+
+        batch = KNNCandidates.empty(1, k)
+        batch.absorb(d, l)
+
+        split = KNNCandidates.empty(1, k)
+        mid = len(dists) // 2
+        if mid:
+            split.absorb(d[:, :mid], l[:, :mid])
+        split.absorb(d[:, mid:], l[:, mid:])
+
+        np.testing.assert_allclose(split.dists, batch.dists)
+
+
+class TestKNNModelClasses:
+    def test_object_size_constant(self, dataset):
+        small = execute(make_app(), dataset, 1, 1)
+        wide = execute(make_app(), dataset, 4, 16)
+        assert (
+            small.breakdown.max_reduction_object_bytes
+            == wide.breakdown.max_reduction_object_bytes
+        )
+
+    def test_object_size_formula(self):
+        app = make_app(k=6, q=16)
+        app.begin({"num_dims": 3})
+        obj = app.make_local_object()
+        assert app.object_nbytes(obj) == 16 * 6 * 8 * 2 + 8
+
+    def test_flags(self):
+        app = make_app()
+        assert app.broadcasts_result is False
+        assert app.multi_pass_hint is False
+
+
+class TestKNNValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KNNSearch(k=0)
+        with pytest.raises(ConfigurationError):
+            KNNSearch(num_queries=0)

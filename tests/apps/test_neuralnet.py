@@ -1,0 +1,93 @@
+"""Tests for the neural-network training application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.neuralnet import NeuralNetTraining
+from repro.datagen.points import make_training_dataset
+from repro.simgrid.errors import ConfigurationError
+
+from tests.apps.conftest import INVARIANCE_CONFIGS, execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_training_dataset(
+        "nn-test", num_points=2000, num_dims=4, num_classes=4, num_chunks=32, seed=41
+    )
+
+
+def make_app(epochs=6):
+    return NeuralNetTraining(hidden=12, num_epochs=epochs, learning_rate=0.2, seed=3)
+
+
+class TestNeuralNetCorrectness:
+    def test_loss_decreases_monotonically(self, dataset):
+        run = execute(make_app(), dataset, 2, 4)
+        losses = run.result["loss_history"]
+        assert len(losses) == 6
+        assert all(b < a for a, b in zip(losses, losses[1:]))
+
+    def test_one_pass_per_epoch(self, dataset):
+        run = execute(make_app(epochs=3), dataset, 1, 2)
+        assert run.breakdown.num_passes == 3
+
+    def test_result_invariant_across_configurations(self, dataset):
+        reference = None
+        for n, c in INVARIANCE_CONFIGS:
+            run = execute(make_app(), dataset, n, c)
+            w1 = run.result["weights"]["w1"]
+            if reference is None:
+                reference = w1
+            else:
+                np.testing.assert_allclose(w1, reference, rtol=1e-9, atol=1e-12)
+
+    def test_learns_to_classify_blobs(self, dataset):
+        app = make_app(epochs=25)
+        run = execute(app, dataset, 2, 4)
+        features = dataset.records[:, :4].astype(np.float64)
+        labels = dataset.records[:, 4].astype(np.int64)
+        accuracy = float((app.predict(features) == labels).mean())
+        assert accuracy > 0.8
+
+    def test_matches_serial_reference(self, dataset):
+        serial_app = make_app(epochs=2)
+        serial_app.begin(dict(dataset.meta))
+        serial = serial_app.run_serial(
+            [dataset.chunk_payload(i) for i in range(len(dataset))]
+        )
+        parallel = execute(make_app(epochs=2), dataset, 4, 8).result
+        np.testing.assert_allclose(
+            serial["weights"]["w2"], parallel["weights"]["w2"], rtol=1e-9
+        )
+
+
+class TestNeuralNetModelClasses:
+    def test_object_size_is_parameter_count(self, dataset):
+        app = make_app()
+        app.begin(dict(dataset.meta))
+        obj = app.make_local_object()
+        assert app.object_nbytes(obj) == (app.num_params + 1) * 8 + 8
+
+    def test_object_size_independent_of_config(self, dataset):
+        one = execute(make_app(), dataset, 1, 1)
+        wide = execute(make_app(), dataset, 4, 16)
+        assert (
+            one.breakdown.max_reduction_object_bytes
+            == wide.breakdown.max_reduction_object_bytes
+        )
+
+    def test_flags(self):
+        app = make_app()
+        assert app.broadcasts_result is True
+        assert app.multi_pass_hint is True
+
+
+class TestNeuralNetValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetTraining(hidden=0)
+        with pytest.raises(ConfigurationError):
+            NeuralNetTraining(num_epochs=0)
+        with pytest.raises(ConfigurationError):
+            NeuralNetTraining(learning_rate=0.0)

@@ -1,0 +1,153 @@
+"""Tests for the wide-area bandwidth predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bandwidth import (
+    AdaptivePredictor,
+    BandwidthTrace,
+    EWMAPredictor,
+    LastValuePredictor,
+    RunningMeanPredictor,
+    SlidingMeanPredictor,
+    SlidingMedianPredictor,
+    evaluate_predictors,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestBandwidthTrace:
+    def test_synthesize_deterministic(self):
+        a = BandwidthTrace.synthesize(100, seed=3)
+        b = BandwidthTrace.synthesize(100, seed=3)
+        assert a.samples == b.samples
+
+    def test_positive_samples(self):
+        trace = BandwidthTrace.synthesize(500, seed=5)
+        assert all(s > 0 for s in trace)
+
+    def test_mean_near_base(self):
+        trace = BandwidthTrace.synthesize(
+            2000, base_bw=1e6, congestion_prob=0.0, seed=7
+        )
+        assert np.mean(trace.samples) == pytest.approx(1e6, rel=0.2)
+
+    def test_congestion_lowers_minimum(self):
+        calm = BandwidthTrace.synthesize(500, congestion_prob=0.0, seed=9)
+        stormy = BandwidthTrace.synthesize(
+            500, congestion_prob=0.2, congestion_depth=0.8, seed=9
+        )
+        assert min(stormy.samples) < min(calm.samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthTrace([])
+        with pytest.raises(ConfigurationError):
+            BandwidthTrace([1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            BandwidthTrace.synthesize(0)
+        with pytest.raises(ConfigurationError):
+            BandwidthTrace.synthesize(10, ar_coefficient=1.0)
+
+
+class TestIndividualPredictors:
+    def test_last_value(self):
+        p = LastValuePredictor(initial=5.0)
+        assert p.predict() == 5.0
+        p.observe(7.0)
+        assert p.predict() == 7.0
+
+    def test_running_mean(self):
+        p = RunningMeanPredictor(initial=2.0)
+        p.observe(4.0)
+        assert p.predict() == pytest.approx(3.0)
+
+    def test_sliding_mean_window(self):
+        p = SlidingMeanPredictor(window=2, initial=0.0)
+        p.observe(10.0)
+        p.observe(20.0)  # initial 0.0 evicted
+        assert p.predict() == pytest.approx(15.0)
+
+    def test_sliding_median_resists_outliers(self):
+        p = SlidingMedianPredictor(window=5, initial=10.0)
+        for v in [10.0, 10.0, 10.0, 0.1]:  # one congestion dip
+            p.observe(v)
+        assert p.predict() == pytest.approx(10.0)
+
+    def test_ewma_converges(self):
+        p = EWMAPredictor(alpha=0.5, initial=0.0)
+        for _ in range(20):
+            p.observe(8.0)
+        assert p.predict() == pytest.approx(8.0, rel=1e-4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingMeanPredictor(window=0)
+        with pytest.raises(ConfigurationError):
+            SlidingMedianPredictor(window=-1)
+        with pytest.raises(ConfigurationError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePredictor(members=[])
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=50))
+    def test_predictions_within_observed_range(self, values):
+        """Every forecaster stays inside the convex hull of what it saw
+        (plus its initial value)."""
+        for predictor in [
+            LastValuePredictor(initial=values[0]),
+            SlidingMeanPredictor(window=5, initial=values[0]),
+            SlidingMedianPredictor(window=5, initial=values[0]),
+            EWMAPredictor(alpha=0.4, initial=values[0]),
+        ]:
+            for v in values:
+                predictor.observe(v)
+            low, high = min(values), max(values)
+            assert low - 1e-6 <= predictor.predict() <= high + 1e-6
+
+
+class TestAdaptivePredictor:
+    def test_tracks_best_member(self):
+        """On a constant series the adaptive forecast becomes exact."""
+        p = AdaptivePredictor()
+        for _ in range(30):
+            p.observe(5e5)
+        assert p.predict() == pytest.approx(5e5, rel=1e-3)
+
+    def test_beats_worst_member_on_synthetic_trace(self):
+        trace = BandwidthTrace.synthesize(400, congestion_prob=0.05, seed=11)
+        scores = evaluate_predictors(
+            trace,
+            [
+                LastValuePredictor(),
+                RunningMeanPredictor(),
+                AdaptivePredictor(),
+            ],
+        )
+        adaptive = scores["adaptive (NWS-style)"].mean_absolute_error
+        worst = max(
+            s.mean_absolute_error
+            for label, s in scores.items()
+            if label != "adaptive (NWS-style)"
+        )
+        assert adaptive <= worst
+
+
+class TestEvaluatePredictors:
+    def test_scores_every_predictor(self):
+        trace = BandwidthTrace.synthesize(100, seed=13)
+        predictors = [LastValuePredictor(), EWMAPredictor()]
+        scores = evaluate_predictors(trace, predictors)
+        assert set(scores) == {p.label for p in predictors}
+        for score in scores.values():
+            assert score.mean_absolute_error >= 0
+            assert score.mean_absolute_percentage_error >= 0
+
+    def test_validation(self):
+        trace = BandwidthTrace.synthesize(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            evaluate_predictors(trace, [])
+        with pytest.raises(ConfigurationError):
+            evaluate_predictors(trace, [LastValuePredictor()], warmup=10)

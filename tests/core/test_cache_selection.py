@@ -1,0 +1,136 @@
+"""Tests for non-local cache-site selection."""
+
+import pytest
+
+from repro.core.cache_selection import (
+    CachePlan,
+    CacheSiteOption,
+    select_cache_site,
+)
+from repro.core.models import NoCommunicationModel
+from repro.simgrid.errors import ConfigurationError
+
+from tests.core.conftest import make_profile, make_target
+
+
+def multi_pass_profile(**kw):
+    defaults = dict(rounds=5, t_compute=4.0)
+    defaults.update(kw)
+    profile = make_profile(**defaults)
+    # give the profile some cache time (inside t_compute)
+    import dataclasses
+
+    return dataclasses.replace(profile, t_cache=1.0)
+
+
+LOCAL = CacheSiteOption(site="local-disk", bandwidth=None)
+
+
+class TestCacheSiteOption:
+    def test_local(self):
+        assert LOCAL.is_local
+        assert not CacheSiteOption("x", 1e6).is_local
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheSiteOption("x", 0.0)
+
+
+class TestSelectCacheSite:
+    def test_local_estimate_is_base_prediction(self):
+        profile = multi_pass_profile()
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        model = NoCommunicationModel()
+        plans = select_cache_site(profile, target, model, [LOCAL])
+        assert plans[0].estimated_total == pytest.approx(
+            model.predict(profile, target).total
+        )
+
+    def test_fast_remote_site_wins_over_slow_one(self):
+        profile = multi_pass_profile()
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        fast = CacheSiteOption("near", 1e8)
+        slow = CacheSiteOption("far", 1e4)
+        plans = select_cache_site(
+            profile, target, NoCommunicationModel(), [slow, fast, LOCAL]
+        )
+        assert plans[0].option.site in {"near", "local-disk"}
+        assert plans[-1].option.site == "far"
+
+    def test_extremely_fast_remote_beats_local(self):
+        profile = multi_pass_profile()
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        infinite = CacheSiteOption("ram-over-rdma", 1e15)
+        plans = select_cache_site(
+            profile, target, NoCommunicationModel(), [LOCAL, infinite]
+        )
+        # replacing a positive local cache time by ~zero traffic must win
+        assert plans[0].option.site == "ram-over-rdma"
+
+    def test_ranking_is_sorted(self):
+        profile = multi_pass_profile()
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        options = [CacheSiteOption(f"s{i}", bw) for i, bw in
+                   enumerate([1e5, 1e6, 1e7])] + [LOCAL]
+        plans = select_cache_site(
+            profile, target, NoCommunicationModel(), options
+        )
+        totals = [p.estimated_total for p in plans]
+        assert totals == sorted(totals)
+
+    def test_single_pass_profile_rejected(self):
+        profile = make_profile(rounds=1)
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        with pytest.raises(ConfigurationError):
+            select_cache_site(profile, target, NoCommunicationModel(), [LOCAL])
+
+    def test_empty_options_rejected(self):
+        profile = multi_pass_profile()
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        with pytest.raises(ConfigurationError):
+            select_cache_site(profile, target, NoCommunicationModel(), [])
+
+
+class TestCacheSelectionEndToEnd:
+    @pytest.mark.slow
+    def test_estimates_track_actual_runs(self):
+        """Selection estimates must rank options the same way actual
+        simulated executions do."""
+        from repro.core import GlobalReductionModel, ModelClasses, Profile
+        from repro.core.target import PredictionTarget
+        from repro.middleware.runtime import FreerideGRuntime
+        from repro.workloads.configs import make_run_config
+        from repro.workloads.registry import WORKLOADS
+
+        spec = WORKLOADS["kmeans"]
+        dataset = spec.make_dataset("350 MB")
+        profile_config = make_run_config(1, 1)
+        profile_run = FreerideGRuntime(profile_config).execute(
+            spec.make_app(), dataset
+        )
+        profile = Profile.from_run(profile_config, profile_run.breakdown)
+        model = GlobalReductionModel(
+            ModelClasses.parse(
+                spec.natural_object_class, spec.natural_global_class
+            )
+        )
+        target_config = make_run_config(2, 4)
+        target = PredictionTarget(
+            config=target_config, dataset_bytes=dataset.nbytes
+        )
+        options = [
+            CacheSiteOption("local-disk", None),
+            CacheSiteOption("near-cache", 5.0e6),
+            CacheSiteOption("far-cache", 2.0e5),
+        ]
+        plans = select_cache_site(profile, target, model, options)
+
+        actual = {}
+        for option in options:
+            config = target_config.with_remote_cache(option.bandwidth)
+            run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+            actual[option.site] = run.breakdown.total
+
+        predicted_order = [p.option.site for p in plans]
+        actual_order = sorted(actual, key=actual.get)
+        assert predicted_order == actual_order

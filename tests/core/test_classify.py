@@ -1,0 +1,71 @@
+"""Tests for class auto-detection from multiple profiles."""
+
+import pytest
+
+from repro.core.classes import GlobalReductionClass, ReductionObjectClass
+from repro.core.classify import classify_global_reduction, classify_object_size
+from repro.simgrid.errors import ConfigurationError
+
+from tests.core.conftest import make_profile
+
+
+class TestClassifyObjectSize:
+    def test_constant_detected(self):
+        profiles = [
+            make_profile(c=1, s=1e6, r=512.0),
+            make_profile(c=4, s=1e6, r=512.0),
+            make_profile(c=1, s=4e6, r=512.0),
+        ]
+        assert classify_object_size(profiles) is ReductionObjectClass.CONSTANT
+
+    def test_linear_detected(self):
+        profiles = [
+            make_profile(c=1, s=1e6, r=1000.0),
+            make_profile(c=4, s=1e6, r=250.0),
+            make_profile(c=1, s=2e6, r=2000.0),
+        ]
+        assert classify_object_size(profiles) is ReductionObjectClass.LINEAR
+
+    def test_noisy_linear_still_detected(self):
+        profiles = [
+            make_profile(c=1, s=1e6, r=1000.0),
+            make_profile(c=4, s=1e6, r=270.0),
+            make_profile(c=8, s=1e6, r=122.0),
+        ]
+        assert classify_object_size(profiles) is ReductionObjectClass.LINEAR
+
+    def test_needs_two_profiles(self):
+        with pytest.raises(ConfigurationError):
+            classify_object_size([make_profile()])
+
+    def test_needs_variation(self):
+        with pytest.raises(ConfigurationError):
+            classify_object_size([make_profile(), make_profile()])
+
+
+class TestClassifyGlobalReduction:
+    def test_linear_constant_detected(self):
+        profiles = [
+            make_profile(c=1, s=1e6, t_g=0.1),
+            make_profile(c=4, s=1e6, t_g=0.4),
+            make_profile(c=1, s=4e6, t_g=0.1),
+        ]
+        assert (
+            classify_global_reduction(profiles)
+            is GlobalReductionClass.LINEAR_CONSTANT
+        )
+
+    def test_constant_linear_detected(self):
+        profiles = [
+            make_profile(c=1, s=1e6, t_g=0.1),
+            make_profile(c=8, s=1e6, t_g=0.1),
+            make_profile(c=1, s=4e6, t_g=0.4),
+        ]
+        assert (
+            classify_global_reduction(profiles)
+            is GlobalReductionClass.CONSTANT_LINEAR
+        )
+
+    def test_needs_variation(self):
+        with pytest.raises(ConfigurationError):
+            classify_global_reduction([make_profile(), make_profile()])

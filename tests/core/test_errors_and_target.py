@@ -1,0 +1,59 @@
+"""Tests for the error metric and prediction targets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import relative_error
+from repro.simgrid.errors import ConfigurationError
+
+from tests.core.conftest import make_target
+
+
+class TestRelativeError:
+    def test_exact_prediction(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_symmetric_in_direction(self):
+        assert relative_error(10.0, 9.0) == pytest.approx(0.1)
+        assert relative_error(10.0, 11.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            relative_error(1.0, -0.1)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_nonnegative(self, actual, predicted):
+        assert relative_error(actual, predicted) >= 0.0
+
+
+class TestPredictionTarget:
+    def test_properties_delegate_to_config(self):
+        target = make_target(n=2, c=8, s=3e6, b=7e5)
+        assert target.data_nodes == 2
+        assert target.compute_nodes == 8
+        assert target.bandwidth == 7e5
+        assert target.label == "2-8"
+        assert target.dataset_bytes == 3e6
+
+    def test_with_dataset_bytes(self):
+        target = make_target(s=1e6)
+        bigger = target.with_dataset_bytes(4e6)
+        assert bigger.dataset_bytes == 4e6
+        assert target.dataset_bytes == 1e6
+
+    def test_positive_size_required(self):
+        with pytest.raises(ConfigurationError):
+            make_target(s=0.0)
+
+    def test_from_run_config(self):
+        from repro.core.target import PredictionTarget
+
+        target = make_target()
+        clone = PredictionTarget.from_run_config(target.config, 5e5)
+        assert clone.dataset_bytes == 5e5
+        assert clone.config is target.config

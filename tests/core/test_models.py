@@ -1,0 +1,98 @@
+"""Tests for the three nested prediction models."""
+
+import pytest
+
+from repro.core.classes import ModelClasses
+from repro.core.models import (
+    GlobalReductionModel,
+    NoCommunicationModel,
+    PredictedBreakdown,
+    ReductionCommunicationModel,
+)
+
+from tests.core.conftest import make_profile, make_target
+
+CLASSES = ModelClasses.parse("constant", "linear-constant")
+
+
+class TestPredictedBreakdown:
+    def test_total(self):
+        pred = PredictedBreakdown(t_disk=1.0, t_network=2.0, t_compute=3.0)
+        assert pred.total == 6.0
+
+    def test_scaled(self):
+        pred = PredictedBreakdown(
+            t_disk=1.0, t_network=2.0, t_compute=3.0, t_ro=0.5, t_g=0.25
+        )
+        scaled = pred.scaled(0.5, 1.0, 2.0)
+        assert scaled.t_disk == 0.5
+        assert scaled.t_network == 2.0
+        assert scaled.t_compute == 6.0
+        assert scaled.t_ro == 1.0
+
+
+class TestModelNesting:
+    """The three models share T̂_disk and T̂_network and differ only in
+    how the processing component is decomposed."""
+
+    def test_disk_and_network_identical_across_models(self, profile, target):
+        preds = [
+            NoCommunicationModel().predict(profile, target),
+            ReductionCommunicationModel(CLASSES).predict(profile, target),
+            GlobalReductionModel(CLASSES).predict(profile, target),
+        ]
+        for pred in preds[1:]:
+            assert pred.t_disk == pytest.approx(preds[0].t_disk)
+            assert pred.t_network == pytest.approx(preds[0].t_network)
+
+    def test_no_comm_has_no_serial_terms(self, profile, target):
+        pred = NoCommunicationModel().predict(profile, target)
+        assert pred.t_ro == 0.0
+        assert pred.t_g == 0.0
+
+    def test_reduction_model_separates_t_ro(self, profile, target):
+        pred = ReductionCommunicationModel(CLASSES).predict(profile, target)
+        assert pred.t_ro > 0.0  # target has c=4 > 1
+        assert pred.t_g == 0.0
+
+    def test_global_model_separates_both(self, profile, target):
+        pred = GlobalReductionModel(CLASSES).predict(profile, target)
+        assert pred.t_ro > 0.0
+        assert pred.t_g > 0.0
+
+    def test_serial_terms_do_not_shrink_with_more_nodes(self, profile):
+        model = GlobalReductionModel(CLASSES)
+        few = model.predict(profile, make_target(n=1, c=2, s=profile.dataset_bytes))
+        many = model.predict(profile, make_target(n=1, c=16, s=profile.dataset_bytes))
+        assert many.t_ro > few.t_ro
+        assert many.t_g > few.t_g
+
+    def test_predict_total_convenience(self, profile, target):
+        model = GlobalReductionModel(CLASSES)
+        assert model.predict_total(profile, target) == pytest.approx(
+            model.predict(profile, target).total
+        )
+
+    def test_labels_match_paper_legends(self):
+        assert NoCommunicationModel.label == "no communication"
+        assert ReductionCommunicationModel.label == "reduction communication"
+        assert GlobalReductionModel.label == "global reduction"
+
+
+class TestModelFormulas:
+    def test_global_model_subtracts_serial_parts_before_scaling(self):
+        profile = make_profile(
+            c=1, t_compute=4.0, t_ro=0.0, t_g=1.0, r=0.0, rounds=1
+        )
+        # T'' = 3.0; target c=2: compute = 3/2 + t_ro_hat + t_g_hat
+        target = make_target(n=1, c=2, s=profile.dataset_bytes)
+        pred = GlobalReductionModel(CLASSES).predict(profile, target)
+        t_g_hat = 1.0 * 2  # linear-constant from c=1 to c=2
+        assert pred.t_g == pytest.approx(t_g_hat)
+        assert pred.t_compute == pytest.approx(1.5 + pred.t_ro + t_g_hat)
+
+    def test_identity_prediction_on_profile_config_no_comm(self):
+        profile = make_profile(n=2, c=4)
+        target = make_target(n=2, c=4, s=profile.dataset_bytes, b=profile.bandwidth)
+        pred = NoCommunicationModel().predict(profile, target)
+        assert pred.total == pytest.approx(profile.total)

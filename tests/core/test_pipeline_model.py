@@ -1,0 +1,96 @@
+"""Tests for the pipelined bottleneck model (extension)."""
+
+import pytest
+
+from repro.core.classes import ModelClasses
+from repro.core.models import GlobalReductionModel
+from repro.core.pipeline_model import PipelinedBottleneckModel
+
+from tests.core.conftest import make_profile, make_target
+
+CLASSES = ModelClasses.parse("constant", "linear-constant")
+
+
+class TestPipelinedBottleneckModel:
+    def test_total_is_bottleneck_plus_tail(self):
+        profile = make_profile(
+            t_disk=5.0, t_network=2.0, t_compute=3.0, t_ro=0.0, t_g=0.0, r=0.0
+        )
+        target = make_target(n=1, c=1, s=profile.dataset_bytes)
+        predicted = PipelinedBottleneckModel(CLASSES).predict(profile, target)
+        # disk dominates: makespan = max(5, 2, 3) = 5 (+ zero tail)
+        assert predicted.total == pytest.approx(5.0)
+
+    def test_never_exceeds_additive_model(self):
+        profile = make_profile()
+        for c in (1, 2, 4, 8, 16):
+            target = make_target(n=1, c=c, s=profile.dataset_bytes)
+            additive = GlobalReductionModel(CLASSES).predict(profile, target)
+            bottleneck = PipelinedBottleneckModel(CLASSES).predict(
+                profile, target
+            )
+            assert bottleneck.total <= additive.total + 1e-12
+
+    def test_serial_tail_matches_global_model(self):
+        profile = make_profile()
+        target = make_target(n=2, c=8, s=profile.dataset_bytes)
+        additive = GlobalReductionModel(CLASSES).predict(profile, target)
+        bottleneck = PipelinedBottleneckModel(CLASSES).predict(profile, target)
+        assert bottleneck.t_ro == pytest.approx(additive.t_ro)
+        assert bottleneck.t_g == pytest.approx(additive.t_g)
+
+    def test_bottleneck_switches_with_configuration(self):
+        """With enough compute nodes, the network becomes the bottleneck
+        and further compute scaling stops paying."""
+        profile = make_profile(
+            t_disk=1.0, t_network=4.0, t_compute=16.0, t_ro=0.0, t_g=0.0, r=0.0
+        )
+        model = PipelinedBottleneckModel(CLASSES)
+        few = model.predict(
+            profile, make_target(n=1, c=2, s=profile.dataset_bytes)
+        )
+        many = model.predict(
+            profile, make_target(n=1, c=8, s=profile.dataset_bytes)
+        )
+        saturated = model.predict(
+            profile, make_target(n=1, c=16, s=profile.dataset_bytes)
+        )
+        assert few.total > many.total  # compute-bound at 2 nodes
+        # once the network is the bottleneck, adding nodes changes little
+        assert many.total - saturated.total < few.total - many.total
+
+    @pytest.mark.slow
+    def test_predicts_pipelined_runtime(self):
+        """End-to-end: the bottleneck model tracks the actual pipelined
+        makespan far better than the additive model does."""
+        from repro.core import PredictionTarget, Profile, relative_error
+        from repro.middleware import FreerideGRuntime
+        from repro.middleware.pipelined import PipelinedRuntime
+        from repro.workloads.configs import make_run_config
+        from repro.workloads.registry import WORKLOADS
+
+        spec = WORKLOADS["knn"]
+        dataset = spec.make_dataset("350 MB")
+        profile_config = make_run_config(1, 1)
+        profile_run = FreerideGRuntime(profile_config).execute(
+            spec.make_app(), dataset
+        )
+        profile = Profile.from_run(profile_config, profile_run.breakdown)
+        classes = ModelClasses.parse(
+            spec.natural_object_class, spec.natural_global_class
+        )
+
+        config = make_run_config(2, 4)
+        piped = PipelinedRuntime(config).execute(spec.make_app(), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+
+        bottleneck_err = relative_error(
+            piped.makespan,
+            PipelinedBottleneckModel(classes).predict(profile, target).total,
+        )
+        additive_err = relative_error(
+            piped.makespan,
+            GlobalReductionModel(classes).predict(profile, target).total,
+        )
+        assert bottleneck_err < 0.15
+        assert bottleneck_err < additive_err / 3.0

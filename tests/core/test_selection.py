@@ -1,0 +1,111 @@
+"""Tests for resource and replica selection."""
+
+import pytest
+
+from repro.core.models import NoCommunicationModel
+from repro.core.selection import ResourceSelector
+from repro.middleware.replica import ReplicaCatalog
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+from tests.conftest import small_cluster_spec
+from tests.core.conftest import make_profile
+
+
+@pytest.fixture
+def grid():
+    """Two replicas, two compute sites; repo-b -> hpc-1 has a fat link."""
+    topo = GridTopology()
+    cluster = small_cluster_spec()
+    topo.add_site("repo-a", SiteKind.REPOSITORY, cluster)
+    topo.add_site("repo-b", SiteKind.REPOSITORY, cluster)
+    topo.add_site("hpc-1", SiteKind.COMPUTE, cluster)
+    topo.add_site("hpc-2", SiteKind.COMPUTE, small_cluster_spec(num_nodes=4))
+    topo.connect("repo-a", "hpc-1", bw=2e5)
+    topo.connect("repo-a", "hpc-2", bw=2e5)
+    topo.connect("repo-b", "hpc-1", bw=2e6)
+
+    catalog = ReplicaCatalog(topo)
+    catalog.add("points", "repo-a")
+    catalog.add("points", "repo-b")
+    return topo, catalog
+
+
+class TestResourceSelector:
+    def make_selector(self, grid, allocations=((1, 1), (2, 4), (4, 8))):
+        topo, catalog = grid
+        return ResourceSelector(
+            topology=topo,
+            catalog=catalog,
+            model_for_site=NoCommunicationModel(),
+            allocations=allocations,
+        )
+
+    def test_best_minimizes_predicted_total(self, grid):
+        selector = self.make_selector(grid)
+        outcome = selector.select("points", 1e6, make_profile())
+        totals = [c.predicted_total for c in outcome]
+        assert totals == sorted(totals)
+        assert outcome.best.predicted_total == totals[0]
+
+    def test_prefers_fat_replica_link(self, grid):
+        selector = self.make_selector(grid, allocations=[(2, 4)])
+        outcome = selector.select("points", 1e6, make_profile())
+        # repo-b -> hpc-1 has 10x the bandwidth: network time dominates
+        assert outcome.best.replica_site == "repo-b"
+        assert outcome.best.compute_site == "hpc-1"
+
+    def test_infeasible_allocations_skipped(self, grid):
+        # hpc-2 has only 4 nodes; the (4, 8) allocation is infeasible there
+        selector = self.make_selector(grid, allocations=[(4, 8)])
+        outcome = selector.select("points", 1e6, make_profile())
+        assert all(c.compute_site != "hpc-2" for c in outcome)
+
+    def test_unreachable_pairs_skipped(self, grid):
+        topo, catalog = grid
+        # An island compute site with no links is silently skipped.
+        topo.add_site("hpc-island", SiteKind.COMPUTE, small_cluster_spec())
+        selector = self.make_selector(grid, allocations=[(1, 1)])
+        outcome = selector.select("points", 1e6, make_profile())
+        assert not any(c.compute_site == "hpc-island" for c in outcome)
+
+    def test_compute_sites_filter(self, grid):
+        selector = self.make_selector(grid)
+        outcome = selector.select(
+            "points", 1e6, make_profile(), compute_sites=["hpc-2"]
+        )
+        assert all(c.compute_site == "hpc-2" for c in outcome)
+
+    def test_unknown_dataset_raises(self, grid):
+        selector = self.make_selector(grid)
+        from repro.simgrid.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            selector.select("missing", 1e6, make_profile())
+
+    def test_invalid_dataset_size(self, grid):
+        selector = self.make_selector(grid)
+        with pytest.raises(ConfigurationError):
+            selector.select("points", 0.0, make_profile())
+
+    def test_empty_allocations_rejected(self, grid):
+        topo, catalog = grid
+        with pytest.raises(ConfigurationError):
+            ResourceSelector(topo, catalog, NoCommunicationModel(), [])
+
+    def test_callable_model_dispatch(self, grid):
+        topo, catalog = grid
+        calls = []
+
+        def model_for(site):
+            calls.append(site)
+            return NoCommunicationModel()
+
+        selector = ResourceSelector(topo, catalog, model_for, [(1, 1)])
+        selector.select("points", 1e6, make_profile())
+        assert set(calls) == {"hpc-1", "hpc-2"}
+
+    def test_candidate_labels(self, grid):
+        selector = self.make_selector(grid, allocations=[(2, 4)])
+        outcome = selector.select("points", 1e6, make_profile())
+        assert outcome.best.label == "repo-b[2] -> hpc-1[4]"

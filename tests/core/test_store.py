@@ -1,0 +1,115 @@
+"""Tests for profile persistence and hardware-spec serialization."""
+
+import json
+
+import pytest
+
+from repro.core.store import (
+    ProfileStore,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.serialize import cluster_from_dict, cluster_to_dict
+from repro.workloads.clusters import (
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+
+from tests.conftest import small_cluster_spec
+from tests.core.conftest import make_profile
+
+
+class TestClusterSerialization:
+    @pytest.mark.parametrize(
+        "factory",
+        [small_cluster_spec, pentium_myrinet_cluster, opteron_infiniband_cluster],
+    )
+    def test_round_trip(self, factory):
+        original = factory()
+        rebuilt = cluster_from_dict(cluster_to_dict(original))
+        assert rebuilt == original
+
+    def test_round_trip_is_json_safe(self):
+        data = cluster_to_dict(small_cluster_spec())
+        rebuilt = cluster_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == small_cluster_spec()
+
+    def test_missing_field_rejected(self):
+        data = cluster_to_dict(small_cluster_spec())
+        del data["cpu"]
+        with pytest.raises(ConfigurationError):
+            cluster_from_dict(data)
+
+    def test_none_cache_disk_round_trips(self):
+        import dataclasses
+
+        original = dataclasses.replace(small_cluster_spec(), cache_disk=None)
+        rebuilt = cluster_from_dict(cluster_to_dict(original))
+        assert rebuilt.cache_disk is None
+
+
+class TestProfileSerialization:
+    def test_round_trip(self):
+        original = make_profile(n=2, c=4, rounds=3, broadcast=128.0)
+        rebuilt = profile_from_dict(profile_to_dict(original))
+        # metadata is intentionally not persisted; compare the rest
+        assert rebuilt.app == original.app
+        assert rebuilt.total == pytest.approx(original.total)
+        assert rebuilt.t_ro == original.t_ro
+        assert rebuilt.max_object_bytes == original.max_object_bytes
+        assert rebuilt.gather_rounds == 3
+        assert rebuilt.broadcast_bytes == 128.0
+        assert rebuilt.storage_cluster == original.storage_cluster
+
+    def test_version_checked(self):
+        data = profile_to_dict(make_profile())
+        data["format_version"] = 999
+        with pytest.raises(ConfigurationError):
+            profile_from_dict(data)
+
+    def test_malformed_rejected(self):
+        data = profile_to_dict(make_profile())
+        del data["t_disk"]
+        with pytest.raises(ConfigurationError):
+            profile_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        profile = make_profile()
+        path = save_profile(profile, tmp_path / "p.json")
+        loaded = load_profile(path)
+        assert loaded.total == pytest.approx(profile.total)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_profile(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_profile(path)
+
+
+class TestProfileStore:
+    def test_save_load_list(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        store.save("kmeans-1-1", make_profile(app="kmeans"))
+        store.save("em-1-1", make_profile(app="em"))
+        assert store.names() == ["em-1-1", "kmeans-1-1"]
+        assert "kmeans-1-1" in store
+        assert len(store) == 2
+        assert store.load("kmeans-1-1").app == "kmeans"
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.save("", make_profile())
+        with pytest.raises(ConfigurationError):
+            store.save("../escape", make_profile())
+        with pytest.raises(ConfigurationError):
+            store.save(".hidden", make_profile())

@@ -1,0 +1,128 @@
+"""Tests for configuration what-if analysis."""
+
+import pytest
+
+from repro.core.models import NoCommunicationModel
+from repro.core.whatif import (
+    ConfigurationForecast,
+    marginal_speedups,
+    recommend_nodes,
+    sweep_configurations,
+)
+from repro.simgrid.errors import ConfigurationError
+
+from tests.conftest import small_cluster_spec
+from tests.core.conftest import make_profile
+from repro.middleware.scheduler import RunConfig
+
+
+def make_template():
+    cluster = small_cluster_spec()
+    return RunConfig(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=1,
+        compute_nodes=1,
+        bandwidth=5e5,
+    )
+
+
+class TestSweepConfigurations:
+    def test_sweep_covers_all_pairs(self):
+        profile = make_profile(t_ro=0.0, t_g=0.0)
+        pairs = [(1, 1), (1, 4), (2, 8)]
+        forecasts = sweep_configurations(
+            profile, NoCommunicationModel(), make_template(), pairs
+        )
+        assert [f.label for f in forecasts] == ["1-1", "1-4", "2-8"]
+        # more parallelism never predicts slower under the naive model
+        assert forecasts[0].predicted_total >= forecasts[1].predicted_total
+        assert forecasts[1].predicted_total >= forecasts[2].predicted_total
+
+    def test_dataset_override(self):
+        profile = make_profile(t_ro=0.0, t_g=0.0)
+        base = sweep_configurations(
+            profile, NoCommunicationModel(), make_template(), [(1, 1)]
+        )[0]
+        doubled = sweep_configurations(
+            profile,
+            NoCommunicationModel(),
+            make_template(),
+            [(1, 1)],
+            dataset_bytes=2 * profile.dataset_bytes,
+        )[0]
+        assert doubled.predicted_total == pytest.approx(
+            2 * base.predicted_total
+        )
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_configurations(
+                make_profile(), NoCommunicationModel(), make_template(), []
+            )
+
+
+class TestMarginalSpeedups:
+    def test_speedups_between_successive(self):
+        forecasts = [
+            ConfigurationForecast(1, 1, 8.0),
+            ConfigurationForecast(1, 2, 4.0),
+            ConfigurationForecast(1, 4, 3.0),
+        ]
+        steps = marginal_speedups(forecasts)
+        assert steps[0] == ("1-1", "1-2", pytest.approx(2.0))
+        assert steps[1] == ("1-2", "1-4", pytest.approx(4.0 / 3.0))
+
+    def test_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            marginal_speedups([ConfigurationForecast(1, 1, 1.0)])
+
+
+class TestRecommendNodes:
+    def test_zero_tolerance_returns_fastest(self):
+        forecasts = [
+            ConfigurationForecast(1, 1, 8.0),
+            ConfigurationForecast(8, 16, 1.0),
+        ]
+        assert recommend_nodes(forecasts, tolerance=0.0).label == "8-16"
+
+    def test_tolerance_prefers_cheaper_configuration(self):
+        forecasts = [
+            ConfigurationForecast(1, 2, 1.04),   # 3 machines, within 5%
+            ConfigurationForecast(8, 16, 1.0),   # 24 machines, fastest
+        ]
+        assert recommend_nodes(forecasts, tolerance=0.05).label == "1-2"
+
+    def test_out_of_tolerance_excluded(self):
+        forecasts = [
+            ConfigurationForecast(1, 2, 1.5),
+            ConfigurationForecast(8, 16, 1.0),
+        ]
+        assert recommend_nodes(forecasts, tolerance=0.05).label == "8-16"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommend_nodes([])
+        with pytest.raises(ConfigurationError):
+            recommend_nodes(
+                [ConfigurationForecast(1, 1, 1.0)], tolerance=-0.1
+            )
+
+    def test_end_to_end_knee_detection(self):
+        """With a serialized gather, throwing 16 nodes at a small job is
+        predicted to be barely better than 8 — the recommendation stops at
+        the knee."""
+        from repro.core.classes import ModelClasses
+        from repro.core.models import GlobalReductionModel
+
+        profile = make_profile(
+            c=1, t_compute=1.0, t_ro=0.0, t_g=0.05, r=4096.0
+        )
+        model = GlobalReductionModel(
+            ModelClasses.parse("constant", "linear-constant")
+        )
+        forecasts = sweep_configurations(
+            profile, model, make_template(), [(1, c) for c in (1, 2, 4, 8, 16)]
+        )
+        pick = recommend_nodes(forecasts, tolerance=0.10)
+        assert pick.compute_nodes < 16

@@ -1,0 +1,97 @@
+"""Tests for the synthetic CFD velocity-field generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.cfd import FieldDataset, generate_velocity_field, make_field_dataset
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestGenerateVelocityField:
+    def test_shapes_and_truth(self):
+        u, v, truth = generate_velocity_field(100, 120, 4, seed=1)
+        assert u.shape == (100, 120)
+        assert v.shape == (100, 120)
+        assert len(truth) == 4
+        assert u.dtype == np.float32
+
+    def test_deterministic(self):
+        u1, v1, t1 = generate_velocity_field(64, 64, 3, seed=9)
+        u2, v2, t2 = generate_velocity_field(64, 64, 3, seed=9)
+        np.testing.assert_array_equal(u1, u2)
+        np.testing.assert_array_equal(v1, v2)
+        assert t1 == t2
+
+    def test_vortices_have_high_vorticity_cores(self):
+        u, v, truth = generate_velocity_field(128, 128, 3, seed=2)
+        dvdx = np.gradient(v.astype(np.float64), axis=1)
+        dudy = np.gradient(u.astype(np.float64), axis=0)
+        vorticity = dvdx - dudy
+        for vortex in truth:
+            cy, cx = int(round(vortex["cy"])), int(round(vortex["cx"]))
+            core = np.abs(vorticity[cy - 1 : cy + 2, cx - 1 : cx + 2])
+            assert core.max() > 0.3  # well above the detection threshold
+
+    def test_background_is_calm(self):
+        u, v, _ = generate_velocity_field(64, 64, 0, seed=3)
+        dvdx = np.gradient(v.astype(np.float64), axis=1)
+        dudy = np.gradient(u.astype(np.float64), axis=0)
+        assert np.abs(dvdx - dudy).max() < 0.01
+
+    def test_min_separation_enforced(self):
+        _, _, truth = generate_velocity_field(200, 200, 6, seed=4)
+        for i, a in enumerate(truth):
+            for b in truth[i + 1 :]:
+                dist = np.hypot(a["cy"] - b["cy"], a["cx"] - b["cx"])
+                assert dist >= 4.0 * a["core_radius"] - 1e-9
+
+    def test_impossible_placement_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_velocity_field(32, 32, 50, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_velocity_field(4, 64, 1)
+        with pytest.raises(ConfigurationError):
+            generate_velocity_field(64, 64, -1)
+
+
+class TestFieldDataset:
+    def test_chunks_partition_rows(self):
+        ds = make_field_dataset("f", 96, 64, num_chunks=12, seed=6)
+        covered = 0
+        for i in range(len(ds)):
+            payload = ds.chunk_payload(i)
+            interior_rows = (
+                payload["u"].shape[0] - payload["halo_lo"] - payload["halo_hi"]
+            )
+            covered += interior_rows
+        assert covered == 96
+
+    def test_halo_present_in_middle_chunks(self):
+        ds = make_field_dataset("f", 96, 64, num_chunks=12, seed=6)
+        first = ds.chunk_payload(0)
+        middle = ds.chunk_payload(5)
+        last = ds.chunk_payload(11)
+        assert first["halo_lo"] == 0 and first["halo_hi"] == 1
+        assert middle["halo_lo"] == 1 and middle["halo_hi"] == 1
+        assert last["halo_lo"] == 1 and last["halo_hi"] == 0
+
+    def test_chunk_nbytes_sums_to_total(self):
+        ds = make_field_dataset("f", 96, 64, num_chunks=12, nbytes=1e5, seed=6)
+        assert sum(ds.chunk_nbytes(i) for i in range(12)) == pytest.approx(1e5)
+
+    def test_default_vortex_density_scales_with_area(self):
+        small = make_field_dataset("s", 80, 100, num_chunks=8, seed=7)
+        large = make_field_dataset("l", 320, 100, num_chunks=8, seed=7)
+        assert len(large.meta["true_vortices"]) > len(small.meta["true_vortices"])
+
+    def test_shape_mismatch_rejected(self):
+        u, v, _ = generate_velocity_field(64, 64, 2, seed=8)
+        with pytest.raises(ConfigurationError):
+            FieldDataset("bad", u, v[:32], num_chunks=4)
+
+    def test_too_many_chunks_rejected(self):
+        u, v, _ = generate_velocity_field(64, 64, 2, seed=8)
+        with pytest.raises(ConfigurationError):
+            FieldDataset("bad", u, v, num_chunks=65)

@@ -1,0 +1,116 @@
+"""Tests for the silicon-lattice generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.lattice import (
+    DEFECT_TEMPLATES,
+    DETECTION_THRESHOLD,
+    LatticeDataset,
+    generate_lattice,
+    make_lattice_dataset,
+    template_signature,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestTemplates:
+    def test_all_templates_have_cells(self):
+        for name, cells in DEFECT_TEMPLATES.items():
+            assert cells, name
+
+    def test_signature_translation_invariant(self):
+        cells = [(2, 3, 4, 0), (2, 3, 5, 0)]
+        shifted = [(7, 1, 9, 0), (7, 1, 10, 0)]
+        assert template_signature(cells) == template_signature(shifted)
+
+    def test_signature_distinguishes_species(self):
+        vac = template_signature([(0, 0, 0, 0)])
+        dop = template_signature([(0, 0, 0, 1)])
+        assert vac != dop
+
+    def test_signatures_unique_across_templates(self):
+        signatures = {
+            template_signature(cells) for cells in DEFECT_TEMPLATES.values()
+        }
+        assert len(signatures) == len(DEFECT_TEMPLATES)
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            template_signature([])
+
+
+class TestGenerateLattice:
+    def test_shapes(self):
+        disp, species, truth = generate_lattice(30, 10, 10, 5, seed=1)
+        assert disp.shape == (30, 10, 10)
+        assert species.shape == (30, 10, 10)
+        assert len(truth) == 5
+
+    def test_deterministic(self):
+        a = generate_lattice(20, 10, 10, 4, seed=3)
+        b = generate_lattice(20, 10, 10, 4, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        assert a[2] == b[2]
+
+    def test_thermal_noise_below_threshold(self):
+        disp, _, truth = generate_lattice(20, 10, 10, 0, seed=2)
+        assert disp.max() < DETECTION_THRESHOLD
+
+    def test_defect_sites_above_threshold(self):
+        disp, _, truth = generate_lattice(30, 12, 12, 6, seed=4)
+        for defect in truth:
+            z, y, x = defect["anchor"]
+            assert disp[z, y, x] > DETECTION_THRESHOLD
+
+    def test_detected_component_count_matches_truth(self):
+        from scipy import ndimage
+
+        disp, _, truth = generate_lattice(40, 12, 12, 8, seed=5)
+        _, num = ndimage.label(disp > DETECTION_THRESHOLD)
+        assert num == len(truth)
+
+    def test_impossible_placement_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_lattice(6, 6, 6, 100, seed=6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_lattice(2, 10, 10, 1)
+        with pytest.raises(ConfigurationError):
+            generate_lattice(10, 10, 10, -1)
+
+
+class TestLatticeDataset:
+    def test_chunks_partition_layers(self):
+        ds = make_lattice_dataset("l", 48, 10, 10, num_chunks=16, seed=7)
+        covered = 0
+        for i in range(len(ds)):
+            payload = ds.chunk_payload(i)
+            covered += (
+                payload["displacement"].shape[0]
+                - payload["halo_lo"]
+                - payload["halo_hi"]
+            )
+        assert covered == 48
+
+    def test_chunk_nbytes_sums_to_total(self):
+        ds = make_lattice_dataset("l", 48, 10, 10, num_chunks=16, nbytes=2e5, seed=7)
+        assert sum(ds.chunk_nbytes(i) for i in range(16)) == pytest.approx(2e5)
+
+    def test_metadata(self):
+        ds = make_lattice_dataset("l", 48, 10, 10, num_chunks=16, seed=7)
+        assert ds.meta["kind"] == "si-lattice"
+        assert ds.meta["detection_threshold"] == DETECTION_THRESHOLD
+        assert len(ds.meta["true_defects"]) > 0
+
+    def test_defect_density_scales_with_volume(self):
+        small = make_lattice_dataset("s", 32, 12, 12, num_chunks=8, seed=8)
+        large = make_lattice_dataset("l", 128, 12, 12, num_chunks=8, seed=8)
+        assert len(large.meta["true_defects"]) > len(small.meta["true_defects"])
+
+    def test_shape_mismatch_rejected(self):
+        disp, species, _ = generate_lattice(20, 10, 10, 2, seed=9)
+        with pytest.raises(ConfigurationError):
+            LatticeDataset("bad", disp, species[:10], num_chunks=4)

@@ -1,0 +1,69 @@
+"""Tests for the Gaussian-mixture point generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.points import (
+    make_blobs,
+    make_labeled_points,
+    make_point_dataset,
+    make_training_dataset,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestMakeBlobs:
+    def test_shapes(self):
+        points, centers, labels = make_blobs(200, 3, 5, seed=1)
+        assert points.shape == (200, 3)
+        assert centers.shape == (5, 3)
+        assert labels.shape == (200,)
+        assert points.dtype == np.float32
+
+    def test_deterministic(self):
+        a, _, _ = make_blobs(100, 2, 3, seed=42)
+        b, _, _ = make_blobs(100, 2, 3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a, _, _ = make_blobs(100, 2, 3, seed=1)
+        b, _, _ = make_blobs(100, 2, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_points_cluster_near_centers(self):
+        points, centers, labels = make_blobs(500, 2, 4, spread=0.1, seed=3)
+        dists = np.linalg.norm(points - centers[labels], axis=1)
+        assert float(dists.mean()) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_blobs(0, 2, 3)
+        with pytest.raises(ConfigurationError):
+            make_blobs(2, 2, 3)  # fewer points than centers
+
+
+class TestMakeLabeledPoints:
+    def test_label_column_appended(self):
+        records, centers = make_labeled_points(100, 3, 4, seed=5)
+        assert records.shape == (100, 4)
+        labels = records[:, 3]
+        assert set(np.unique(labels)) <= set(float(i) for i in range(4))
+
+
+class TestDatasetBuilders:
+    def test_point_dataset_metadata(self):
+        ds = make_point_dataset("pts", 320, 4, 6, num_chunks=16, seed=7)
+        assert ds.meta["kind"] == "points"
+        assert ds.meta["num_dims"] == 4
+        assert ds.meta["true_centers"].shape == (6, 4)
+        assert ds.num_chunks == 16
+
+    def test_training_dataset_metadata(self):
+        ds = make_training_dataset("train", 320, 4, 8, num_chunks=16, seed=7)
+        assert ds.meta["kind"] == "labeled-points"
+        assert ds.meta["num_classes"] == 8
+        assert ds.num_dims == 5  # features + label
+
+    def test_explicit_nbytes(self):
+        ds = make_point_dataset("pts", 320, 4, 6, num_chunks=16, nbytes=1e6)
+        assert ds.nbytes == 1e6

@@ -1,0 +1,72 @@
+"""Tests for the transaction generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.transactions import (
+    default_patterns,
+    generate_transactions,
+    make_transaction_dataset,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestGenerateTransactions:
+    def test_shape_and_values(self):
+        data = generate_transactions(500, 32, [(0, 1)], seed=1)
+        assert data.shape == (500, 32)
+        assert set(np.unique(data)) <= {0.0, 1.0}
+
+    def test_deterministic(self):
+        a = generate_transactions(200, 16, [(0, 1)], seed=5)
+        b = generate_transactions(200, 16, [(0, 1)], seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_pattern_support_close_to_probability(self):
+        data = generate_transactions(
+            4000, 32, [(3, 7, 11)], pattern_prob=0.4, noise_items=0.0, seed=2
+        )
+        support = float(data[:, [3, 7, 11]].all(axis=1).mean())
+        assert support == pytest.approx(0.4, abs=0.05)
+
+    def test_non_pattern_itemsets_rare(self):
+        data = generate_transactions(
+            4000, 32, [(3, 7)], pattern_prob=0.4, noise_items=1.0, seed=3
+        )
+        # a random unplanted pair should have tiny joint support
+        support = float(data[:, [20, 25]].all(axis=1).mean())
+        assert support < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_transactions(0, 16, [])
+        with pytest.raises(ConfigurationError):
+            generate_transactions(10, 16, [(20,)])
+        with pytest.raises(ConfigurationError):
+            generate_transactions(10, 16, [()])
+        with pytest.raises(ConfigurationError):
+            generate_transactions(10, 16, [(0,)], pattern_prob=1.5)
+
+
+class TestDefaultPatterns:
+    def test_disjoint(self):
+        patterns = default_patterns(48, seed=0)
+        seen = set()
+        for pattern in patterns:
+            assert not (set(pattern) & seen)
+            seen.update(pattern)
+
+    def test_sorted_tuples(self):
+        for pattern in default_patterns(48, seed=1):
+            assert list(pattern) == sorted(pattern)
+
+
+class TestTransactionDataset:
+    def test_metadata_and_chunks(self):
+        ds = make_transaction_dataset("tx", 640, 32, num_chunks=16, seed=4)
+        assert ds.meta["kind"] == "transactions"
+        assert ds.meta["num_items"] == 32
+        assert len(ds.meta["true_patterns"]) >= 3
+        assert ds.num_chunks == 16
+        rows = sum(ds.chunk_payload(i).shape[0] for i in range(16))
+        assert rows == 640

@@ -1,0 +1,139 @@
+"""Integration: resource selection across heterogeneous compute sites.
+
+Combines Section 3.4 (cross-cluster scaling factors) with the resource
+selector: candidates on the profile's own cluster are predicted directly,
+candidates on the Opteron cluster through a
+:class:`~repro.core.heterogeneous.CrossClusterPredictor` — dispatched per
+site, exactly how a deployed FREERIDE-G resource-selection service would
+be wired.
+"""
+
+import pytest
+
+from repro.core import (
+    CrossClusterPredictor,
+    GlobalReductionModel,
+    ModelClasses,
+    Profile,
+    measure_scaling_factors,
+)
+from repro.core.selection import ResourceSelector
+from repro.middleware import FreerideGRuntime, ReplicaCatalog
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.topology import GridTopology, SiteKind
+from repro.workloads.clusters import (
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+
+@pytest.mark.slow
+class TestCrossClusterSelection:
+    def test_selector_routes_models_per_site_and_ranks_correctly(self):
+        pentium = pentium_myrinet_cluster()
+        opteron = opteron_infiniband_cluster()
+
+        topo = GridTopology()
+        topo.add_site("repo", SiteKind.REPOSITORY, pentium)
+        topo.add_site("hpc-pentium", SiteKind.COMPUTE, pentium)
+        topo.add_site("hpc-opteron", SiteKind.COMPUTE, opteron)
+        topo.connect("repo", "hpc-pentium", bw=2.0e6)
+        topo.connect("repo", "hpc-opteron", bw=2.0e6)
+
+        spec = WORKLOADS["em"]
+        dataset = spec.make_dataset("350 MB")
+        catalog = ReplicaCatalog(topo)
+        catalog.add(dataset.name, "repo")
+
+        # Profile EM on the Pentium cluster only.
+        profile_config = make_run_config(1, 1, storage_cluster=pentium)
+        profile_run = FreerideGRuntime(profile_config).execute(
+            spec.make_app(), dataset
+        )
+        profile = Profile.from_run(profile_config, profile_run.breakdown)
+        classes = ModelClasses.parse(
+            spec.natural_object_class, spec.natural_global_class
+        )
+        base_model = GlobalReductionModel(classes)
+
+        # Scaling factors from the representative applications.
+        pairs = []
+        for rep_name in ("kmeans", "knn", "vortex"):
+            rep = WORKLOADS[rep_name]
+            rep_dataset = rep.make_dataset()
+            config_a = make_run_config(2, 4, storage_cluster=pentium)
+            run_a = FreerideGRuntime(config_a).execute(
+                rep.make_app(), rep_dataset
+            )
+            config_b = make_run_config(2, 4, storage_cluster=opteron)
+            run_b = FreerideGRuntime(config_b).execute(
+                rep.make_app(), rep_dataset
+            )
+            pairs.append(
+                (
+                    Profile.from_run(config_a, run_a.breakdown),
+                    Profile.from_run(config_b, run_b.breakdown),
+                )
+            )
+        factors = measure_scaling_factors(pairs)
+        # The replica stays on the Pentium repository; only the compute
+        # side moves to the Opteron cluster, so only s_c applies.
+        cross_model = CrossClusterPredictor(
+            base_model, factors, apply=("compute",)
+        )
+
+        def model_for(site: str):
+            return cross_model if site == "hpc-opteron" else base_model
+
+        selector = ResourceSelector(
+            topology=topo,
+            catalog=catalog,
+            model_for_site=model_for,
+            allocations=[(1, 2), (2, 4), (4, 8)],
+        )
+        outcome = selector.select(dataset.name, dataset.nbytes, profile)
+
+        # The Opteron site is strictly faster hardware at equal bandwidth:
+        # the best candidate must land there.
+        assert outcome.best.compute_site == "hpc-opteron"
+
+        # Every candidate's prediction must be within 12% of an actual
+        # simulated execution — including the cross-cluster ones.
+        for cand in outcome:
+            storage = topo.site(cand.replica_site).cluster
+            compute = topo.site(cand.compute_site).cluster
+            config = RunConfig(
+                storage_cluster=storage,
+                compute_cluster=compute,
+                data_nodes=cand.data_nodes,
+                compute_nodes=cand.compute_nodes,
+                bandwidth=cand.bandwidth,
+            )
+            actual = FreerideGRuntime(config).execute(
+                spec.make_app(), dataset
+            )
+            error = abs(actual.breakdown.total - cand.predicted_total) / (
+                actual.breakdown.total
+            )
+            assert error < 0.12, f"{cand.label}: {error:.2%}"
+
+        # Rankings must agree between prediction and actual execution for
+        # the head of the list (the decision that matters).
+        actual_best = min(
+            outcome,
+            key=lambda c: FreerideGRuntime(
+                RunConfig(
+                    storage_cluster=topo.site(c.replica_site).cluster,
+                    compute_cluster=topo.site(c.compute_site).cluster,
+                    data_nodes=c.data_nodes,
+                    compute_nodes=c.compute_nodes,
+                    bandwidth=c.bandwidth,
+                )
+            )
+            .execute(spec.make_app(), dataset)
+            .breakdown.total,
+        )
+        assert actual_best.compute_site == outcome.best.compute_site
+        assert actual_best.compute_nodes == outcome.best.compute_nodes

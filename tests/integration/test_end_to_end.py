@@ -1,0 +1,151 @@
+"""End-to-end integration tests: middleware + applications + prediction.
+
+These use the paper's real workloads (at their smaller dataset sizes where
+available) and assert the reproduction's headline properties:
+
+- the global-reduction model predicts unseen configurations to within a
+  few percent from a single 1-1 profile;
+- the class auto-detector recovers each application's natural classes from
+  profile runs alone;
+- resource selection ranks (replica, configuration) pairs consistently
+  with actual execution times.
+"""
+
+import pytest
+
+from repro.core import (
+    GlobalReductionModel,
+    ModelClasses,
+    PredictionTarget,
+    Profile,
+    classify_global_reduction,
+    classify_object_size,
+    relative_error,
+)
+from repro.core.selection import ResourceSelector
+from repro.middleware import FreerideGRuntime, ReplicaCatalog
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.topology import GridTopology, SiteKind
+from repro.workloads.clusters import pentium_myrinet_cluster
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+SMALL_SIZE = {
+    "kmeans": "350 MB",
+    "em": "350 MB",
+    "knn": "350 MB",
+    "vortex": "710 MB",
+    "defect": "130 MB",
+    "apriori": "250 MB",
+    "neuralnet": "250 MB",
+}
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+def run(name, n, c, size=None, bandwidth=2.0e6):
+    spec = WORKLOADS[name]
+    dataset = spec.make_dataset(size or SMALL_SIZE[name])
+    config = make_run_config(n, c, bandwidth=bandwidth)
+    result = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+    return config, dataset, result
+
+
+@pytest.mark.slow
+class TestProfileBasedPrediction:
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_one_profile_predicts_other_configs(self, name):
+        spec = WORKLOADS[name]
+        config, dataset, profile_run = run(name, 1, 1)
+        profile = Profile.from_run(config, profile_run.breakdown)
+        model = GlobalReductionModel(
+            ModelClasses.parse(
+                spec.natural_object_class, spec.natural_global_class
+            )
+        )
+        for n, c in [(1, 8), (2, 4), (4, 8)]:
+            target_config, _, actual = run(name, n, c)
+            target = PredictionTarget(
+                config=target_config, dataset_bytes=dataset.nbytes
+            )
+            predicted = model.predict(profile, target)
+            error = relative_error(actual.breakdown.total, predicted.total)
+            assert error < 0.06, (
+                f"{name} {n}-{c}: actual={actual.breakdown.total:.4f} "
+                f"predicted={predicted.total:.4f} error={error:.2%}"
+            )
+
+
+@pytest.mark.slow
+class TestClassAutoDetection:
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_detected_classes_match_registry(self, name):
+        spec = WORKLOADS[name]
+        sizes = sorted(spec.dataset_sizes_gb, key=spec.dataset_sizes_gb.get)
+        small, larger = sizes[0], sizes[1]
+        profiles = []
+        for n, c, size in [(1, 1, small), (1, 4, small), (1, 1, larger)]:
+            config, _, result = run(name, n, c, size=size)
+            profiles.append(Profile.from_run(config, result.breakdown))
+
+        assert (
+            classify_object_size(profiles).value == spec.natural_object_class
+        )
+        assert (
+            classify_global_reduction(profiles).value
+            == spec.natural_global_class
+        )
+
+
+@pytest.mark.slow
+class TestResourceSelection:
+    def test_selection_agrees_with_actual_execution(self):
+        """The selector's predicted best candidate should actually be
+        (near-)fastest when every candidate is executed for real."""
+        name = "kmeans"
+        spec = WORKLOADS[name]
+        dataset = spec.make_dataset(SMALL_SIZE[name])
+
+        cluster = pentium_myrinet_cluster()
+        topo = GridTopology()
+        topo.add_site("repo-near", SiteKind.REPOSITORY, cluster)
+        topo.add_site("repo-far", SiteKind.REPOSITORY, cluster)
+        topo.add_site("hpc", SiteKind.COMPUTE, cluster)
+        topo.connect("repo-near", "hpc", bw=2.0e6)
+        topo.connect("repo-far", "hpc", bw=2.0e5)
+        catalog = ReplicaCatalog(topo)
+        catalog.add(dataset.name, "repo-near")
+        catalog.add(dataset.name, "repo-far")
+
+        profile_config = make_run_config(1, 1)
+        profile_run = FreerideGRuntime(profile_config).execute(
+            spec.make_app(), dataset
+        )
+        profile = Profile.from_run(profile_config, profile_run.breakdown)
+        model = GlobalReductionModel(
+            ModelClasses.parse(
+                spec.natural_object_class, spec.natural_global_class
+            )
+        )
+        allocations = [(1, 1), (2, 4), (4, 8)]
+        outcome = ResourceSelector(topo, catalog, model, allocations).select(
+            dataset.name, dataset.nbytes, profile
+        )
+
+        # Execute every candidate for real and compare rankings.
+        actual = {}
+        for cand in outcome:
+            config = RunConfig(
+                storage_cluster=cluster,
+                compute_cluster=cluster,
+                data_nodes=cand.data_nodes,
+                compute_nodes=cand.compute_nodes,
+                bandwidth=cand.bandwidth,
+            )
+            result = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+            actual[cand.label] = result.breakdown.total
+
+        best_actual = min(actual.values())
+        assert actual[outcome.best.label] <= best_actual * 1.02
+        # The fat-link replica must win.
+        assert outcome.best.replica_site == "repo-near"

@@ -1,0 +1,67 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are deliverables, not decoration — each one is executed as a
+subprocess (fresh interpreter, as a user would run it) and its headline
+output is checked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["global reduction", "predictions vs actual"]),
+    ("resource_selection.py", ["selected: replica at", "rank"]),
+    ("cross_cluster_prediction.py", ["scaling factors", "EM on the Opteron"]),
+    ("scientific_mining.py", ["planted vortices", "defect catalog"]),
+    ("advanced_middleware.py", ["cluster-of-SMPs", "gather topology"]),
+    ("bandwidth_forecasting.py", ["forecast accuracy", "T_network"]),
+    ("grid_scheduling.py", ["policy comparison", "predicted best"]),
+]
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name, needles", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(name, needles):
+    out = run_example(name)
+    for needle in needles:
+        assert needle in out, f"{name}: expected '{needle}' in output"
+
+
+@pytest.mark.slow
+def test_reproduce_figure_cli_example():
+    path = EXAMPLES_DIR / "reproduce_figure.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "fig09", "--fast"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0
+    assert "fig09" in proc.stdout
+    listing = subprocess.run(
+        [sys.executable, str(path), "--list"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "fig02" in listing.stdout

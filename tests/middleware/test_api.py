@@ -1,0 +1,33 @@
+"""Tests for the generalized-reduction API surface."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.api import GeneralizedReduction
+
+from tests.conftest import SumApp
+
+
+class TestGeneralizedReduction:
+    def test_cannot_instantiate_abstract_base(self):
+        with pytest.raises(TypeError):
+            GeneralizedReduction()
+
+    def test_run_serial_reference(self):
+        app = SumApp(passes=2)
+        app.begin({})
+        payloads = [np.ones((4, 2)), np.full((2, 2), 3.0)]
+        result = app.run_serial(payloads)
+        assert result == pytest.approx(8.0 + 12.0)
+
+    def test_default_broadcast_nbytes_is_object_size(self):
+        app = SumApp()
+        assert app.broadcast_nbytes([1.0]) == app.object_nbytes([1.0])
+
+    def test_class_defaults(self):
+        class Minimal(SumApp):
+            pass
+
+        app = Minimal()
+        assert app.broadcasts_result is False
+        assert app.multi_pass_hint is False

@@ -1,0 +1,60 @@
+"""Tests for the chunked dataset abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.dataset import ArrayDataset
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestArrayDataset:
+    def make(self, rows=100, dims=3, chunks=7, nbytes=None):
+        records = np.arange(rows * dims, dtype=np.float32).reshape(rows, dims)
+        return ArrayDataset("d", records, num_chunks=chunks, nbytes=nbytes)
+
+    def test_basic_properties(self):
+        ds = self.make()
+        assert ds.num_records == 100
+        assert ds.num_dims == 3
+        assert len(ds) == 7
+
+    def test_chunks_cover_all_rows_in_order(self):
+        ds = self.make()
+        rows = np.concatenate([ds.chunk_payload(i) for i in range(len(ds))])
+        np.testing.assert_array_equal(rows, ds.records)
+
+    def test_chunk_nbytes_sums_to_total(self):
+        ds = self.make(nbytes=1e6)
+        total = sum(ds.chunk_nbytes(i) for i in range(len(ds)))
+        assert total == pytest.approx(1e6)
+
+    def test_default_nbytes_is_array_size(self):
+        ds = self.make()
+        assert ds.nbytes == ds.records.nbytes
+
+    def test_payloads_are_views(self):
+        ds = self.make()
+        payload = ds.chunk_payload(0)
+        assert np.shares_memory(payload, ds.records)
+
+    def test_chunk_index_bounds(self):
+        ds = self.make()
+        with pytest.raises(ConfigurationError):
+            ds.chunk_payload(7)
+        with pytest.raises(ConfigurationError):
+            ds.chunk_nbytes(-1)
+
+    def test_more_chunks_than_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(rows=5, chunks=6)
+
+    def test_one_dimensional_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayDataset("bad", np.arange(10, dtype=np.float32), num_chunks=2)
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(nbytes=0)
+        records = np.ones((4, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            ArrayDataset("bad", records, num_chunks=0)

@@ -1,0 +1,78 @@
+"""Cross-feature combinations: SMP x tree gather x caching interact safely."""
+
+import pytest
+
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import GatherTopology, RunConfig
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+
+
+def make_config(**kw):
+    cluster = small_cluster_spec()
+    defaults = dict(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=2,
+        compute_nodes=4,
+        bandwidth=5e5,
+    )
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+ALL_FEATURE_CONFIGS = [
+    dict(),
+    dict(processes_per_node=2),
+    dict(gather_topology=GatherTopology.TREE),
+    dict(processes_per_node=2, gather_topology=GatherTopology.TREE),
+    dict(remote_cache_bandwidth=1e6),
+    dict(
+        processes_per_node=2,
+        gather_topology=GatherTopology.TREE,
+        remote_cache_bandwidth=1e6,
+    ),
+]
+
+
+class TestFeatureCombinations:
+    @pytest.mark.parametrize(
+        "overrides",
+        ALL_FEATURE_CONFIGS,
+        ids=[",".join(sorted(c)) or "baseline" for c in ALL_FEATURE_CONFIGS],
+    )
+    def test_result_invariant_across_feature_combinations(self, overrides):
+        dataset = make_tiny_points()
+        baseline = FreerideGRuntime(make_config()).execute(
+            SumApp(passes=2, cache=True), dataset
+        )
+        combo = FreerideGRuntime(make_config(**overrides)).execute(
+            SumApp(passes=2, cache=True), dataset
+        )
+        assert combo.result == pytest.approx(baseline.result)
+        assert combo.breakdown.num_passes == 2
+
+    def test_smp_tree_gather_counts_nodes(self):
+        """Under SMP + tree, the gather tree spans nodes (not threads)."""
+        dataset = make_tiny_points()
+        tree_flat = FreerideGRuntime(
+            make_config(compute_nodes=8, gather_topology=GatherTopology.TREE)
+        ).execute(SumApp(), dataset)
+        tree_smp = FreerideGRuntime(
+            make_config(
+                compute_nodes=4,
+                processes_per_node=2,
+                gather_topology=GatherTopology.TREE,
+            )
+        ).execute(SumApp(), dataset)
+        # 4 nodes -> 2 tree rounds; 8 nodes -> 3 rounds.
+        assert tree_smp.breakdown.t_ro < tree_flat.breakdown.t_ro
+
+    def test_remote_cache_with_smp(self):
+        dataset = make_tiny_points()
+        run = FreerideGRuntime(
+            make_config(processes_per_node=2, remote_cache_bandwidth=2e5)
+        ).execute(SumApp(passes=3, cache=True), dataset)
+        assert run.breakdown.t_cache > 0
+        for later in run.breakdown.passes[1:]:
+            assert later.t_disk == 0.0 and later.t_network == 0.0

@@ -1,0 +1,89 @@
+"""Tests for the serial vs tree gather topologies."""
+
+import pytest
+
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import GatherTopology, RunConfig
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+
+
+def make_config(topology=GatherTopology.SERIAL, n=2, c=8):
+    cluster = small_cluster_spec()
+    return RunConfig(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=n,
+        compute_nodes=c,
+        bandwidth=5e5,
+        gather_topology=topology,
+    )
+
+
+class TestGatherTopology:
+    def test_default_is_serial(self):
+        assert make_config().gather_topology is GatherTopology.SERIAL
+
+    def test_with_gather_topology_accepts_strings(self):
+        config = make_config().with_gather_topology("tree")
+        assert config.gather_topology is GatherTopology.TREE
+
+    def test_result_identical_across_topologies(self):
+        dataset = make_tiny_points()
+        serial = FreerideGRuntime(make_config(GatherTopology.SERIAL)).execute(
+            SumApp(passes=2), dataset
+        )
+        tree = FreerideGRuntime(make_config(GatherTopology.TREE)).execute(
+            SumApp(passes=2), dataset
+        )
+        assert serial.result == pytest.approx(tree.result)
+
+    def test_tree_gather_faster_at_scale(self):
+        dataset = make_tiny_points()
+        serial = FreerideGRuntime(make_config(GatherTopology.SERIAL, 2, 16)).execute(
+            SumApp(), dataset
+        )
+        tree = FreerideGRuntime(make_config(GatherTopology.TREE, 2, 16)).execute(
+            SumApp(), dataset
+        )
+        # 15 serial messages vs 4 parallel rounds
+        assert tree.breakdown.t_ro < serial.breakdown.t_ro
+
+    def test_single_node_unaffected(self):
+        dataset = make_tiny_points()
+        tree = FreerideGRuntime(make_config(GatherTopology.TREE, 1, 1)).execute(
+            SumApp(), dataset
+        )
+        assert tree.breakdown.t_ro == 0.0
+
+    def test_real_application_on_tree(self):
+        """The vortex pipeline (merge_local + deferred join) must produce
+        identical features under both gather topologies."""
+        from repro.apps.vortex import VortexDetection
+        from repro.datagen.cfd import make_field_dataset
+
+        dataset = make_field_dataset(
+            "tree-vx", ny=96, nx=96, num_chunks=16, num_vortices=3, seed=51
+        )
+        serial = FreerideGRuntime(make_config(GatherTopology.SERIAL, 2, 8)).execute(
+            VortexDetection(), dataset
+        )
+        tree = FreerideGRuntime(make_config(GatherTopology.TREE, 2, 8)).execute(
+            VortexDetection(), dataset
+        )
+        key = lambda r: [  # noqa: E731
+            (v["ymin"], v["xmin"], v["area"]) for v in r["vortices"]
+        ]
+        assert key(serial.result) == key(tree.result)
+
+
+class TestTreeGatherPredictor:
+    def test_tree_rounds_formula(self):
+        from repro.simgrid.network import CommCostModel
+
+        model = CommCostModel(w=1e-6, l=1e-4)
+        msg = model.message_time(1000.0)
+        assert model.tree_gather_time(1, 1000.0) == 0.0
+        assert model.tree_gather_time(2, 1000.0) == pytest.approx(msg)
+        assert model.tree_gather_time(16, 1000.0) == pytest.approx(4 * msg)
+        assert model.tree_gather_time(9, 1000.0) == pytest.approx(4 * msg)

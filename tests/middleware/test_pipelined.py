@@ -1,0 +1,92 @@
+"""Tests for the pipelined (chunk-streaming) execution mode."""
+
+import pytest
+
+from repro.middleware.pipelined import PipelinedRuntime
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+
+
+def make_config(n=2, c=4, ppn=1):
+    cluster = small_cluster_spec()
+    return RunConfig(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=n,
+        compute_nodes=c,
+        bandwidth=5e5,
+        processes_per_node=ppn,
+    )
+
+
+class TestPipelinedRuntime:
+    def test_result_matches_phased_runtime(self):
+        dataset = make_tiny_points()
+        phased = FreerideGRuntime(make_config()).execute(SumApp(), dataset)
+        piped = PipelinedRuntime(make_config()).execute(SumApp(), dataset)
+        assert piped.result == pytest.approx(phased.result)
+
+    def test_pipelining_beats_phased_execution(self):
+        """Overlapping retrieval, shipping and compute must not be slower
+        than running them as strict phases."""
+        dataset = make_tiny_points(num_points=4096, num_chunks=64)
+        phased = FreerideGRuntime(make_config()).execute(SumApp(), dataset)
+        piped = PipelinedRuntime(make_config()).execute(SumApp(), dataset)
+        assert piped.makespan < phased.breakdown.total
+
+    def test_makespan_bounded_below_by_bottleneck(self):
+        """The pipeline can never beat its busiest single resource."""
+        dataset = make_tiny_points(num_points=4096, num_chunks=64)
+        piped = PipelinedRuntime(make_config()).execute(SumApp(), dataset)
+        bottleneck = max(piped.resource_busy.values())
+        assert piped.makespan >= bottleneck
+
+    def test_multi_pass_with_caching(self):
+        dataset = make_tiny_points()
+        piped = PipelinedRuntime(make_config()).execute(
+            SumApp(passes=3, cache=True), dataset
+        )
+        assert piped.num_passes == 3
+        phased = FreerideGRuntime(make_config()).execute(
+            SumApp(passes=3, cache=True), dataset
+        )
+        assert piped.result == pytest.approx(phased.result)
+
+    def test_serial_tail_positive_with_multiple_nodes(self):
+        dataset = make_tiny_points()
+        piped = PipelinedRuntime(make_config(2, 4)).execute(SumApp(), dataset)
+        assert piped.serial_tail > 0.0
+
+    def test_smp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedRuntime(make_config(ppn=2))
+
+    def test_remote_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedRuntime(make_config().with_remote_cache(1e6))
+
+    def test_deterministic(self):
+        dataset = make_tiny_points()
+        a = PipelinedRuntime(make_config()).execute(SumApp(), dataset)
+        b = PipelinedRuntime(make_config()).execute(SumApp(), dataset)
+        assert a.makespan == b.makespan
+
+    def test_real_application_matches_phased(self):
+        from repro.apps.kmeans import KMeansClustering
+        from repro.datagen.points import make_point_dataset
+        import numpy as np
+
+        dataset = make_point_dataset("pipe-km", 1000, 3, 4, 16, seed=61)
+        app_factory = lambda: KMeansClustering(  # noqa: E731
+            k=4, num_iterations=3, seed=5
+        )
+        phased = FreerideGRuntime(make_config()).execute(
+            app_factory(), dataset
+        )
+        piped = PipelinedRuntime(make_config()).execute(app_factory(), dataset)
+        np.testing.assert_allclose(
+            piped.result["centers"], phased.result["centers"], rtol=1e-9
+        )

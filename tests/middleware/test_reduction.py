@@ -1,0 +1,98 @@
+"""Tests for reduction-object helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.middleware.reduction import (
+    ArrayReductionObject,
+    FeatureListReductionObject,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestArrayReductionObject:
+    def test_zeros(self):
+        obj = ArrayReductionObject.zeros((3, 4))
+        assert obj.values.shape == (3, 4)
+        assert obj.count == 0.0
+        assert np.all(obj.values == 0.0)
+
+    def test_accumulate(self):
+        obj = ArrayReductionObject.zeros(4)
+        obj.accumulate(np.ones(4), count=2.0)
+        obj.accumulate(np.full(4, 3.0), count=1.0)
+        np.testing.assert_allclose(obj.values, np.full(4, 4.0))
+        assert obj.count == 3.0
+
+    def test_merge_equals_accumulate(self):
+        a = ArrayReductionObject.zeros(3)
+        a.accumulate(np.array([1.0, 2.0, 3.0]), count=5.0)
+        b = ArrayReductionObject.zeros(3)
+        b.accumulate(np.array([10.0, 20.0, 30.0]), count=7.0)
+        a.merge(b)
+        np.testing.assert_allclose(a.values, [11.0, 22.0, 33.0])
+        assert a.count == 12.0
+
+    def test_shape_mismatch_rejected(self):
+        obj = ArrayReductionObject.zeros(3)
+        with pytest.raises(ConfigurationError):
+            obj.accumulate(np.ones(4))
+
+    def test_copy_is_independent(self):
+        obj = ArrayReductionObject.zeros(2)
+        clone = obj.copy()
+        clone.accumulate(np.ones(2), count=1.0)
+        assert np.all(obj.values == 0.0)
+        assert obj.count == 0.0
+
+    def test_nbytes_constant_under_accumulation(self):
+        obj = ArrayReductionObject.zeros((5, 5))
+        before = obj.nbytes
+        obj.accumulate(np.ones((5, 5)), count=100.0)
+        assert obj.nbytes == before  # the constant-size class property
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3), st.integers(1, 5))
+    def test_merge_is_commutative(self, values, copies):
+        contribution = np.asarray(values)
+        a = ArrayReductionObject.zeros(3)
+        b = ArrayReductionObject.zeros(3)
+        b.accumulate(contribution, count=1.0)
+        merged_ab = a.copy()
+        merged_ab.merge(b)
+        merged_ba = b.copy()
+        merged_ba.merge(a)
+        np.testing.assert_allclose(merged_ab.values, merged_ba.values)
+
+
+class TestFeatureListReductionObject:
+    def test_add_and_len(self):
+        obj = FeatureListReductionObject(bytes_per_feature=32.0)
+        obj.add({"area": 5})
+        obj.extend([{"area": 6}, {"area": 7}])
+        assert len(obj) == 3
+
+    def test_nbytes_linear_in_features(self):
+        obj = FeatureListReductionObject(bytes_per_feature=32.0)
+        empty = obj.nbytes
+        obj.add({"a": 1})
+        obj.add({"b": 2})
+        assert obj.nbytes == pytest.approx(empty + 64.0)
+
+    def test_merge_concatenates(self):
+        a = FeatureListReductionObject(bytes_per_feature=16.0)
+        a.add({"id": 1})
+        b = FeatureListReductionObject(bytes_per_feature=16.0)
+        b.add({"id": 2})
+        a.merge(b)
+        assert [f["id"] for f in a.features] == [1, 2]
+
+    def test_merge_width_mismatch_rejected(self):
+        a = FeatureListReductionObject(bytes_per_feature=16.0)
+        b = FeatureListReductionObject(bytes_per_feature=32.0)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureListReductionObject(bytes_per_feature=0.0)

@@ -1,0 +1,99 @@
+"""Tests for non-local (remote) chunk caching."""
+
+import pytest
+
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+
+
+def make_config(remote_bw=None, n=2, c=4):
+    cluster = small_cluster_spec()
+    return RunConfig(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=n,
+        compute_nodes=c,
+        bandwidth=5e5,
+        remote_cache_bandwidth=remote_bw,
+    )
+
+
+class TestRemoteCacheConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_config(remote_bw=0.0)
+        with pytest.raises(ConfigurationError):
+            make_config(remote_bw=-1.0)
+
+    def test_with_remote_cache(self):
+        config = make_config().with_remote_cache(1e6)
+        assert config.remote_cache_bandwidth == 1e6
+        assert config.with_remote_cache(None).remote_cache_bandwidth is None
+
+
+class TestRemoteCacheExecution:
+    def test_result_unaffected_by_cache_location(self):
+        dataset = make_tiny_points()
+        local = FreerideGRuntime(make_config()).execute(
+            SumApp(passes=3, cache=True), dataset
+        )
+        remote = FreerideGRuntime(make_config(remote_bw=1e6)).execute(
+            SumApp(passes=3, cache=True), dataset
+        )
+        assert local.result == pytest.approx(remote.result)
+
+    def test_slow_remote_cache_is_slower_than_local(self):
+        dataset = make_tiny_points()
+        local = FreerideGRuntime(make_config()).execute(
+            SumApp(passes=4, cache=True), dataset
+        )
+        remote = FreerideGRuntime(make_config(remote_bw=2e5)).execute(
+            SumApp(passes=4, cache=True), dataset
+        )
+        assert remote.breakdown.t_cache > local.breakdown.t_cache
+        assert remote.breakdown.total > local.breakdown.total
+
+    def test_fast_remote_cache_can_beat_slow_local_disk(self):
+        import dataclasses
+
+        from repro.simgrid.hardware import DiskSpec
+
+        dataset = make_tiny_points()
+        # A compute cluster with a miserable local disk (no buffer cache).
+        slow_disk_cluster = dataclasses.replace(
+            small_cluster_spec(), cache_disk=DiskSpec(seek_s=5e-4, stream_bw=2e5)
+        )
+        local_config = RunConfig(
+            storage_cluster=slow_disk_cluster,
+            compute_cluster=slow_disk_cluster,
+            data_nodes=2,
+            compute_nodes=4,
+            bandwidth=5e5,
+        )
+        remote_config = local_config.with_remote_cache(5e6)
+        app = lambda: SumApp(passes=4, cache=True)  # noqa: E731
+        local = FreerideGRuntime(local_config).execute(app(), dataset)
+        remote = FreerideGRuntime(remote_config).execute(app(), dataset)
+        assert remote.breakdown.total < local.breakdown.total
+
+    def test_remote_cache_still_skips_repository(self):
+        """Later passes must not touch the origin repository's disks or
+        the repository-to-compute network."""
+        dataset = make_tiny_points()
+        run = FreerideGRuntime(make_config(remote_bw=1e6)).execute(
+            SumApp(passes=3, cache=True), dataset
+        )
+        for later in run.breakdown.passes[1:]:
+            assert later.t_disk == 0.0
+            assert later.t_network == 0.0
+            assert later.t_cache > 0.0
+
+    def test_single_pass_apps_never_pay_cache_traffic(self):
+        dataset = make_tiny_points()
+        run = FreerideGRuntime(make_config(remote_bw=1e6)).execute(
+            SumApp(passes=1, cache=False), dataset
+        )
+        assert run.breakdown.t_cache == 0.0

@@ -1,0 +1,57 @@
+"""Tests for the replica catalog."""
+
+import pytest
+
+from repro.middleware.replica import ReplicaCatalog
+from repro.simgrid.errors import TopologyError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+from tests.conftest import small_cluster_spec
+
+
+@pytest.fixture
+def topology():
+    t = GridTopology()
+    t.add_site("repo-a", SiteKind.REPOSITORY, small_cluster_spec())
+    t.add_site("repo-b", SiteKind.REPOSITORY, small_cluster_spec())
+    t.add_site("hpc", SiteKind.COMPUTE, small_cluster_spec())
+    return t
+
+
+class TestReplicaCatalog:
+    def test_add_and_lookup(self, topology):
+        catalog = ReplicaCatalog(topology)
+        catalog.add("points", "repo-a")
+        catalog.add("points", "repo-b")
+        sites = [r.site for r in catalog.replicas_of("points")]
+        assert sites == ["repo-a", "repo-b"]
+
+    def test_missing_dataset(self, topology):
+        catalog = ReplicaCatalog(topology)
+        with pytest.raises(TopologyError):
+            catalog.replicas_of("missing")
+
+    def test_replica_must_live_at_repository(self, topology):
+        catalog = ReplicaCatalog(topology)
+        with pytest.raises(TopologyError):
+            catalog.add("points", "hpc")
+
+    def test_duplicate_replica_rejected(self, topology):
+        catalog = ReplicaCatalog(topology)
+        catalog.add("points", "repo-a")
+        with pytest.raises(TopologyError):
+            catalog.add("points", "repo-a")
+
+    def test_unvalidated_catalog_accepts_any_site(self):
+        catalog = ReplicaCatalog()
+        catalog.add("points", "anywhere")
+        assert catalog.replicas_of("points")[0].site == "anywhere"
+
+    def test_datasets_and_dunders(self, topology):
+        catalog = ReplicaCatalog(topology)
+        catalog.add("b-set", "repo-a")
+        catalog.add("a-set", "repo-b")
+        assert catalog.datasets() == ["a-set", "b-set"]
+        assert "a-set" in catalog
+        assert "c-set" not in catalog
+        assert len(catalog) == 2

@@ -1,0 +1,91 @@
+"""Property-based timing invariants of the middleware runtime."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import RunConfig
+
+from tests.conftest import SumApp, make_tiny_points, small_cluster_spec
+
+#: Valid (data nodes, compute nodes) pairs within the 16-chunk dataset.
+config_pairs = st.sampled_from(
+    [(n, c) for n in (1, 2, 4, 8) for c in (1, 2, 4, 8, 16) if c >= n]
+)
+
+
+def run(n, c, passes=1, cache=False, bandwidth=5e5, dataset=None):
+    cluster = small_cluster_spec()
+    config = RunConfig(
+        storage_cluster=cluster,
+        compute_cluster=cluster,
+        data_nodes=n,
+        compute_nodes=c,
+        bandwidth=bandwidth,
+    )
+    dataset = dataset or make_tiny_points()
+    return FreerideGRuntime(config).execute(
+        SumApp(passes=passes, cache=cache), dataset
+    )
+
+
+class TestBreakdownInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(config_pairs, st.integers(1, 3))
+    def test_total_is_sum_of_pass_totals(self, pair, passes):
+        n, c = pair
+        result = run(n, c, passes=passes, cache=True)
+        bd = result.breakdown
+        assert bd.total == pytest.approx(sum(p.total for p in bd.passes))
+        assert bd.num_passes == passes
+
+    @settings(max_examples=15, deadline=None)
+    @given(config_pairs)
+    def test_all_components_nonnegative(self, pair):
+        n, c = pair
+        bd = run(n, c).breakdown
+        assert bd.t_disk >= 0 and bd.t_network >= 0 and bd.t_compute >= 0
+        assert bd.t_ro >= 0 and bd.t_g >= 0 and bd.t_cache >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(config_pairs)
+    def test_serial_terms_inside_compute(self, pair):
+        n, c = pair
+        bd = run(n, c, passes=2, cache=True).breakdown
+        assert bd.t_ro + bd.t_g + bd.t_cache <= bd.t_compute + 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(config_pairs)
+    def test_result_independent_of_configuration(self, pair):
+        n, c = pair
+        dataset = make_tiny_points()
+        reference = run(1, 1, dataset=dataset).result
+        assert run(n, c, dataset=dataset).result == pytest.approx(reference)
+
+
+class TestTimingMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([1, 2, 4]))
+    def test_more_data_nodes_never_slow_retrieval(self, n):
+        dataset = make_tiny_points()
+        narrow = run(n, 16, dataset=dataset).breakdown
+        wide = run(n * 2, 16, dataset=dataset).breakdown
+        assert wide.t_disk <= narrow.t_disk + 1e-12
+        assert wide.t_network <= narrow.t_network + 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=1e5, max_value=5e6))
+    def test_network_time_decreases_with_bandwidth(self, bandwidth):
+        dataset = make_tiny_points()
+        slow = run(1, 2, bandwidth=bandwidth, dataset=dataset).breakdown
+        fast = run(1, 2, bandwidth=bandwidth * 2, dataset=dataset).breakdown
+        assert fast.t_network < slow.t_network
+
+    def test_larger_dataset_costs_more_everywhere(self):
+        small = make_tiny_points(num_points=640, num_chunks=16)
+        large = make_tiny_points(num_points=2560, num_chunks=64)
+        bd_small = run(2, 4, dataset=small).breakdown
+        bd_large = run(2, 4, dataset=large).breakdown
+        assert bd_large.t_disk > bd_small.t_disk
+        assert bd_large.t_network > bd_small.t_network
+        assert bd_large.t_compute > bd_small.t_compute

@@ -1,0 +1,206 @@
+"""Tests for the discrete-event engine and FIFO server."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simgrid.engine import Event, FIFOServer, Simulator
+from repro.simgrid.errors import EngineError
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_last_event(self):
+        sim = Simulator()
+        sim.schedule(4.5, lambda: None)
+        sim.run()
+        assert sim.now == 4.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            seen.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+    def test_cancelled_event_is_skipped(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, hits.append, "x")
+        event.cancel()
+        sim.run()
+        assert hits == []
+        assert sim.processed_events == 0
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, "early")
+        sim.schedule(10.0, hits.append, "late")
+        sim.run(until=5.0)
+        assert hits == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(EngineError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(EngineError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_run_backwards_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(EngineError):
+            sim.run(until=5.0)
+
+    def test_advance(self):
+        sim = Simulator()
+        sim.advance(2.5)
+        assert sim.now == 2.5
+        with pytest.raises(EngineError):
+            sim.advance(-1.0)
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_pending_events_counts_queue(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=40))
+    def test_processed_count_matches_schedule_count(self, delays):
+        sim = Simulator()
+        for d in delays:
+            sim.schedule(d, lambda: None)
+        sim.run()
+        assert sim.processed_events == len(delays)
+
+
+class TestEvent:
+    def test_orders_by_time_then_seq(self):
+        a = Event(1.0, 0, lambda: None)
+        b = Event(1.0, 1, lambda: None)
+        c = Event(0.5, 2, lambda: None)
+        assert c < a < b
+
+
+class TestFIFOServer:
+    def test_idle_server_starts_immediately(self):
+        server = FIFOServer()
+        assert server.serve(3.0, 2.0) == (3.0, 5.0)
+
+    def test_busy_server_queues(self):
+        server = FIFOServer()
+        server.serve(0.0, 2.0)
+        assert server.serve(1.0, 1.0) == (2.0, 3.0)
+
+    def test_busy_time_accumulates(self):
+        server = FIFOServer()
+        server.serve(0.0, 2.0)
+        server.serve(0.0, 3.0)
+        assert server.busy_time == 5.0
+        assert server.requests == 2
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(EngineError):
+            FIFOServer().serve(0.0, -1.0)
+
+    def test_negative_arrival_raises(self):
+        with pytest.raises(EngineError):
+            FIFOServer().serve(-1.0, 1.0)
+
+    def test_reset(self):
+        server = FIFOServer()
+        server.serve(0.0, 5.0)
+        server.reset()
+        assert server.free_at == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_fifo_invariants(self, jobs):
+        """Service windows never overlap, never start before arrival, and
+        preserve submission order when arrivals are sorted."""
+        jobs = sorted(jobs, key=lambda j: j[0])
+        server = FIFOServer()
+        windows = [server.serve(a, d) for a, d in jobs]
+        for (arrival, duration), (start, end) in zip(jobs, windows):
+            assert start >= arrival
+            assert end == pytest.approx(start + duration)
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start >= prev_end
+
+
+class TestSimulatorEdgeCases:
+    def test_run_until_skips_cancelled_head(self):
+        sim = Simulator()
+        hits = []
+        head = sim.schedule(1.0, hits.append, "cancelled")
+        sim.schedule(2.0, hits.append, "kept")
+        head.cancel()
+        sim.run(until=5.0)
+        assert hits == ["kept"]
+        assert sim.now == 5.0
+
+    def test_schedule_at_exactly_now_is_allowed(self):
+        sim = Simulator(start_time=3.0)
+        hits = []
+        sim.schedule_at(3.0, hits.append, "now")
+        sim.run()
+        assert hits == ["now"]
+        assert sim.now == 3.0
+
+    def test_run_until_boundary_event_executes(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5.0, hits.append, "boundary")
+        sim.run(until=5.0)
+        assert hits == ["boundary"]

@@ -1,0 +1,81 @@
+"""Tests for the grid topology."""
+
+import pytest
+
+from repro.simgrid.errors import TopologyError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+from tests.conftest import small_cluster_spec
+
+
+@pytest.fixture
+def topo():
+    cluster = small_cluster_spec()
+    t = GridTopology()
+    t.add_site("repo-a", SiteKind.REPOSITORY, cluster)
+    t.add_site("repo-b", SiteKind.REPOSITORY, cluster)
+    t.add_site("hpc-1", SiteKind.COMPUTE, cluster)
+    t.add_site("hpc-2", SiteKind.COMPUTE, cluster)
+    t.connect("repo-a", "hpc-1", bw=2e6, latency_s=0.01)
+    t.connect("repo-a", "hpc-2", bw=5e5, latency_s=0.02)
+    t.connect("repo-b", "hpc-2", bw=1e6, latency_s=0.005)
+    t.connect("hpc-1", "hpc-2", bw=1e7, latency_s=0.001)
+    return t
+
+
+class TestGridTopology:
+    def test_site_lookup(self, topo):
+        assert topo.site("repo-a").kind is SiteKind.REPOSITORY
+        assert topo.site("hpc-1").kind is SiteKind.COMPUTE
+
+    def test_unknown_site(self, topo):
+        with pytest.raises(TopologyError):
+            topo.site("nowhere")
+
+    def test_duplicate_site_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.add_site("repo-a", SiteKind.REPOSITORY, small_cluster_spec())
+
+    def test_kind_filters(self, topo):
+        assert {s.name for s in topo.repositories()} == {"repo-a", "repo-b"}
+        assert {s.name for s in topo.compute_sites()} == {"hpc-1", "hpc-2"}
+
+    def test_direct_bandwidth(self, topo):
+        assert topo.bandwidth_between("repo-a", "hpc-1") == 2e6
+
+    def test_multi_hop_bandwidth_is_bottleneck(self, topo):
+        # repo-b -> hpc-2 direct is 1e6; repo-b -> hpc-1 must route via
+        # hpc-2 and is limited by the narrowest edge.
+        assert topo.bandwidth_between("repo-b", "hpc-1") == 1e6
+
+    def test_latency_is_additive(self, topo):
+        assert topo.latency_between("repo-b", "hpc-1") == pytest.approx(0.006)
+
+    def test_latency_to_self_is_zero(self, topo):
+        assert topo.latency_between("hpc-1", "hpc-1") == 0.0
+
+    def test_bandwidth_to_self_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.bandwidth_between("hpc-1", "hpc-1")
+
+    def test_disconnected_sites(self):
+        t = GridTopology()
+        t.add_site("a", SiteKind.REPOSITORY, small_cluster_spec())
+        t.add_site("b", SiteKind.COMPUTE, small_cluster_spec())
+        with pytest.raises(TopologyError):
+            t.path("a", "b")
+
+    def test_self_link_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.connect("hpc-1", "hpc-1", bw=1e6)
+
+    def test_invalid_link_parameters(self, topo):
+        with pytest.raises(TopologyError):
+            topo.connect("repo-a", "repo-b", bw=0)
+        with pytest.raises(TopologyError):
+            topo.connect("repo-a", "repo-b", bw=1e6, latency_s=-1)
+
+    def test_len_and_contains(self, topo):
+        assert len(topo) == 4
+        assert "repo-a" in topo
+        assert "nowhere" not in topo

@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestListWorkloads:
+    def test_lists_all(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ["kmeans", "em", "knn", "vortex", "defect", "apriori"]:
+            assert name in out
+        assert "paper eval" in out and "extension" in out
+
+
+class TestRun:
+    def test_run_prints_breakdown(self, capsys):
+        code = main(["run", "knn", "-n", "1", "-c", "2", "--size", "350 MB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_disk" in out and "T_network" in out and "total" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "sorting"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_invalid_configuration_reports_error(self, capsys):
+        # more data nodes than compute nodes violates M >= N
+        code = main(["run", "knn", "-n", "4", "-c", "2", "--size", "350 MB"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_save_profile(self, tmp_path, capsys):
+        path = tmp_path / "knn.json"
+        code = main(
+            ["run", "knn", "-n", "1", "-c", "1", "--size", "350 MB",
+             "--save-profile", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+
+
+class TestPredict:
+    def test_round_trip_with_run(self, tmp_path, capsys):
+        path = tmp_path / "knn.json"
+        main(["run", "knn", "-n", "1", "-c", "1", "--size", "350 MB",
+              "--save-profile", str(path)])
+        capsys.readouterr()
+        code = main(["predict", str(path), "-n", "2", "-c", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "global-reduction model" in out
+        assert "2-4" in out
+
+    def test_model_choice(self, tmp_path, capsys):
+        path = tmp_path / "knn.json"
+        main(["run", "knn", "-n", "1", "-c", "1", "--size", "350 MB",
+              "--save-profile", str(path)])
+        capsys.readouterr()
+        code = main(
+            ["predict", str(path), "-n", "2", "-c", "4",
+             "--model", "no-communication"]
+        )
+        assert code == 0
+        assert "no-communication model" in capsys.readouterr().out
+
+    def test_missing_profile(self, tmp_path, capsys):
+        code = main(["predict", str(tmp_path / "nope.json"), "-n", "1", "-c", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_fast_figure(self, capsys):
+        code = main(["figure", "fig09", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "global reduction" in out
+
+
+class TestClassify:
+    def test_classify_knn(self, capsys):
+        code = main(["classify", "knn"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction object size class: constant" in out
+        assert "global reduction time class: linear-constant" in out
+
+
+class TestSuite:
+    def test_fast_suite_subset(self, capsys):
+        code = main(["suite", "--fast", "--only", "fig09"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "match the paper" in out
+
+
+class TestShares:
+    def test_shares_table(self, capsys):
+        code = main(["shares", "defect"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominant" in out
+        assert "8-16" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["shares", "sorting"]) == 2
+
+
+class TestWhatIf:
+    def test_whatif_from_saved_profile(self, tmp_path, capsys):
+        path = tmp_path / "km.json"
+        main(["run", "kmeans", "-n", "1", "-c", "1", "--size", "350 MB",
+              "--save-profile", str(path)])
+        capsys.readouterr()
+        code = main(["whatif", str(path), "--tolerance", "0.10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "marginal speedups" in out
+        assert "recommended" in out
+        assert "8-16" in out
+
+
+class TestFigureChart:
+    def test_chart_flag_renders_bars(self, capsys):
+        code = main(["figure", "fig09", "--fast", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+        assert "█" in out

@@ -1,0 +1,53 @@
+"""Tests for the configuration grid."""
+
+import pytest
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.clusters import opteron_infiniband_cluster
+from repro.workloads.configs import PAPER_CONFIG_GRID, config_grid, make_run_config
+
+
+class TestConfigGrid:
+    def test_paper_grid_has_fourteen_configs(self):
+        assert len(PAPER_CONFIG_GRID) == 14
+
+    def test_paper_grid_contents(self):
+        assert (1, 1) in PAPER_CONFIG_GRID
+        assert (8, 16) in PAPER_CONFIG_GRID
+        assert (8, 8) in PAPER_CONFIG_GRID
+        assert (4, 2) not in PAPER_CONFIG_GRID  # M >= N always
+
+    def test_all_configs_satisfy_m_ge_n(self):
+        assert all(c >= n for n, c in PAPER_CONFIG_GRID)
+
+    def test_compute_counts_are_doublings(self):
+        for n, c in PAPER_CONFIG_GRID:
+            ratio = c // n
+            assert n * ratio == c
+            assert ratio & (ratio - 1) == 0  # power of two
+
+    def test_custom_grid(self):
+        grid = config_grid(data_node_counts=(1, 2), max_compute_nodes=4)
+        assert grid == [(1, 1), (1, 2), (1, 4), (2, 2), (2, 4)]
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            config_grid(data_node_counts=(32,), max_compute_nodes=16)
+
+
+class TestMakeRunConfig:
+    def test_defaults_to_pentium(self):
+        config = make_run_config(2, 4)
+        assert config.storage_cluster.name == "pentium-myrinet"
+        assert config.compute_cluster.name == "pentium-myrinet"
+
+    def test_storage_cluster_used_for_compute_when_unspecified(self):
+        opteron = opteron_infiniband_cluster()
+        config = make_run_config(2, 4, storage_cluster=opteron)
+        assert config.compute_cluster.name == "opteron-infiniband"
+
+    def test_explicit_compute_cluster(self):
+        opteron = opteron_infiniband_cluster()
+        config = make_run_config(2, 4, compute_cluster=opteron)
+        assert config.storage_cluster.name == "pentium-myrinet"
+        assert config.compute_cluster.name == "opteron-infiniband"

@@ -1,0 +1,108 @@
+"""Tests for the per-figure experiment drivers (fast grid)."""
+
+import pytest
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import (
+    EXPERIMENTS,
+    FAST_CONFIG_GRID,
+    ExperimentResult,
+    ExperimentRow,
+    run_cross_cluster,
+    run_experiment,
+)
+
+
+class TestExperimentRow:
+    def test_error_and_label(self):
+        row = ExperimentRow(2, 4, "m", actual=10.0, predicted=9.0)
+        assert row.label == "2-4"
+        assert row.error == pytest.approx(0.1)
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("figX", "title", "kmeans")
+        result.rows = [
+            ExperimentRow(1, 1, "a", 10.0, 10.0),
+            ExperimentRow(1, 2, "a", 10.0, 9.0),
+            ExperimentRow(1, 1, "b", 10.0, 8.0),
+        ]
+        return result
+
+    def test_models_in_order(self):
+        assert self.make().models == ["a", "b"]
+
+    def test_errors_for_model(self):
+        assert self.make().errors_for_model("a") == pytest.approx([0.0, 0.1])
+
+    def test_max_and_mean(self):
+        result = self.make()
+        assert result.max_error("a") == pytest.approx(0.1)
+        assert result.mean_error("a") == pytest.approx(0.05)
+
+    def test_missing_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().max_error("zzz")
+
+
+class TestRegistry:
+    def test_all_paper_figures_and_extensions_present(self):
+        expected = [f"fig{i:02d}" for i in range(2, 14)]
+        expected += ["ext-apriori", "ext-neuralnet"]
+        assert sorted(EXPERIMENTS) == sorted(expected)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+@pytest.mark.slow
+class TestFigureShapes:
+    """Fast-grid sanity runs of one experiment per family."""
+
+    def test_model_comparison_family(self):
+        result = run_experiment("fig02", fast=True)
+        assert len(result.rows) == 3 * len(FAST_CONFIG_GRID)
+        assert result.models == [
+            "no communication",
+            "reduction communication",
+            "global reduction",
+        ]
+        # global reduction is the most accurate on average
+        means = [result.mean_error(m) for m in result.models]
+        assert means[2] <= means[1] <= means[0]
+        assert result.max_error("global reduction") < 0.05
+
+    def test_dataset_scaling_family(self):
+        result = run_experiment("fig07", fast=True)
+        assert result.models == ["global reduction"]
+        assert result.max_error("global reduction") < 0.05
+        assert result.metadata["profile_dataset"] == "350 MB"
+
+    def test_bandwidth_family(self):
+        result = run_experiment("fig10", fast=True)
+        assert result.max_error("global reduction") < 0.05
+        assert result.metadata["target_bandwidth"] < result.metadata[
+            "profile_bandwidth"
+        ]
+
+    def test_cross_cluster_family(self):
+        result = run_experiment("fig13", fast=True)
+        assert result.models == ["cross-cluster"]
+        assert result.max_error("cross-cluster") < 0.12
+        assert set(result.metadata["representatives"]) == {"kmeans", "knn", "em"}
+        assert 0 < result.metadata["sc"] < 1  # the target cluster is faster
+
+    def test_representative_exclusion_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_cross_cluster(
+                "em",
+                "figX",
+                "bad",
+                profile_size="350 MB",
+                target_size="700 MB",
+                profile_nodes=(1, 1),
+                representatives=("em", "knn"),
+                fast=True,
+            )

@@ -1,0 +1,88 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.middleware.api import GeneralizedReduction
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.registry import (
+    MODEL_BYTES_PER_GB,
+    WORKLOADS,
+    make_app,
+    make_dataset,
+    nominal_to_model_bytes,
+)
+
+ALL_WORKLOADS = sorted(WORKLOADS)
+
+
+class TestRegistryContents:
+    def test_five_paper_workloads_plus_two_extensions(self):
+        paper = sorted(n for n, s in WORKLOADS.items() if s.in_paper_evaluation)
+        extensions = sorted(
+            n for n, s in WORKLOADS.items() if not s.in_paper_evaluation
+        )
+        assert paper == ["defect", "em", "kmeans", "knn", "vortex"]
+        assert extensions == ["apriori", "neuralnet"]
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_app_factories(self, name):
+        app = make_app(name)
+        assert isinstance(app, GeneralizedReduction)
+        assert app.name == name
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_fresh_instances(self, name):
+        assert make_app(name) is not make_app(name)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            make_app("sorting")
+        with pytest.raises(ConfigurationError):
+            make_dataset("sorting")
+
+    def test_unknown_size(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("kmeans", "9 TB")
+
+    def test_class_labels_parse(self):
+        from repro.core.classes import ModelClasses
+
+        for spec in WORKLOADS.values():
+            ModelClasses.parse(spec.natural_object_class, spec.natural_global_class)
+            ModelClasses.parse(spec.paper_object_class, spec.paper_global_class)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_default_dataset_builds(self, name):
+        ds = make_dataset(name)
+        assert ds.nbytes > 0
+        assert ds.num_chunks >= 16
+        assert ds.num_chunks % 16 == 0
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_chunk_sizes_uniform(self, name):
+        ds = make_dataset(name)
+        sizes = [ds.chunk_nbytes(i) for i in range(ds.num_chunks)]
+        assert max(sizes) - min(sizes) < 1e-9 * max(sizes) + 1e-9
+
+    def test_sizes_scale_with_labels(self):
+        small = make_dataset("em", "350 MB")
+        large = make_dataset("em", "1.4 GB")
+        assert large.nbytes / small.nbytes == pytest.approx(4.0, rel=0.05)
+
+    def test_nominal_to_model_bytes(self):
+        assert nominal_to_model_bytes(1.4) == pytest.approx(1.4 * MODEL_BYTES_PER_GB)
+        with pytest.raises(ConfigurationError):
+            nominal_to_model_bytes(0.0)
+
+    def test_dataset_names_include_size(self):
+        ds = make_dataset("defect", "1.8 GB")
+        assert "1.8GB" in ds.name
+
+    def test_deterministic_datasets(self):
+        a = make_dataset("vortex")
+        b = make_dataset("vortex")
+        import numpy as np
+
+        np.testing.assert_array_equal(a.u, b.u)

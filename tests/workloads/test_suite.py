@@ -1,0 +1,42 @@
+"""Tests for the one-call reproduction suite."""
+
+import pytest
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.suite import SuiteReport, run_paper_suite
+
+
+class TestRunPaperSuite:
+    @pytest.mark.slow
+    def test_fast_subset_runs_and_checks(self):
+        seen = []
+        report = run_paper_suite(
+            fast=True,
+            experiment_ids=["fig04", "fig09"],
+            progress=seen.append,
+        )
+        assert len(report.entries) == 2
+        assert report.ok
+        assert report.failures == []
+        assert len(seen) == 2
+        assert all("ok" in line for line in seen)
+        entry = report.entry("fig04")
+        assert entry.result.workload == "defect"
+        assert entry.elapsed_s > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_paper_suite(experiment_ids=["fig99"])
+
+    def test_missing_entry_lookup(self):
+        report = SuiteReport()
+        with pytest.raises(ConfigurationError):
+            report.entry("fig02")
+
+    @pytest.mark.slow
+    def test_summary_lines_report_status(self):
+        report = run_paper_suite(fast=True, experiment_ids=["fig10"])
+        lines = report.summary_lines()
+        assert len(lines) == 1
+        assert "fig10" in lines[0]
+        assert "ok" in lines[0]
