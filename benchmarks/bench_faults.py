@@ -1,0 +1,134 @@
+"""Fault tolerance: recovery overhead vs fault rate, and predictability.
+
+Sweeps the transient chunk-read-error rate and the crash scenarios over
+the EM workload (multi-pass, so compute-node recovery exercises the
+checkpoint path), reporting:
+
+- the recovery overhead (faulted vs fault-free wall time) as the fault
+  rate rises — retries are charged honestly, so overhead must grow
+  monotonically with the rate;
+- that every faulted run still produces a bit-identical application
+  result (role-preserving recovery);
+- that the degraded-mode predictor tracks the faulted runs within the
+  framework's accuracy envelope.
+"""
+
+from repro.core import (
+    DegradedModePredictor,
+    GlobalReductionModel,
+    ModelClasses,
+    PredictionTarget,
+    Profile,
+    relative_error,
+)
+from repro.faults import (
+    ChunkReadError,
+    ComputeNodeCrash,
+    DataNodeCrash,
+    FaultInjector,
+    FaultSchedule,
+    results_equal,
+)
+from repro.middleware import FreerideGRuntime
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+from benchmarks.conftest import run_once
+
+RATES = [0.0, 0.02, 0.05, 0.1, 0.2]
+
+CRASH_SCENARIOS = {
+    "one data node @50%": FaultSchedule([DataNodeCrash(0, 1, 0.5)]),
+    "one compute node @30%": FaultSchedule([ComputeNodeCrash(1, 2, 0.3)]),
+    "both crashes": FaultSchedule(
+        [DataNodeCrash(0, 0, 0.5), ComputeNodeCrash(1, 3, 0.3)]
+    ),
+}
+
+
+def run_fault_study():
+    spec = WORKLOADS["em"]
+    dataset = spec.make_dataset("350 MB")
+    config = make_run_config(2, 4)
+
+    base = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+    profile = Profile.from_run(config, base.breakdown)
+    predictor = DegradedModePredictor(
+        GlobalReductionModel(
+            ModelClasses.parse(
+                spec.natural_object_class, spec.natural_global_class
+            )
+        )
+    )
+    target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+
+    rate_rows = []
+    for rate in RATES:
+        schedule = (
+            FaultSchedule([ChunkReadError(rate=rate)])
+            if rate > 0.0
+            else FaultSchedule()
+        )
+        run = FreerideGRuntime(
+            config, faults=FaultInjector(schedule, seed=17)
+        ).execute(spec.make_app(), dataset)
+        predicted = predictor.predict(profile, target, schedule)
+        rate_rows.append(
+            {
+                "rate": rate,
+                "actual": run.breakdown.total,
+                "overhead": run.breakdown.total - base.breakdown.total,
+                "events": len(run.breakdown.fault_events),
+                "predicted": predicted.total,
+                "error": relative_error(predicted.total, run.breakdown.total),
+                "identical": results_equal(base.result, run.result),
+            }
+        )
+
+    crash_rows = []
+    for label, schedule in CRASH_SCENARIOS.items():
+        run = FreerideGRuntime(
+            config, faults=FaultInjector(schedule, seed=17)
+        ).execute(spec.make_app(), dataset)
+        predicted = predictor.predict(profile, target, schedule)
+        crash_rows.append(
+            {
+                "scenario": label,
+                "actual": run.breakdown.total,
+                "overhead": run.breakdown.total - base.breakdown.total,
+                "t_ckpt": run.breakdown.t_ckpt,
+                "predicted": predicted.total,
+                "error": relative_error(predicted.total, run.breakdown.total),
+                "identical": results_equal(base.result, run.result),
+            }
+        )
+    return base.breakdown.total, rate_rows, crash_rows
+
+
+def test_recovery_overhead_vs_fault_rate(benchmark):
+    base_total, rate_rows, crash_rows = run_once(benchmark, run_fault_study)
+
+    print()
+    print(f"fault-free baseline: {base_total:.4f}s")
+    print(f"{'rate':>6} {'actual':>9} {'overhead':>9} {'events':>7} "
+          f"{'pred':>9} {'err':>7}")
+    for r in rate_rows:
+        print(f"{r['rate']:>6.2f} {r['actual']:8.4f}s {r['overhead']:8.4f}s "
+              f"{r['events']:>7} {r['predicted']:8.4f}s "
+              f"{100 * r['error']:6.2f}%")
+    print()
+    print(f"{'scenario':>22} {'actual':>9} {'overhead':>9} {'t_ckpt':>9} "
+          f"{'pred':>9} {'err':>7}")
+    for r in crash_rows:
+        print(f"{r['scenario']:>22} {r['actual']:8.4f}s "
+              f"{r['overhead']:8.4f}s {r['t_ckpt']:8.5f}s "
+              f"{r['predicted']:8.4f}s {100 * r['error']:6.2f}%")
+
+    # Results are bit-identical under every fault load.
+    assert all(r["identical"] for r in rate_rows + crash_rows)
+    # Zero-rate schedule adds zero overhead; overhead grows with the rate.
+    assert rate_rows[0]["overhead"] == 0.0
+    overheads = [r["overhead"] for r in rate_rows]
+    assert overheads == sorted(overheads)
+    # The degraded-mode predictor stays within the paper's envelope.
+    assert all(r["error"] < 0.15 for r in rate_rows + crash_rows)

@@ -1,0 +1,15 @@
+"""Reproduction of 'A Performance Prediction Framework for Grid-Based
+Data Mining Applications' (Glimcher & Agrawal, IPDPS 2007).
+
+Subpackages: :mod:`repro.simgrid` (simulation substrate),
+:mod:`repro.middleware` (FREERIDE-G), :mod:`repro.apps` (workload
+kernels), :mod:`repro.core` (the prediction framework),
+:mod:`repro.faults` (fault injection and tolerance),
+:mod:`repro.analysis` and :mod:`repro.workloads` (evaluation harness).
+
+The root exception hierarchy is exported here for uniform catching.
+"""
+
+from repro.errors import FaultError, RecoveryExhaustedError, ReproError
+
+__all__ = ["ReproError", "FaultError", "RecoveryExhaustedError"]

@@ -18,7 +18,11 @@ from repro.analysis.expectations import (
     FigureExpectation,
     check_expectation,
 )
-from repro.analysis.report import format_experiment, format_summary
+from repro.analysis.report import (
+    format_experiment,
+    format_fault_events,
+    format_summary,
+)
 from repro.analysis.results_io import (
     RowDelta,
     compare_results,
@@ -51,6 +55,7 @@ __all__ = [
     "result_to_dict",
     "save_result",
     "format_experiment",
+    "format_fault_events",
     "format_summary",
     "error_summary",
     "mean",

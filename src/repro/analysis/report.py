@@ -11,9 +11,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.stats import error_summary
+from repro.simgrid.trace import TimeBreakdown
 from repro.workloads.experiments import ExperimentResult
 
-__all__ = ["format_experiment", "format_summary"]
+__all__ = ["format_experiment", "format_fault_events", "format_summary"]
 
 
 def format_experiment(result: ExperimentResult) -> str:
@@ -47,6 +48,36 @@ def format_experiment(result: ExperimentResult) -> str:
         lines.append(f"{label:>8} " + " ".join(cells))
     lines.append("")
     lines.append(format_summary(result))
+    return "\n".join(lines)
+
+
+def format_fault_events(breakdown: TimeBreakdown) -> str:
+    """Render a faulted run's fault/recovery log as an ASCII table.
+
+    One line per event recorded in the pass records, in pass order: the
+    pass, the event kind, and the event's remaining fields (affected
+    node, replica site, charged recovery times) as ``key=value`` pairs.
+    Time-valued fields (keys starting with ``t_``) are printed in
+    engineering form.
+    """
+    events = breakdown.fault_events
+    if not events:
+        return "no faults fired"
+    lines = [f"{len(events)} fault/recovery event(s), t_ckpt = "
+             f"{breakdown.t_ckpt:.5f} s:"]
+    for event in events:
+        detail = []
+        for key, value in event.items():
+            if key in ("kind", "pass"):
+                continue
+            if isinstance(value, float) and key.startswith("t_"):
+                detail.append(f"{key}={value:.5f}s")
+            else:
+                detail.append(f"{key}={value}")
+        lines.append(
+            f"  pass {event.get('pass', '?'):>3}  "
+            f"{event.get('kind', 'unknown'):<24} " + " ".join(detail)
+        )
     return "\n".join(lines)
 
 

@@ -20,7 +20,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis import format_experiment
+from repro.analysis import format_experiment, format_fault_events
 from repro.core import (
     GlobalReductionModel,
     ModelClasses,
@@ -32,8 +32,9 @@ from repro.core import (
     classify_object_size,
 )
 from repro.core.store import load_profile, save_profile
+from repro.errors import ReproError
+from repro.faults import load_scenario
 from repro.middleware import FreerideGRuntime
-from repro.simgrid.errors import SimulationError
 from repro.workloads.clusters import (
     DEFAULT_BANDWIDTH,
     opteron_infiniband_cluster,
@@ -64,6 +65,9 @@ def _print_breakdown(breakdown) -> None:
         f"  T_compute = {breakdown.t_compute:10.4f} s "
         f"(T_ro={breakdown.t_ro:.5f}, T_g={breakdown.t_g:.5f})"
     )
+    t_ckpt = getattr(breakdown, "t_ckpt", 0.0)
+    if t_ckpt:
+        print(f"  T_ckpt    = {t_ckpt:10.4f} s")
     print(f"  total     = {breakdown.total:10.4f} s")
 
 
@@ -88,13 +92,18 @@ def _cmd_run(args) -> int:
         storage_cluster=cluster,
         bandwidth=args.bandwidth,
     ).with_processes_per_node(args.processes_per_node)
-    run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+    injector = load_scenario(args.faults) if args.faults else None
+    run = FreerideGRuntime(config, faults=injector).execute(
+        spec.make_app(), dataset
+    )
     print(
         f"{args.workload} on {config.label} ({args.cluster}), "
         f"dataset {dataset.name} ({dataset.nbytes:.0f} model bytes), "
         f"{run.breakdown.num_passes} pass(es):"
     )
     _print_breakdown(run.breakdown)
+    if injector is not None:
+        print(format_fault_events(run.breakdown))
     if args.save_profile:
         profile = Profile.from_run(config, run.breakdown)
         path = save_profile(profile, args.save_profile)
@@ -274,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster", choices=sorted(_CLUSTERS), default="pentium-myrinet"
     )
     run_p.add_argument("--save-profile", default=None, metavar="PATH")
+    run_p.add_argument(
+        "--faults", default=None, metavar="SCENARIO.json",
+        help="inject faults from a JSON scenario file (see README)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     pred_p = sub.add_parser("predict", help="predict from a saved profile")
@@ -348,7 +361,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except SimulationError as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -23,6 +23,8 @@ separately (Section 3 of the paper):
 - :mod:`repro.core.selection`     — replica + computing-configuration
   selection (the middleware's resource-selection framework).
 - :mod:`repro.core.errors`        — the relative-error metric of Section 5.
+- :mod:`repro.core.degraded`      — the degraded-mode extension: expected
+  recovery term ``T̂_recover`` for runs under an installed fault schedule.
 """
 
 from repro.core.allocation import (
@@ -47,6 +49,11 @@ from repro.core.classes import (
     estimate_object_size,
 )
 from repro.core.classify import classify_global_reduction, classify_object_size
+from repro.core.degraded import (
+    DegradedModePredictor,
+    DegradedPrediction,
+    RecoveryBreakdown,
+)
 from repro.core.errors import relative_error
 from repro.core.heterogeneous import (
     ComponentScalingFactors,
@@ -93,6 +100,9 @@ __all__ = [
     "estimate_object_size",
     "classify_global_reduction",
     "classify_object_size",
+    "DegradedModePredictor",
+    "DegradedPrediction",
+    "RecoveryBreakdown",
     "relative_error",
     "ComponentScalingFactors",
     "CrossClusterPredictor",

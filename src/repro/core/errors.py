@@ -1,14 +1,26 @@
-"""The evaluation metric of Section 5.
+"""The evaluation metric of Section 5, plus the shared error base.
 
 ``E = |T_exact - T_predicted| / T_exact`` — prediction error relative to
 the actual execution time.
+
+:class:`~repro.errors.ReproError` is re-exported here so prediction-core
+callers can catch framework errors uniformly without importing from the
+simulation substrate; every exception this package raises (including
+:class:`~repro.simgrid.errors.ConfigurationError` below and the
+:class:`~repro.errors.FaultError` branch) derives from it.
 """
 
 from __future__ import annotations
 
+from repro.errors import FaultError, RecoveryExhaustedError, ReproError
 from repro.simgrid.errors import ConfigurationError
 
-__all__ = ["relative_error"]
+__all__ = [
+    "relative_error",
+    "ReproError",
+    "FaultError",
+    "RecoveryExhaustedError",
+]
 
 
 def relative_error(actual: float, predicted: float) -> float:

@@ -1,0 +1,42 @@
+"""The framework-wide exception hierarchy.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the framework can catch one type uniformly:
+
+- :class:`repro.simgrid.errors.SimulationError` — the simulation
+  substrate's branch (configuration, topology, engine misuse).
+- :class:`FaultError` — the fault-injection / fault-tolerance branch
+  (:mod:`repro.faults`): malformed fault schedules, and
+  :class:`RecoveryExhaustedError` when recovery cannot proceed.
+
+The branches live in their own modules; this module only anchors the
+hierarchy so that ``repro.simgrid`` does not need to import ``repro.faults``
+or vice versa.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "FaultError", "RecoveryExhaustedError"]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro framework."""
+
+
+class FaultError(ReproError):
+    """A fault schedule or fault-tolerance operation is invalid.
+
+    Raised for malformed fault specs (negative rates, out-of-range node
+    indices, crash fractions outside ``[0, 1]``) and for misuse of the
+    fault-injection API.
+    """
+
+
+class RecoveryExhaustedError(FaultError):
+    """Recovery cannot make progress and the run must abort.
+
+    Raised when a transient chunk-read error persists past the retry
+    policy's attempt budget, when a data node crashes and no replica of the
+    dataset remains to fail over to, or when every compute node has
+    crashed.
+    """

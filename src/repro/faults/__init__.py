@@ -1,0 +1,61 @@
+"""Fault injection and fault tolerance for the FREERIDE-G runtime.
+
+The paper's premise is resource selection on *shared, unreliable* grid
+resources; this package supplies the unreliable part.  It provides:
+
+- :mod:`repro.faults.specs`    — seeded, schedulable fault specs
+  (:class:`DataNodeCrash`, :class:`ComputeNodeCrash`,
+  :class:`LinkDegradation`, :class:`SlowNode`, transient
+  :class:`ChunkReadError`) collected into a :class:`FaultSchedule`.
+- :mod:`repro.faults.retry`    — the :class:`RetryPolicy` (attempt
+  budget, capped exponential backoff, per-chunk timeout).
+- :mod:`repro.faults.injector` — the deterministic :class:`FaultInjector`
+  and replica-failover selection.
+- :mod:`repro.faults.scenario` — JSON scenario files for the
+  ``repro run --faults`` CLI flag.
+- :mod:`repro.faults.verify`   — bitwise faulted-vs-fault-free result
+  comparison.
+
+The recovery semantics themselves live in
+:class:`repro.middleware.runtime.FreerideGRuntime`; the expected-cost
+model is :class:`repro.core.degraded.DegradedModePredictor`.
+"""
+
+from repro.errors import FaultError, RecoveryExhaustedError
+from repro.faults.injector import FaultInjector, select_failover_replica
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.scenario import (
+    injector_from_dict,
+    load_scenario,
+    schedule_from_dict,
+)
+from repro.faults.specs import (
+    ChunkReadError,
+    ComputeNodeCrash,
+    DataNodeCrash,
+    FaultSchedule,
+    FaultSpec,
+    LinkDegradation,
+    SlowNode,
+)
+from repro.faults.verify import results_equal
+
+__all__ = [
+    "FaultError",
+    "RecoveryExhaustedError",
+    "FaultInjector",
+    "select_failover_replica",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "injector_from_dict",
+    "load_scenario",
+    "schedule_from_dict",
+    "ChunkReadError",
+    "ComputeNodeCrash",
+    "DataNodeCrash",
+    "FaultSchedule",
+    "FaultSpec",
+    "LinkDegradation",
+    "SlowNode",
+    "results_equal",
+]

@@ -1,0 +1,176 @@
+"""Fault-scenario files: JSON in, :class:`FaultInjector` out.
+
+A scenario file drives ``repro run --faults scenario.json``::
+
+    {
+      "seed": 42,
+      "replicas": ["repo-b"],
+      "retry_policy": {"max_attempts": 5, "base_backoff_s": 0.01},
+      "checkpoints": true,
+      "faults": [
+        {"type": "data-node-crash", "pass": 0, "data_node": 1,
+         "at_fraction": 0.5},
+        {"type": "compute-node-crash", "pass": 1, "compute_node": 3,
+         "at_fraction": 0.25},
+        {"type": "link-degradation", "data_node": 0, "factor": 2.0},
+        {"type": "slow-node", "compute_node": 2, "factor": 1.5,
+         "from_pass": 1},
+        {"type": "chunk-read-error", "rate": 0.05}
+      ]
+    }
+
+Every key except ``faults`` is optional.  Unknown fault types or keys
+raise :class:`~repro.errors.FaultError` rather than being ignored — a
+typo in a scenario must not silently produce a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.specs import (
+    ChunkReadError,
+    ComputeNodeCrash,
+    DataNodeCrash,
+    FaultSchedule,
+    FaultSpec,
+    LinkDegradation,
+    SlowNode,
+)
+
+__all__ = ["schedule_from_dict", "injector_from_dict", "load_scenario"]
+
+
+def _take(data: Mapping[str, Any], kind: str, keys: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract ``keys`` (name -> default, ``...`` = required) from a spec."""
+    known = set(keys) | {"type"}
+    unknown = set(data) - known
+    if unknown:
+        raise FaultError(
+            f"unknown key(s) {sorted(unknown)} in '{kind}' fault spec"
+        )
+    out: Dict[str, Any] = {}
+    for key, default in keys.items():
+        if key in data:
+            out[key] = data[key]
+        elif default is ...:
+            raise FaultError(f"'{kind}' fault spec requires key '{key}'")
+        else:
+            out[key] = default
+    return out
+
+
+def _fault_from_dict(data: Mapping[str, Any]) -> FaultSpec:
+    kind = data.get("type")
+    if kind == "data-node-crash":
+        args = _take(data, kind, {"pass": ..., "data_node": ..., "at_fraction": 0.5})
+        return DataNodeCrash(
+            pass_index=int(args["pass"]),
+            data_node=int(args["data_node"]),
+            at_fraction=float(args["at_fraction"]),
+        )
+    if kind == "compute-node-crash":
+        args = _take(
+            data, kind, {"pass": ..., "compute_node": ..., "at_fraction": 0.5}
+        )
+        return ComputeNodeCrash(
+            pass_index=int(args["pass"]),
+            compute_node=int(args["compute_node"]),
+            at_fraction=float(args["at_fraction"]),
+        )
+    if kind == "link-degradation":
+        args = _take(
+            data,
+            kind,
+            {"data_node": ..., "factor": ..., "from_pass": 0, "until_pass": None},
+        )
+        return LinkDegradation(
+            data_node=int(args["data_node"]),
+            factor=float(args["factor"]),
+            from_pass=int(args["from_pass"]),
+            until_pass=None if args["until_pass"] is None else int(args["until_pass"]),
+        )
+    if kind == "slow-node":
+        args = _take(
+            data,
+            kind,
+            {"compute_node": ..., "factor": ..., "from_pass": 0, "until_pass": None},
+        )
+        return SlowNode(
+            compute_node=int(args["compute_node"]),
+            factor=float(args["factor"]),
+            from_pass=int(args["from_pass"]),
+            until_pass=None if args["until_pass"] is None else int(args["until_pass"]),
+        )
+    if kind == "chunk-read-error":
+        args = _take(
+            data,
+            kind,
+            {"rate": 0.0, "pass": None, "data_node": None, "failures": None},
+        )
+        failures = args["failures"]
+        if failures is not None:
+            failures = {int(k): int(v) for k, v in failures.items()}
+        return ChunkReadError(
+            rate=float(args["rate"]),
+            pass_index=None if args["pass"] is None else int(args["pass"]),
+            data_node=None if args["data_node"] is None else int(args["data_node"]),
+            failures=failures,
+        )
+    raise FaultError(
+        f"unknown fault type {kind!r}; expected one of data-node-crash, "
+        "compute-node-crash, link-degradation, slow-node, chunk-read-error"
+    )
+
+
+def schedule_from_dict(data: Mapping[str, Any]) -> FaultSchedule:
+    """Build a :class:`FaultSchedule` from a decoded scenario mapping."""
+    faults_raw = data.get("faults", [])
+    if not isinstance(faults_raw, list):
+        raise FaultError("'faults' must be a list of fault specs")
+    faults: List[FaultSpec] = [_fault_from_dict(f) for f in faults_raw]
+    checkpoints = data.get("checkpoints")
+    if checkpoints is not None and not isinstance(checkpoints, bool):
+        raise FaultError("'checkpoints' must be a boolean when present")
+    return FaultSchedule(faults=faults, checkpoints=checkpoints)
+
+
+def injector_from_dict(data: Mapping[str, Any]) -> FaultInjector:
+    """Build a fully configured :class:`FaultInjector` from a mapping."""
+    schedule = schedule_from_dict(data)
+    policy_raw = data.get("retry_policy")
+    if policy_raw is None:
+        policy = DEFAULT_RETRY_POLICY
+    else:
+        try:
+            policy = RetryPolicy(**policy_raw)
+        except TypeError as exc:
+            raise FaultError(f"bad retry_policy: {exc}") from exc
+    replicas = data.get("replicas", ["standby-replica"])
+    if not isinstance(replicas, list):
+        raise FaultError("'replicas' must be a list of site names")
+    return FaultInjector(
+        schedule,
+        policy=policy,
+        seed=int(data.get("seed", 0)),
+        replica_sites=[str(site) for site in replicas],
+    )
+
+
+def load_scenario(path: Union[str, pathlib.Path]) -> FaultInjector:
+    """Load a fault-scenario JSON file into an injector."""
+    p = pathlib.Path(path)
+    try:
+        data = json.loads(p.read_text())
+    except FileNotFoundError:
+        raise FaultError(f"fault scenario file not found: {p}") from None
+    except json.JSONDecodeError as exc:
+        raise FaultError(f"fault scenario {p} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise FaultError(f"fault scenario {p} must contain a JSON object")
+    return injector_from_dict(data)

@@ -1,0 +1,249 @@
+"""Fault specifications: what can go wrong, where, and when.
+
+Each spec is a frozen dataclass describing one fault the
+:class:`~repro.faults.injector.FaultInjector` will fire during a
+middleware execution.  All faults are **scheduled** — they name the pass
+(and, for crashes, the phase progress fraction) at which they occur — so a
+faulted run is exactly reproducible, which the recovery tests and the
+degraded-mode predictor both rely on.
+
+The five fault kinds map to the grid failure modes the related work
+documents (bandwidth variability, routine node failures):
+
+- :class:`DataNodeCrash`      — a repository node dies mid-communication.
+- :class:`ComputeNodeCrash`   — a processing node dies mid-pass.
+- :class:`LinkDegradation`    — a repository-to-compute link slows down.
+- :class:`SlowNode`           — a compute node loses CPU to external load.
+- :class:`ChunkReadError`     — transient per-chunk repository read
+  failures, either explicit (``failures`` per chunk) or rate-driven
+  (seeded draws by the injector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FaultError
+
+__all__ = [
+    "DataNodeCrash",
+    "ComputeNodeCrash",
+    "LinkDegradation",
+    "SlowNode",
+    "ChunkReadError",
+    "FaultSpec",
+    "FaultSchedule",
+]
+
+
+def _check_fraction(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be within [0, 1], got {value}")
+
+
+def _check_index(value: int, name: str) -> None:
+    if value < 0:
+        raise FaultError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class DataNodeCrash:
+    """A repository node fails during the communication phase of a pass.
+
+    ``at_fraction`` is the fraction of the node's chunk batch already
+    shipped when the crash is detected; the unshipped tail is re-fetched
+    from a failover replica chosen through the replica catalog.
+    """
+
+    pass_index: int
+    data_node: int
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_index(self.pass_index, "pass_index")
+        _check_index(self.data_node, "data_node")
+        _check_fraction(self.at_fraction, "at_fraction")
+
+
+@dataclass(frozen=True)
+class ComputeNodeCrash:
+    """A processing node fails during the local-reduction phase of a pass.
+
+    ``at_fraction`` is how far the local phase had progressed when the
+    crash is detected; that work is lost, the node's chunks are
+    redistributed over the survivors, and the pass restarts from the last
+    reduction-object checkpoint.
+    """
+
+    pass_index: int
+    compute_node: int
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_index(self.pass_index, "pass_index")
+        _check_index(self.compute_node, "compute_node")
+        _check_fraction(self.at_fraction, "at_fraction")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A repository-to-compute link degrades from a pass onward.
+
+    ``factor`` multiplies the affected data node's communication time
+    (``factor == 2.0`` halves the usable bandwidth).  ``until_pass`` is
+    exclusive; ``None`` means the degradation persists to the end.
+    """
+
+    data_node: int
+    factor: float
+    from_pass: int = 0
+    until_pass: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_index(self.data_node, "data_node")
+        _check_index(self.from_pass, "from_pass")
+        if self.factor < 1.0:
+            raise FaultError(
+                f"link degradation factor must be >= 1, got {self.factor}"
+            )
+        if self.until_pass is not None and self.until_pass <= self.from_pass:
+            raise FaultError("until_pass must be greater than from_pass")
+
+    def active(self, pass_index: int) -> bool:
+        """Whether the degradation applies during ``pass_index``."""
+        if pass_index < self.from_pass:
+            return False
+        return self.until_pass is None or pass_index < self.until_pass
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """External load slows one compute node from a pass onward.
+
+    ``factor`` multiplies the node's local-reduction time.  Timing-only:
+    the reduction produces the same objects, later.
+    """
+
+    compute_node: int
+    factor: float
+    from_pass: int = 0
+    until_pass: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_index(self.compute_node, "compute_node")
+        _check_index(self.from_pass, "from_pass")
+        if self.factor < 1.0:
+            raise FaultError(f"slow-node factor must be >= 1, got {self.factor}")
+        if self.until_pass is not None and self.until_pass <= self.from_pass:
+            raise FaultError("until_pass must be greater than from_pass")
+
+    def active(self, pass_index: int) -> bool:
+        """Whether the slowdown applies during ``pass_index``."""
+        if pass_index < self.from_pass:
+            return False
+        return self.until_pass is None or pass_index < self.until_pass
+
+
+@dataclass(frozen=True)
+class ChunkReadError:
+    """Transient repository read errors, retried under the retry policy.
+
+    Two forms:
+
+    - **explicit** — ``failures`` maps chunk positions (index into the
+      data node's chunk batch) to the number of consecutive failed read
+      attempts before the read succeeds;
+    - **rate-driven** — ``rate`` is the per-attempt failure probability;
+      the injector draws the per-chunk failure counts deterministically
+      from its seed.
+
+    ``pass_index``/``data_node`` of ``None`` mean "every network-fed
+    pass" / "every data node".
+    """
+
+    rate: float = 0.0
+    pass_index: Optional[int] = None
+    data_node: Optional[int] = None
+    failures: Optional[Dict[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise FaultError(
+                f"transient read-error rate must be in [0, 1), got {self.rate}"
+            )
+        if self.pass_index is not None:
+            _check_index(self.pass_index, "pass_index")
+        if self.data_node is not None:
+            _check_index(self.data_node, "data_node")
+        if self.failures is not None:
+            for chunk, count in self.failures.items():
+                if chunk < 0 or count <= 0:
+                    raise FaultError(
+                        "explicit chunk failures must map chunk >= 0 to "
+                        f"count >= 1, got {chunk}: {count}"
+                    )
+        if self.rate == 0.0 and not self.failures:
+            raise FaultError(
+                "a ChunkReadError needs a positive rate or explicit failures"
+            )
+
+    def applies(self, pass_index: int, data_node: int) -> bool:
+        """Whether this spec covers ``(pass_index, data_node)``."""
+        if self.pass_index is not None and self.pass_index != pass_index:
+            return False
+        return self.data_node is None or self.data_node == data_node
+
+
+FaultSpec = Union[
+    DataNodeCrash, ComputeNodeCrash, LinkDegradation, SlowNode, ChunkReadError
+]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of fault specs for one execution.
+
+    ``checkpoints`` controls whether the runtime writes reduction-object
+    checkpoints after each gather (charged into ``t_ckpt``).  ``None``
+    selects the default: checkpoint exactly when the schedule contains a
+    compute-node crash to recover from.  Installing *any* schedule —
+    even an empty one — never changes application results; only timing.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    checkpoints: Optional[bool] = None
+
+    def __init__(
+        self,
+        faults: Sequence[FaultSpec] = (),
+        checkpoints: Optional[bool] = None,
+    ) -> None:
+        for fault in faults:
+            if not isinstance(
+                fault,
+                (
+                    DataNodeCrash,
+                    ComputeNodeCrash,
+                    LinkDegradation,
+                    SlowNode,
+                    ChunkReadError,
+                ),
+            ):
+                raise FaultError(f"not a fault spec: {fault!r}")
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "checkpoints", checkpoints)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_type(self, kind: type) -> List[FaultSpec]:
+        """All faults of one spec class, in schedule order."""
+        return [f for f in self.faults if isinstance(f, kind)]
+
+    @property
+    def checkpoints_enabled(self) -> bool:
+        """Resolved checkpointing decision (see class docstring)."""
+        if self.checkpoints is not None:
+            return self.checkpoints
+        return any(isinstance(f, ComputeNodeCrash) for f in self.faults)

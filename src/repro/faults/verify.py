@@ -1,0 +1,44 @@
+"""Bitwise result comparison between faulted and fault-free runs.
+
+The fault-tolerance guarantee is that recovery never changes what an
+application computes: role-preserving redistribution keeps the
+reduction-object merge tree identical, so a faulted run's result must be
+**bit-identical** to the fault-free run's.  Application results are
+heterogeneous (floats, NumPy arrays, dicts, lists of features), so the
+equality walk here is what the recovery tests and the fault benchmark
+both use.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["results_equal"]
+
+
+def results_equal(a: Any, b: Any) -> bool:
+    """Exact structural equality of two application results.
+
+    Arrays compare element-wise with ``==`` (no tolerance); containers
+    compare recursively; scalars compare with ``==``.  NaNs compare equal
+    to NaNs in the same positions, so a legitimately-NaN statistic does
+    not spuriously fail the bit-identity check.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        x, y = np.asarray(a), np.asarray(b)
+        if x.shape != y.shape or x.dtype != y.dtype:
+            return False
+        return bool(np.array_equal(x, y, equal_nan=x.dtype.kind == "f"))
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False
+        return all(results_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(results_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return (a == b) or (np.isnan(a) and np.isnan(b))
+    return bool(a == b)

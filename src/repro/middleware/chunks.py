@@ -16,11 +16,17 @@ nodes (``c >= n``, the paper's constraint):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence
 
 from repro.simgrid.errors import ConfigurationError
 
-__all__ = ["ChunkAssignment", "assign_chunks", "split_evenly"]
+__all__ = [
+    "ChunkAssignment",
+    "assign_chunks",
+    "split_evenly",
+    "map_roles_to_survivors",
+    "unshipped_chunks",
+]
 
 
 def split_evenly(total: int, parts: int) -> List[int]:
@@ -67,7 +73,16 @@ class ChunkAssignment:
         return len(self.compute_node_chunks)
 
     def served_compute_nodes(self, data_node: int) -> List[int]:
-        """Compute nodes fed by ``data_node``."""
+        """Compute nodes fed by ``data_node``.
+
+        Raises :class:`~repro.simgrid.errors.ConfigurationError` for an
+        out-of-range ``data_node`` rather than silently returning ``[]``.
+        """
+        if not 0 <= data_node < self.num_data_nodes:
+            raise ConfigurationError(
+                f"data node index {data_node} out of range "
+                f"(0..{self.num_data_nodes - 1})"
+            )
         return [
             j for j, src in enumerate(self.compute_source) if src == data_node
         ]
@@ -121,3 +136,60 @@ def assign_chunks(
         compute_node_chunks=compute_node_chunks,
         compute_source=compute_source,
     )
+
+
+def map_roles_to_survivors(
+    compute_nodes: int, crashed: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Executor -> reduction roles after compute-node crashes.
+
+    Every original compute node is a *role*: its chunk list and its
+    position in the gather order.  Recovery migrates a crashed node's
+    whole role to a survivor — role-level (not chunk-level)
+    redistribution keeps the reduction-object merge tree identical to the
+    fault-free run, which is what makes recovered results bit-identical
+    (see DESIGN.md, "Fault model and recovery semantics").
+
+    Surviving nodes keep their own role; crashed roles are dealt
+    round-robin over the survivors in node order.
+
+    >>> map_roles_to_survivors(4, [2])
+    {0: [0, 2], 1: [1], 3: [3]}
+    """
+    if compute_nodes <= 0:
+        raise ConfigurationError("compute node count must be positive")
+    crashed_set = set(crashed)
+    if not all(0 <= j < compute_nodes for j in crashed_set):
+        raise ConfigurationError(
+            f"crashed node indices {sorted(crashed_set)} out of range "
+            f"(0..{compute_nodes - 1})"
+        )
+    survivors = [j for j in range(compute_nodes) if j not in crashed_set]
+    if not survivors:
+        raise ConfigurationError("at least one compute node must survive")
+    roles = {j: [j] for j in survivors}
+    for i, role in enumerate(sorted(crashed_set)):
+        roles[survivors[i % len(survivors)]].append(role)
+    return roles
+
+
+def unshipped_chunks(
+    assignment: ChunkAssignment, data_node: int, shipped_fraction: float
+) -> List[int]:
+    """The chunk tail a crashed data node had not yet shipped.
+
+    A data node streams its batch in order; crashing after
+    ``shipped_fraction`` of it leaves the final
+    ``len(batch) - floor(shipped_fraction * len(batch))`` chunks to be
+    re-fetched from a failover replica.
+    """
+    if not 0.0 <= shipped_fraction <= 1.0:
+        raise ConfigurationError("shipped fraction must be within [0, 1]")
+    if not 0 <= data_node < assignment.num_data_nodes:
+        raise ConfigurationError(
+            f"data node index {data_node} out of range "
+            f"(0..{assignment.num_data_nodes - 1})"
+        )
+    batch = assignment.data_node_chunks[data_node]
+    shipped = int(shipped_fraction * len(batch))
+    return list(batch[shipped:])

@@ -14,16 +14,22 @@ of the paper).  Its three roles map to three methods here:
 Retrieval and communication are distinct, non-overlapping phases, matching
 the additive ``T_disk + T_network`` structure the prediction framework
 assumes.
+
+For fault-tolerant executions the server also exposes per-node phase times
+(so retries and degraded links shift the phase-ending maximum correctly)
+and the replica re-fetch costing used when a data node crashes
+mid-communication.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 from repro.middleware.chunks import ChunkAssignment
 from repro.middleware.dataset import Dataset
 from repro.middleware.scheduler import RunConfig
 from repro.simgrid.disk import RepositoryDiskSystem
+from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.network import LinkModel
 
 __all__ = ["DataServer"]
@@ -35,6 +41,11 @@ class DataServer:
     def __init__(
         self, config: RunConfig, dataset: Dataset, assignment: ChunkAssignment
     ) -> None:
+        if assignment.num_data_nodes == 0:
+            raise ConfigurationError(
+                "chunk assignment has no data nodes; a data server needs "
+                "at least one repository node to serve from"
+            )
         self.config = config
         self.dataset = dataset
         self.assignment = assignment
@@ -59,6 +70,13 @@ class DataServer:
         """Phase time to read every chunk from the repository disks."""
         return self._disks.retrieval_time(self.per_node_chunk_sizes)
 
+    def node_retrieval_times(self) -> List[float]:
+        """Per-data-node batch read times (the phase ends at their max)."""
+        return [
+            self._disks.node_read_time(i, sizes)
+            for i, sizes in enumerate(self.per_node_chunk_sizes)
+        ]
+
     def communication_time(self) -> float:
         """Phase time to ship every chunk to its destination compute node.
 
@@ -66,11 +84,73 @@ class DataServer:
         completes when the slowest data node finishes.  Compute nodes never
         receive from more than one data node (contiguous-block mapping), so
         there is no receive-side convergence bottleneck.
+
+        Raises :class:`~repro.simgrid.errors.ConfigurationError` with a
+        clear message when the assignment lists no data nodes, instead of
+        letting ``max()`` fail on an empty sequence.
         """
+        per_node_chunk_sizes = self.per_node_chunk_sizes
+        if not per_node_chunk_sizes:
+            raise ConfigurationError(
+                "cannot compute communication time: the chunk assignment "
+                "contains no data-node chunk lists"
+            )
         per_node = (
-            self._link.stream_time(sizes) for sizes in self.per_node_chunk_sizes
+            self._link.stream_time(sizes) for sizes in per_node_chunk_sizes
         )
         return max(per_node)
+
+    def node_stream_times(
+        self, link_factors: Optional[Sequence[float]] = None
+    ) -> List[float]:
+        """Per-data-node communication times, optionally degraded.
+
+        ``link_factors[i]`` multiplies node ``i``'s stream time (a factor
+        of 2 models a link at half bandwidth); ``None`` means all links
+        are healthy.
+        """
+        sizes_per_node = self.per_node_chunk_sizes
+        if link_factors is None:
+            return [self._link.stream_time(sizes) for sizes in sizes_per_node]
+        if len(link_factors) != len(sizes_per_node):
+            raise ConfigurationError(
+                f"expected {len(sizes_per_node)} link factors, "
+                f"got {len(link_factors)}"
+            )
+        return [
+            self._link.stream_time(sizes) * factor
+            for sizes, factor in zip(sizes_per_node, link_factors)
+        ]
+
+    def chunk_read_time(self, chunk: int) -> float:
+        """Seconds one repository disk takes to read chunk ``chunk``."""
+        bw = self._disks.per_node_effective_bw
+        spec = self.config.storage_cluster.node.disk
+        return spec.read_time(self.dataset.chunk_nbytes(chunk), effective_bw=bw)
+
+    def refetch_cost(
+        self, chunks: Sequence[int], link_factor: float = 1.0
+    ) -> Tuple[float, float]:
+        """(disk, network) cost of re-serving ``chunks`` from a replica.
+
+        Used for data-node failover (unshipped tail after a crash) and
+        compute-node recovery (re-feeding a migrated role's chunks).  The
+        replica pays a fresh server startup, reads the chunks on one node
+        (uncontended: its siblings are idle for this batch), and streams
+        them over a repository-to-compute link at the run's bandwidth.
+        """
+        if not chunks:
+            return 0.0, 0.0
+        if link_factor < 1.0:
+            raise ConfigurationError("link degradation factor must be >= 1")
+        sizes = [self.dataset.chunk_nbytes(c) for c in chunks]
+        cluster = self.config.storage_cluster
+        spec = cluster.node.disk
+        disk = cluster.node_startup_s + sum(
+            spec.read_time(size, effective_bw=spec.stream_bw) for size in sizes
+        )
+        network = self._link.stream_time(sizes) * link_factor
+        return disk, network
 
     def effective_disk_bw(self) -> float:
         """Backplane-contended per-node disk bandwidth (for diagnostics)."""

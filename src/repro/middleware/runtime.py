@@ -22,16 +22,42 @@ The application's computation is performed **for real**: the reduction
 objects contain genuine centroids / sufficient statistics / feature lists,
 and results are invariant to the node configuration (associativity of the
 updates), which the integration tests assert.
+
+Fault tolerance
+---------------
+Installing a :class:`~repro.faults.injector.FaultInjector` arms the
+recovery paths (see DESIGN.md, "Fault model and recovery semantics"):
+
+- transient chunk-read errors retry under the injector's
+  :class:`~repro.faults.retry.RetryPolicy`, charged into ``t_disk``;
+- a crashed data node fails over to a replica (selected through the
+  injector, backed by the :class:`~repro.middleware.replica.ReplicaCatalog`
+  when attached) and re-ships only its unshipped chunk tail;
+- a crashed compute node's reduction *role* migrates to a survivor and the
+  pass restarts from the last reduction-object checkpoint; checkpoint
+  writes are charged into ``t_ckpt``.
+
+Recovery is **role-preserving**: the reduction-object merge tree of a
+faulted run is identical to the fault-free run's, so application results
+are bit-identical — only timing changes.  With no injector installed the
+fault-free code path is byte-for-byte the pre-fault-tolerance engine.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import RecoveryExhaustedError
 from repro.middleware.api import GeneralizedReduction
-from repro.middleware.chunks import ChunkAssignment, assign_chunks
+from repro.middleware.caching import CacheModel
+from repro.middleware.chunks import (
+    ChunkAssignment,
+    assign_chunks,
+    map_roles_to_survivors,
+    unshipped_chunks,
+)
 from repro.middleware.compute_server import ComputeServer
 from repro.middleware.data_server import DataServer
 from repro.middleware.dataset import Dataset
@@ -101,14 +127,153 @@ def _tree_gather(
 
 
 class FreerideGRuntime:
-    """Executes generalized-reduction applications on simulated resources."""
+    """Executes generalized-reduction applications on simulated resources.
 
-    def __init__(self, config: RunConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The resource configuration to execute under.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  ``None``
+        (the default) runs the original healthy-grid engine with zero
+        added overhead; an injector arms retries, replica failover,
+        role migration and reduction-object checkpointing.
+    """
+
+    def __init__(self, config: RunConfig, faults: Optional[Any] = None) -> None:
         self.config = config
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+    # Faulted-phase helpers
+    # ------------------------------------------------------------------
+
+    def _transfer_phases_with_faults(
+        self,
+        pass_index: int,
+        data_server: DataServer,
+        assignment: ChunkAssignment,
+        events: List[Dict[str, Any]],
+    ) -> Tuple[float, float]:
+        """Retrieval + communication times under the installed injector."""
+        faults = self.faults
+        policy = faults.policy
+        per_node_sizes = data_server.per_node_chunk_sizes
+        node_read = data_server.node_retrieval_times()
+
+        # Transient chunk-read errors: retried reads charged into t_disk.
+        for node, sizes in enumerate(per_node_sizes):
+            failures = faults.chunk_failures(pass_index, node, len(sizes))
+            if not failures:
+                continue
+            extra = 0.0
+            for position, count in sorted(failures.items()):
+                if count > policy.max_failures:
+                    raise RecoveryExhaustedError(
+                        f"chunk at position {position} of data node {node} "
+                        f"failed {count} times, exhausting the "
+                        f"{policy.max_attempts}-attempt retry budget"
+                    )
+                chunk = assignment.data_node_chunks[node][position]
+                extra += policy.retry_cost_s(
+                    count, data_server.chunk_read_time(chunk)
+                )
+            node_read[node] += extra
+            events.append(
+                {
+                    "kind": "chunk-read-retries",
+                    "pass": pass_index,
+                    "data_node": node,
+                    "chunks_affected": len(failures),
+                    "failed_attempts": sum(failures.values()),
+                    "t_disk_extra": extra,
+                }
+            )
+        t_disk = max(node_read)
+
+        # Communication, with any active link degradations.
+        link_factors = [
+            faults.link_factor(node, pass_index)
+            for node in range(len(per_node_sizes))
+        ]
+        degraded = any(f != 1.0 for f in link_factors)
+        streams = data_server.node_stream_times(link_factors if degraded else None)
+        t_network = max(streams)
+        if degraded:
+            events.append(
+                {
+                    "kind": "link-degradation",
+                    "pass": pass_index,
+                    "factors": {
+                        node: factor
+                        for node, factor in enumerate(link_factors)
+                        if factor != 1.0
+                    },
+                }
+            )
+
+        # Data-node crashes: fail the unshipped tail over to a replica.
+        for crash in faults.data_node_crashes(pass_index):
+            site = faults.failover_site(crash.data_node)
+            tail = unshipped_chunks(assignment, crash.data_node, crash.at_fraction)
+            extra_disk, extra_net = data_server.refetch_cost(
+                tail, link_factor=faults.link_factor(crash.data_node, pass_index)
+            )
+            t_disk += extra_disk
+            t_network += extra_net
+            events.append(
+                {
+                    "kind": "data-node-failover",
+                    "pass": pass_index,
+                    "data_node": crash.data_node,
+                    "replica_site": site,
+                    "unshipped_chunks": len(tail),
+                    "t_disk_extra": extra_disk,
+                    "t_network_extra": extra_net,
+                }
+            )
+        return t_disk, t_network
+
+    @staticmethod
+    def _local_phase(
+        role_totals: List[float],
+        role_caches: List[float],
+        executor_roles: Dict[int, List[int]],
+        slow_factors: Dict[int, float],
+    ) -> Tuple[float, float]:
+        """(phase time, critical-path cache share) of the local stage.
+
+        Each executor runs its roles back-to-back; the phase ends with the
+        slowest executor, whose cache share is attributed to the pass
+        (mirroring the fault-free critical-path attribution).
+        """
+        executor_ids = sorted(executor_roles)
+        times: List[float] = []
+        caches: List[float] = []
+        for executor in executor_ids:
+            roles = executor_roles[executor]
+            if len(roles) == 1:
+                total = role_totals[roles[0]]
+                cache = role_caches[roles[0]]
+            else:
+                total = sum(role_totals[r] for r in roles)
+                cache = sum(role_caches[r] for r in roles)
+            factor = slow_factors.get(executor, 1.0)
+            if factor != 1.0:
+                total *= factor
+            times.append(total)
+            caches.append(cache)
+        slowest = max(range(len(times)), key=times.__getitem__)
+        return times[slowest], caches[slowest]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def execute(self, app: GeneralizedReduction, dataset: Dataset) -> RunResult:
         """Run ``app`` over ``dataset``; returns result + time breakdown."""
         config = self.config
+        faults = self.faults
         assignment = assign_chunks(
             dataset.num_chunks, config.data_nodes, config.compute_nodes
         )
@@ -127,6 +292,7 @@ class FreerideGRuntime:
                 "config": config.label,
                 "dataset": dataset.name,
                 "dataset_nbytes": dataset.nbytes,
+                "dataset_chunks": dataset.num_chunks,
                 "bandwidth": config.bandwidth,
                 "storage_cluster": config.storage_cluster.name,
                 "compute_cluster": config.compute_cluster.name,
@@ -134,25 +300,55 @@ class FreerideGRuntime:
             }
         )
 
+        if faults is not None:
+            faults.validate(config.data_nodes, config.compute_nodes)
+        ckpt_disk = CacheModel(config.compute_cluster.effective_cache_disk)
+        crashed_compute: set[int] = set()
+        last_ckpt_bytes = 0.0
+
         app.begin(dict(dataset.meta))
         caching = app.multi_pass_hint
         cached = False
         max_object_bytes = 0.0
+        network_fed_passes = 0
 
         for pass_index in range(MAX_PASSES):
+            events: List[Dict[str, Any]] = []
             fed_from_network = not cached
+            if fed_from_network:
+                network_fed_passes += 1
             t_disk = t_network = 0.0
             if fed_from_network:
-                t_disk = data_server.retrieval_time()
-                t_network = data_server.communication_time()
+                if faults is None:
+                    t_disk = data_server.retrieval_time()
+                    t_network = data_server.communication_time()
+                else:
+                    t_disk, t_network = self._transfer_phases_with_faults(
+                        pass_index, data_server, assignment, events
+                    )
+            elif faults is not None:
+                # Repository nodes are idle in cache-fed passes: a crash
+                # there needs no recovery, but is still observable.
+                for crash in faults.data_node_crashes(pass_index):
+                    events.append(
+                        {
+                            "kind": "data-node-crash-idle",
+                            "pass": pass_index,
+                            "data_node": crash.data_node,
+                            "note": "pass is cache-fed; no recovery needed",
+                        }
+                    )
 
             # ---- per-node local reduction -------------------------------
             # Each compute node runs `processes_per_node` reduction threads
             # over its chunks; thread objects are merged in shared memory
-            # so a single object per node enters the gather.
+            # so a single object per node enters the gather.  Under fault
+            # tolerance each original node is a *role* that may execute on
+            # a surviving node; computing per-role keeps the reduction
+            # structure (and therefore the result) fault-invariant.
             ppn = config.processes_per_node
-            node_times: List[float] = []
-            node_cache_times: List[float] = []
+            role_totals: List[float] = []
+            role_caches: List[float] = []
             local_objects: List[Any] = []
             for j, server in enumerate(compute_servers):
                 node_chunks = assignment.compute_node_chunks[j]
@@ -193,17 +389,93 @@ class FreerideGRuntime:
                     cache_time = server.cache_read_time(per_node_chunk_sizes[j])
 
                 kernel_time = server.smp_compute_time(thread_chunk_ops)
-                node_cache_times.append(cache_time)
-                node_times.append(
+                role_caches.append(cache_time)
+                role_totals.append(
                     kernel_time + merge_time + recv_time + cache_time
                 )
 
+            # ---- compute-node crashes: role migration + pass restart ----
+            lost_work = 0.0
+            if faults is not None:
+                for crash in faults.compute_node_crashes(pass_index):
+                    if crash.compute_node in crashed_compute:
+                        continue
+                    # Work done before the crash was detected is lost; the
+                    # aborted attempt ran on the pre-crash executor map.
+                    executor_roles = map_roles_to_survivors(
+                        config.compute_nodes, sorted(crashed_compute)
+                    )
+                    slow = {
+                        e: faults.slow_factor(e, pass_index)
+                        for e in executor_roles
+                    }
+                    attempt, _ = self._local_phase(
+                        role_totals, role_caches, executor_roles, slow
+                    )
+                    lost_work += crash.at_fraction * attempt
+                    crashed_compute.add(crash.compute_node)
+                    if len(crashed_compute) >= config.compute_nodes:
+                        raise RecoveryExhaustedError(
+                            "every compute node has crashed; cannot "
+                            "redistribute the reduction roles"
+                        )
+                    # The migrated role's chunks must be re-fed from the
+                    # repository (the crashed node's cache died with it).
+                    source = assignment.compute_source[crash.compute_node]
+                    extra_disk, extra_net = data_server.refetch_cost(
+                        assignment.compute_node_chunks[crash.compute_node],
+                        link_factor=faults.link_factor(source, pass_index),
+                    )
+                    t_disk += extra_disk
+                    t_network += extra_net
+                    # Survivors restart from the last checkpoint.
+                    restore = 0.0
+                    if last_ckpt_bytes > 0.0:
+                        restore = ckpt_disk.read_time([last_ckpt_bytes])
+                    lost_work += restore
+                    events.append(
+                        {
+                            "kind": "compute-node-recovery",
+                            "pass": pass_index,
+                            "compute_node": crash.compute_node,
+                            "survivors": config.compute_nodes
+                            - len(crashed_compute),
+                            "t_lost_work": crash.at_fraction * attempt,
+                            "t_restore": restore,
+                            "t_disk_extra": extra_disk,
+                            "t_network_extra": extra_net,
+                        }
+                    )
+
             # Phase barrier: the pass's local stage ends with the slowest
             # node; attribute the cache share of the critical-path node.
-            slowest = max(range(len(node_times)), key=node_times.__getitem__)
-            t_local_total = node_times[slowest]
-            t_cache = node_cache_times[slowest]
-            t_local_compute = t_local_total - t_cache
+            if faults is None:
+                slowest = max(
+                    range(len(role_totals)), key=role_totals.__getitem__
+                )
+                t_local_total = role_totals[slowest]
+                t_cache = role_caches[slowest]
+            else:
+                executor_roles = map_roles_to_survivors(
+                    config.compute_nodes, sorted(crashed_compute)
+                )
+                slow = {
+                    e: faults.slow_factor(e, pass_index) for e in executor_roles
+                }
+                if any(f != 1.0 for f in slow.values()):
+                    events.append(
+                        {
+                            "kind": "slow-nodes",
+                            "pass": pass_index,
+                            "factors": {
+                                e: f for e, f in slow.items() if f != 1.0
+                            },
+                        }
+                    )
+                t_local_total, t_cache = self._local_phase(
+                    role_totals, role_caches, executor_roles, slow
+                )
+            t_local_compute = t_local_total - t_cache + lost_work
 
             # ---- gather reduction objects at the master -----------------
             object_sizes = [app.object_nbytes(obj) for obj in local_objects]
@@ -238,17 +510,34 @@ class FreerideGRuntime:
 
             if app.broadcasts_result:
                 bcast = app.broadcast_nbytes(combined)
-                if (
-                    config.gather_topology is GatherTopology.TREE
-                    and config.compute_nodes > 1
-                ):
-                    rounds = math.ceil(math.log2(config.compute_nodes))
+                # Only live nodes receive the re-broadcast.
+                receivers = config.compute_nodes - len(crashed_compute)
+                if config.gather_topology is GatherTopology.TREE:
+                    if faults is None:
+                        rounds = (
+                            math.ceil(math.log2(config.compute_nodes))
+                            if config.compute_nodes > 1
+                            else 0
+                        )
+                    else:
+                        rounds = (
+                            math.ceil(math.log2(receivers))
+                            if receivers > 1
+                            else 0
+                        )
                     t_ro += rounds * cluster.gather_message_time(bcast)
                 else:
-                    t_ro += (
-                        config.compute_nodes - 1
-                    ) * cluster.gather_message_time(bcast)
+                    t_ro += (receivers - 1) * cluster.gather_message_time(bcast)
                 breakdown.metadata["broadcast_nbytes"] = bcast
+
+            # ---- reduction-object checkpoint ----------------------------
+            t_ckpt = 0.0
+            if faults is not None and faults.checkpoints_enabled:
+                # The checkpoint stores the merged reduction object; its
+                # size is that of the largest gathered object (`combined`
+                # itself may be an application-level result type).
+                last_ckpt_bytes = max(object_sizes)
+                t_ckpt = ckpt_disk.write_time([last_ckpt_bytes])
 
             breakdown.add_pass(
                 PassRecord(
@@ -259,6 +548,8 @@ class FreerideGRuntime:
                     t_cache=t_cache,
                     t_ro=t_ro,
                     t_g=t_g,
+                    t_ckpt=t_ckpt,
+                    events=tuple(events),
                 )
             )
 
@@ -274,7 +565,12 @@ class FreerideGRuntime:
 
         breakdown.max_reduction_object_bytes = max_object_bytes
         breakdown.metadata["gather_rounds"] = breakdown.num_passes
+        breakdown.metadata["network_fed_passes"] = network_fed_passes
         breakdown.metadata["broadcasts_result"] = app.broadcasts_result
+        if faults is not None:
+            breakdown.metadata["fault_schedule_size"] = len(faults.schedule)
+            breakdown.metadata["checkpoints"] = faults.checkpoints_enabled
+            breakdown.metadata["faults_fired"] = len(breakdown.fault_events)
         return RunResult(
             result=app.result(), breakdown=breakdown, assignment=assignment
         )

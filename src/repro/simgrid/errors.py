@@ -1,7 +1,14 @@
-"""Exception hierarchy for the simulation substrate."""
+"""Exception hierarchy for the simulation substrate.
+
+All simulation errors derive from :class:`repro.errors.ReproError` via
+:class:`SimulationError`, so framework users can catch every repro failure
+— simulation, middleware, or fault-tolerance — with one except clause.
+"""
+
+from repro.errors import ReproError
 
 
-class SimulationError(Exception):
+class SimulationError(ReproError):
     """Base class for all errors raised by :mod:`repro.simgrid`."""
 
 

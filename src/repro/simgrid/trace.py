@@ -13,7 +13,7 @@ compute-node cache instead of the repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.simgrid.errors import ConfigurationError
 
@@ -22,7 +22,14 @@ __all__ = ["PassRecord", "TimeBreakdown"]
 
 @dataclass(frozen=True)
 class PassRecord:
-    """Component times of a single pass over the data."""
+    """Component times of a single pass over the data.
+
+    ``t_ckpt`` is the reduction-object checkpoint write (and, on a
+    restarted pass, restore) time charged by fault-tolerant executions;
+    it is zero whenever no fault schedule is installed.  ``events`` holds
+    the fault/recovery events observed during the pass, as flat dicts
+    (kind, node, charged times) for reports and post-mortems.
+    """
 
     index: int
     t_disk: float = 0.0
@@ -31,11 +38,22 @@ class PassRecord:
     t_cache: float = 0.0
     t_ro: float = 0.0
     t_g: float = 0.0
+    t_ckpt: float = 0.0
+    events: Tuple[Dict[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("t_disk", "t_network", "t_local_compute", "t_cache", "t_ro", "t_g"):
+        for name in (
+            "t_disk",
+            "t_network",
+            "t_local_compute",
+            "t_cache",
+            "t_ro",
+            "t_g",
+            "t_ckpt",
+        ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
+        object.__setattr__(self, "events", tuple(self.events))
 
     @property
     def t_compute(self) -> float:
@@ -50,7 +68,7 @@ class PassRecord:
     @property
     def total(self) -> float:
         """Wall time of the pass (phases do not overlap)."""
-        return self.t_disk + self.t_network + self.t_compute
+        return self.t_disk + self.t_network + self.t_compute + self.t_ckpt
 
 
 @dataclass
@@ -107,9 +125,19 @@ class TimeBreakdown:
         return sum(p.t_cache for p in self.passes)
 
     @property
+    def t_ckpt(self) -> float:
+        """Total reduction-object checkpoint time (fault tolerance)."""
+        return sum(p.t_ckpt for p in self.passes)
+
+    @property
+    def fault_events(self) -> List[Dict[str, Any]]:
+        """Every fault/recovery event across all passes, in pass order."""
+        return [event for p in self.passes for event in p.events]
+
+    @property
     def total(self) -> float:
         """Total execution time (``T_exec``)."""
-        return self.t_disk + self.t_network + self.t_compute
+        return self.t_disk + self.t_network + self.t_compute + self.t_ckpt
 
     def to_dict(self) -> Dict[str, float]:
         """Flat dictionary view used by reports and tests."""
@@ -120,6 +148,7 @@ class TimeBreakdown:
             "t_ro": self.t_ro,
             "t_g": self.t_g,
             "t_cache": self.t_cache,
+            "t_ckpt": self.t_ckpt,
             "total": self.total,
             "num_passes": float(self.num_passes),
             "max_reduction_object_bytes": self.max_reduction_object_bytes,
@@ -147,6 +176,8 @@ class TimeBreakdown:
                     t_cache=p.t_cache * factor,
                     t_ro=p.t_ro * factor,
                     t_g=p.t_g * factor,
+                    t_ckpt=p.t_ckpt * factor,
+                    events=p.events,
                 )
             )
         return out

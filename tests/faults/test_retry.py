@@ -1,0 +1,82 @@
+"""Unit tests for the retry policy's backoff arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FaultError
+from repro.faults import RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_growth_until_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_s=0.05, backoff_factor=2.0,
+            max_backoff_s=0.3,
+        )
+        assert policy.backoff_s(1) == 0.05
+        assert policy.backoff_s(2) == 0.10
+        assert policy.backoff_s(3) == 0.20
+        assert policy.backoff_s(4) == 0.30  # capped
+        assert policy.backoff_s(5) == 0.30
+
+    def test_total_backoff_is_the_sum_of_delays(self):
+        policy = RetryPolicy(max_attempts=5, base_backoff_s=0.01,
+                             backoff_factor=3.0, max_backoff_s=1.0)
+        assert policy.total_backoff_s(3) == pytest.approx(
+            0.01 + 0.03 + 0.09
+        )
+        assert policy.total_backoff_s(0) == 0.0
+
+    def test_backoff_index_must_be_positive(self):
+        with pytest.raises(FaultError):
+            RetryPolicy().backoff_s(0)
+
+    @given(
+        st.integers(2, 8),
+        st.floats(1e-4, 0.5),
+        st.floats(1.0, 4.0),
+    )
+    def test_backoff_is_monotone_and_capped(self, attempts, base, factor):
+        policy = RetryPolicy(
+            max_attempts=attempts, base_backoff_s=base,
+            backoff_factor=factor, max_backoff_s=base * 8,
+        )
+        delays = [policy.backoff_s(i) for i in range(1, attempts)]
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+        assert all(d <= base * 8 for d in delays)
+
+
+class TestRetryCost:
+    def test_failed_attempts_plus_backoff(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.1,
+                             backoff_factor=2.0, max_backoff_s=10.0)
+        read = 0.5
+        # two failures: 2 failed reads + backoffs 0.1 and 0.2
+        assert policy.retry_cost_s(2, read) == pytest.approx(
+            2 * read + 0.1 + 0.2
+        )
+        assert policy.retry_cost_s(0, read) == 0.0
+
+    def test_timeout_caps_the_cost_of_a_failed_attempt(self):
+        slow = RetryPolicy(per_chunk_timeout_s=0.01)
+        fast = RetryPolicy()
+        assert slow.attempt_cost_s(5.0) == 0.01
+        assert fast.attempt_cost_s(5.0) == 5.0
+        assert slow.retry_cost_s(2, 5.0) < fast.retry_cost_s(2, 5.0)
+
+    def test_exhausting_the_budget_raises(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.max_failures == 2
+        policy.retry_cost_s(2, 0.1)  # at the limit: ok
+        with pytest.raises(FaultError):
+            policy.retry_cost_s(3, 0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(max_backoff_s=0.01, base_backoff_s=0.05)
+        with pytest.raises(FaultError):
+            RetryPolicy(per_chunk_timeout_s=0.0)

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.middleware.chunks import assign_chunks, split_evenly
+from repro.middleware.chunks import (
+    assign_chunks,
+    map_roles_to_survivors,
+    split_evenly,
+    unshipped_chunks,
+)
 from repro.simgrid.errors import ConfigurationError
 
 
@@ -61,6 +66,13 @@ class TestAssignChunks:
         plan = assign_chunks(64, data_nodes=4, compute_nodes=16)
         assert plan.served_compute_nodes(1) == [4, 5, 6, 7]
 
+    def test_served_compute_nodes_rejects_out_of_range(self):
+        plan = assign_chunks(64, data_nodes=4, compute_nodes=16)
+        with pytest.raises(ConfigurationError):
+            plan.served_compute_nodes(4)
+        with pytest.raises(ConfigurationError):
+            plan.served_compute_nodes(-1)
+
     def test_compute_chunks_come_from_the_node_source(self):
         plan = assign_chunks(64, data_nodes=4, compute_nodes=8)
         for j, chunks in enumerate(plan.compute_node_chunks):
@@ -114,3 +126,49 @@ class TestStripeBalance:
         plan = assign_chunks(num_chunks, data_nodes, data_nodes)
         for node, chunks in enumerate(plan.data_node_chunks):
             assert all(c % data_nodes == node for c in chunks)
+
+
+class TestRoleMigration:
+    def test_survivors_keep_their_roles_and_share_crashed_ones(self):
+        assert map_roles_to_survivors(4, [2]) == {0: [0, 2], 1: [1], 3: [3]}
+        assert map_roles_to_survivors(4, []) == {0: [0], 1: [1], 2: [2], 3: [3]}
+        assert map_roles_to_survivors(4, [1, 3]) == {0: [0, 1], 2: [2, 3]}
+
+    def test_round_robin_over_survivors(self):
+        roles = map_roles_to_survivors(5, [0, 1, 2])
+        assert roles == {3: [3, 0, 2], 4: [4, 1]}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            map_roles_to_survivors(0, [])
+        with pytest.raises(ConfigurationError):
+            map_roles_to_survivors(4, [4])
+        with pytest.raises(ConfigurationError):
+            map_roles_to_survivors(2, [0, 1])  # nobody left
+
+    @given(st.integers(1, 12), st.data())
+    def test_every_role_assigned_exactly_once(self, nodes, data):
+        crashed = data.draw(
+            st.lists(st.integers(0, nodes - 1), unique=True,
+                     max_size=nodes - 1)
+        )
+        roles = map_roles_to_survivors(nodes, crashed)
+        assigned = sorted(r for rs in roles.values() for r in rs)
+        assert assigned == list(range(nodes))
+        assert all(e not in crashed for e in roles)
+
+
+class TestUnshippedChunks:
+    def test_tail_after_shipped_fraction(self):
+        plan = assign_chunks(16, data_nodes=2, compute_nodes=4)
+        batch = plan.data_node_chunks[1]
+        assert unshipped_chunks(plan, 1, 0.0) == batch
+        assert unshipped_chunks(plan, 1, 0.5) == batch[4:]
+        assert unshipped_chunks(plan, 1, 1.0) == []
+
+    def test_validation(self):
+        plan = assign_chunks(16, data_nodes=2, compute_nodes=4)
+        with pytest.raises(ConfigurationError):
+            unshipped_chunks(plan, 2, 0.5)
+        with pytest.raises(ConfigurationError):
+            unshipped_chunks(plan, 0, 1.5)

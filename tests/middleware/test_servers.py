@@ -67,6 +67,58 @@ class TestDataServer:
         server, config, _ = self.make(n=2)
         assert server.effective_disk_bw() == config.storage_cluster.effective_disk_bw(2)
 
+    def test_rejects_assignment_without_data_nodes(self):
+        from repro.middleware.chunks import ChunkAssignment
+
+        empty = ChunkAssignment(
+            data_node_chunks=[], compute_node_chunks=[], compute_source=[]
+        )
+        with pytest.raises(ConfigurationError, match="at least one"):
+            DataServer(make_config(), make_tiny_points(), empty)
+
+    def test_communication_time_error_names_the_problem(self):
+        server, _, _ = self.make()
+        # Bypass the constructor guard to hit the method's own check.
+        object.__setattr__(
+            server.assignment, "data_node_chunks", []
+        )
+        with pytest.raises(ConfigurationError, match="no data-node chunk"):
+            server.communication_time()
+
+    def test_per_node_times_compose_the_phase_maxima(self):
+        server, _, _ = self.make()
+        assert max(server.node_retrieval_times()) == pytest.approx(
+            server.retrieval_time()
+        )
+        assert max(server.node_stream_times()) == pytest.approx(
+            server.communication_time()
+        )
+
+    def test_link_factors_stretch_one_node_stream(self):
+        server, _, _ = self.make()
+        healthy = server.node_stream_times()
+        degraded = server.node_stream_times([2.0, 1.0])
+        assert degraded[0] == pytest.approx(2.0 * healthy[0])
+        assert degraded[1] == healthy[1]
+        with pytest.raises(ConfigurationError):
+            server.node_stream_times([2.0])  # wrong length
+
+    def test_refetch_cost_charges_startup_reads_and_stream(self):
+        server, config, dataset = self.make()
+        disk, network = server.refetch_cost([0, 2])
+        spec = config.storage_cluster.node.disk
+        expected_disk = config.storage_cluster.node_startup_s + sum(
+            spec.read_time(dataset.chunk_nbytes(c), effective_bw=spec.stream_bw)
+            for c in (0, 2)
+        )
+        assert disk == pytest.approx(expected_disk)
+        assert network > 0.0
+        assert server.refetch_cost([]) == (0.0, 0.0)
+        _, slow_net = server.refetch_cost([0, 2], link_factor=2.0)
+        assert slow_net == pytest.approx(2.0 * network)
+        with pytest.raises(ConfigurationError):
+            server.refetch_cost([0], link_factor=0.5)
+
 
 class TestComputeServer:
     def test_compute_time_includes_pass_startup(self):

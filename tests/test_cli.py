@@ -50,6 +50,27 @@ class TestRun:
         assert code == 0
         assert path.exists()
 
+    def test_run_with_fault_scenario(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(
+            '{"seed": 3, "faults": ['
+            '{"type": "data-node-crash", "pass": 0, "data_node": 1,'
+            ' "at_fraction": 0.5},'
+            '{"type": "chunk-read-error", "rate": 0.2}]}'
+        )
+        code = main(["run", "knn", "-n", "2", "-c", "4", "--size", "350 MB",
+                     "--faults", str(scenario)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault/recovery event(s)" in out
+        assert "data-node-failover" in out
+
+    def test_missing_fault_scenario_reports_error(self, tmp_path, capsys):
+        code = main(["run", "knn", "-n", "1", "-c", "2", "--size", "350 MB",
+                     "--faults", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "scenario file not found" in capsys.readouterr().err
+
 
 class TestPredict:
     def test_round_trip_with_run(self, tmp_path, capsys):
