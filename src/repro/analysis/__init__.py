@@ -19,6 +19,7 @@ from repro.analysis.expectations import (
     check_expectation,
 )
 from repro.analysis.report import (
+    format_campaign,
     format_experiment,
     format_fault_events,
     format_summary,
@@ -54,6 +55,7 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "save_result",
+    "format_campaign",
     "format_experiment",
     "format_fault_events",
     "format_summary",

@@ -8,13 +8,21 @@ directly against the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.analysis.stats import error_summary
 from repro.simgrid.trace import TimeBreakdown
 from repro.workloads.experiments import ExperimentResult
 
-__all__ = ["format_experiment", "format_fault_events", "format_summary"]
+if TYPE_CHECKING:  # avoid a runtime analysis -> campaign import cycle
+    from repro.campaign.report import CampaignReport
+
+__all__ = [
+    "format_experiment",
+    "format_fault_events",
+    "format_summary",
+    "format_campaign",
+]
 
 
 def format_experiment(result: ExperimentResult) -> str:
@@ -77,6 +85,41 @@ def format_fault_events(breakdown: TimeBreakdown) -> str:
         lines.append(
             f"  pass {event.get('pass', '?'):>3}  "
             f"{event.get('kind', 'unknown'):<24} " + " ".join(detail)
+        )
+    return "\n".join(lines)
+
+
+def format_campaign(report: "CampaignReport") -> str:
+    """Render a campaign run as an ASCII status table.
+
+    One line per entry — its classification (completed / resumed /
+    retried / timed-out / skipped), attempts, wall time, and per-model
+    error summary when the entry produced a result — followed by the
+    campaign totals and, for interrupted runs, the resume hint.
+    Operational events (resumes, watchdog retries, timeouts) are thus
+    surfaced in the same report stream as the prediction errors.
+    """
+    lines: List[str] = []
+    for outcome in report.outcomes:
+        detail = f"{outcome.elapsed_s:7.1f}s"
+        if outcome.attempts > 1:
+            detail += f"  attempts={outcome.attempts}"
+        summary = ""
+        if outcome.result is not None and outcome.result.rows:
+            summary = "  " + format_summary(outcome.result)
+        lines.append(
+            f"{outcome.entry_id:16s} {outcome.status:10s} {detail}{summary}"
+        )
+        for violation in outcome.violations:
+            lines.append(f"{'':16s} !! {violation}")
+    counts = report.counts
+    totals = ", ".join(f"{n} {s}" for s, n in counts.items() if n)
+    lines.append(f"campaign '{report.campaign}': {totals or 'no entries'}")
+    if report.interrupted:
+        via = f" by {report.signal_name}" if report.signal_name else ""
+        lines.append(
+            f"interrupted{via} — journal checkpoint written; re-run with "
+            "--resume to finish the remaining entries"
         )
     return "\n".join(lines)
 

@@ -8,11 +8,15 @@ report generators without re-running anything.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
+from repro.core.durable import (
+    atomic_write_json,
+    check_format_version,
+    read_json_document,
+)
 from repro.simgrid.errors import ConfigurationError
 from repro.workloads.experiments import ExperimentResult, ExperimentRow
 
@@ -57,10 +61,7 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
 
 def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
     """Rebuild an experiment result from :func:`result_to_dict` output."""
-    if data.get("format_version") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported result format version {data.get('format_version')!r}"
-        )
+    check_format_version(data, "experiment result", _FORMAT_VERSION)
     try:
         result = ExperimentResult(
             experiment_id=str(data["experiment_id"]),
@@ -86,22 +87,29 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
 def save_result(
     result: ExperimentResult, path: str | pathlib.Path
 ) -> pathlib.Path:
-    """Write an experiment result to a JSON file."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
-    return path
+    """Durably write an experiment result to a JSON file.
+
+    Results are regression baselines; the write is atomic (temp file +
+    fsync + rename) so a crash mid-save cannot corrupt the baseline the
+    regression workflow diffs against.
+    """
+    return atomic_write_json(path, result_to_dict(result))
 
 
 def load_result(path: str | pathlib.Path) -> ExperimentResult:
-    """Read an experiment result from a JSON file."""
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise ConfigurationError(f"no experiment result at '{path}'")
-    try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"'{path}' is not valid JSON: {exc}") from exc
+    """Read an experiment result from a JSON file.
+
+    A truncated or tampered file raises
+    :class:`~repro.core.durable.CorruptStoreError`, an unknown
+    ``format_version`` raises
+    :class:`~repro.core.durable.FormatVersionError`.
+    """
+    data = read_json_document(
+        path,
+        "experiment result",
+        remedy="re-run the experiment (`repro figure FIGID`) to "
+        "regenerate it",
+    )
     return result_from_dict(data)
 
 

@@ -1,0 +1,73 @@
+"""The crash-safe campaign engine.
+
+Long campaigns — the paper suite, figure sweeps, fault-scenario sweeps,
+or user-defined manifests — survive being killed and resume where they
+stopped:
+
+- :mod:`repro.campaign.manifest` — what to run
+  (:class:`CampaignManifest`, JSON manifests, the paper-suite builder).
+- :mod:`repro.campaign.journal`  — the durable journal: atomic
+  write-then-rename commits with fsync, checksum corruption detection,
+  manifest-fingerprint binding.
+- :mod:`repro.campaign.watchdog` — per-entry wall-clock deadlines and
+  graceful-interrupt supervision.
+- :mod:`repro.campaign.runner`   — :class:`CampaignRunner`: resume,
+  retry-after-timeout (:class:`~repro.faults.retry.RetryPolicy`
+  semantics), SIGINT/SIGTERM checkpointing.
+- :mod:`repro.campaign.report`   — :class:`CampaignReport`:
+  completed/resumed/retried/timed-out/skipped classification and the
+  process exit codes.
+
+The CLI exposes it as ``repro campaign`` and ``repro suite
+--journal/--resume``.
+"""
+
+from repro.campaign.journal import (
+    JOURNAL_FORMAT_VERSION,
+    CampaignJournal,
+    JournalRecord,
+)
+from repro.campaign.manifest import (
+    CampaignEntry,
+    CampaignManifest,
+    load_manifest,
+    manifest_from_dict,
+    manifest_to_dict,
+    paper_suite_manifest,
+)
+from repro.campaign.report import (
+    ENTRY_STATUSES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_PROBLEMS,
+    CampaignOutcome,
+    CampaignReport,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.watchdog import (
+    CampaignInterruptedError,
+    DeadlineExceededError,
+    run_with_deadline,
+)
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "CampaignJournal",
+    "JournalRecord",
+    "CampaignEntry",
+    "CampaignManifest",
+    "load_manifest",
+    "manifest_from_dict",
+    "manifest_to_dict",
+    "paper_suite_manifest",
+    "ENTRY_STATUSES",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "EXIT_PROBLEMS",
+    "CampaignOutcome",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignInterruptedError",
+    "DeadlineExceededError",
+    "run_with_deadline",
+]

@@ -1,0 +1,219 @@
+"""The durable campaign journal: what a killed run resumes from.
+
+One JSON document per campaign, rewritten **atomically** (temp file +
+fsync + rename, via :mod:`repro.core.durable`) after every settled
+entry.  A process killed at any instruction therefore leaves either the
+journal as of entry ``k`` or entry ``k+1`` — never a torn state — and a
+``--resume`` re-runs exactly the entries that were never committed.
+
+Integrity is checked on load, not trusted:
+
+- the document must parse and carry a supported ``format_version``;
+- the journal must have been written for the *same manifest* (fingerprint
+  match), so a resume cannot run against a stale journal;
+- every record carries a SHA-256 over its payload, so a tampered or
+  bit-rotted record raises
+  :class:`~repro.core.durable.CorruptStoreError` instead of silently
+  resuming from bad data.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.durable import (
+    CorruptStoreError,
+    atomic_write_json,
+    content_digest,
+    read_json_document,
+)
+from repro.errors import CampaignError
+
+__all__ = ["JournalRecord", "CampaignJournal", "JOURNAL_FORMAT_VERSION"]
+
+JOURNAL_FORMAT_VERSION = 1
+
+#: Entry statuses a journal may record (settled outcomes only — entries
+#: that never settled are simply absent and will be re-run on resume).
+SETTLED_STATUSES = ("completed", "retried", "timed-out")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One settled campaign entry.
+
+    ``payload`` is the entry's serialized
+    :class:`~repro.workloads.experiments.ExperimentResult`
+    (:func:`~repro.analysis.results_io.result_to_dict` form), or ``None``
+    for a timed-out entry that never produced one.
+    """
+
+    entry_id: str
+    status: str
+    attempts: int
+    elapsed_s: float
+    payload: Optional[Dict[str, Any]]
+    violations: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.status not in SETTLED_STATUSES:
+            raise CampaignError(
+                f"journal record '{self.entry_id}': status {self.status!r} "
+                f"is not a settled status {SETTLED_STATUSES}"
+            )
+        if self.attempts < 1:
+            raise CampaignError(
+                f"journal record '{self.entry_id}': attempts must be >= 1"
+            )
+
+
+def _record_to_dict(record: JournalRecord) -> Dict[str, Any]:
+    body = {
+        "entry_id": record.entry_id,
+        "status": record.status,
+        "attempts": record.attempts,
+        "elapsed_s": record.elapsed_s,
+        "violations": list(record.violations),
+        "payload": record.payload,
+    }
+    body["sha256"] = content_digest(body["payload"])
+    return body
+
+
+def _record_from_dict(data: Dict[str, Any], path: pathlib.Path) -> JournalRecord:
+    try:
+        entry_id = str(data["entry_id"])
+        stored_digest = data["sha256"]
+        payload = data["payload"]
+        record = JournalRecord(
+            entry_id=entry_id,
+            status=str(data["status"]),
+            attempts=int(data["attempts"]),
+            elapsed_s=float(data["elapsed_s"]),
+            payload=payload,
+            violations=[str(v) for v in data["violations"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptStoreError(
+            f"campaign journal '{path}' is corrupt (malformed record: "
+            f"{exc}); delete it and re-run the campaign from scratch"
+        ) from exc
+    if content_digest(payload) != stored_digest:
+        raise CorruptStoreError(
+            f"campaign journal '{path}' is corrupt (checksum mismatch on "
+            f"entry '{entry_id}'); delete it and re-run the campaign "
+            "from scratch"
+        )
+    return record
+
+
+class CampaignJournal:
+    """Durable, atomically-committed record of settled campaign entries."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._campaign: Optional[str] = None
+        self._fingerprint: Optional[str] = None
+        self._records: Dict[str, JournalRecord] = {}
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    @property
+    def records(self) -> Dict[str, JournalRecord]:
+        """The in-memory view of settled entries (id -> record)."""
+        return dict(self._records)
+
+    def initialize(self, campaign: str, fingerprint: str) -> None:
+        """Start a fresh journal bound to one manifest fingerprint.
+
+        Refuses to clobber an existing journal — the runner must decide
+        explicitly (resume, or delete the file) before losing state.
+        """
+        if self.exists:
+            raise CampaignError(
+                f"campaign journal '{self.path}' already exists; resume "
+                "the campaign (--resume) or delete the journal to start "
+                "fresh"
+            )
+        self._campaign = campaign
+        self._fingerprint = fingerprint
+        self._records = {}
+        self._flush()
+
+    def load(self, expected_fingerprint: Optional[str] = None) -> Dict[str, JournalRecord]:
+        """Read and verify the journal; returns settled records by id."""
+        data = read_json_document(
+            self.path,
+            "campaign journal",
+            expected_version=JOURNAL_FORMAT_VERSION,
+            remedy="delete the journal and re-run the campaign from "
+            "scratch",
+        )
+        try:
+            campaign = str(data["campaign"])
+            fingerprint = str(data["manifest_sha256"])
+            entries = data["entries"]
+        except KeyError as exc:
+            raise CorruptStoreError(
+                f"campaign journal '{self.path}' is corrupt (missing key "
+                f"{exc}); delete it and re-run the campaign from scratch"
+            ) from exc
+        if not isinstance(entries, list):
+            raise CorruptStoreError(
+                f"campaign journal '{self.path}' is corrupt ('entries' is "
+                "not a list); delete it and re-run the campaign from "
+                "scratch"
+            )
+        if (
+            expected_fingerprint is not None
+            and fingerprint != expected_fingerprint
+        ):
+            raise CampaignError(
+                f"campaign journal '{self.path}' was written for a "
+                f"different manifest (campaign '{campaign}'); resuming "
+                "would run the wrong experiments — use a new journal "
+                "path, or delete the stale journal"
+            )
+        self._campaign = campaign
+        self._fingerprint = fingerprint
+        self._records = {}
+        for raw in entries:
+            record = _record_from_dict(raw, self.path)
+            if record.entry_id in self._records:
+                raise CorruptStoreError(
+                    f"campaign journal '{self.path}' is corrupt "
+                    f"(duplicate entry '{record.entry_id}'); delete it "
+                    "and re-run the campaign from scratch"
+                )
+            self._records[record.entry_id] = record
+        return self.records
+
+    def commit(self, record: JournalRecord) -> None:
+        """Durably append one settled entry (atomic whole-file rewrite)."""
+        if self._fingerprint is None:
+            raise CampaignError(
+                "journal must be initialized or loaded before committing"
+            )
+        if record.entry_id in self._records:
+            raise CampaignError(
+                f"entry '{record.entry_id}' is already journaled"
+            )
+        self._records[record.entry_id] = record
+        self._flush()
+
+    def _flush(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "format_version": JOURNAL_FORMAT_VERSION,
+                "campaign": self._campaign,
+                "manifest_sha256": self._fingerprint,
+                "entries": [
+                    _record_to_dict(r) for r in self._records.values()
+                ],
+            },
+        )

@@ -1,0 +1,358 @@
+"""The crash-safe campaign runner.
+
+Executes a :class:`~repro.campaign.manifest.CampaignManifest` entry by
+entry with three operational guards the plain suite loop lacks:
+
+1. **Durability.**  Every settled entry is committed to the
+   :class:`~repro.campaign.journal.CampaignJournal` via atomic
+   write-then-rename with fsync *before* the next entry starts.  A
+   killed process loses at most the entry that was in flight; a
+   ``resume=True`` run restores journaled entries without re-running
+   them and produces results byte-identical to an uninterrupted run
+   (experiment drivers are deterministic and the serialization is
+   canonical).
+2. **Deadlines.**  Each entry runs under the watchdog; an entry that
+   exceeds its wall-clock deadline is abandoned, retried per the
+   :class:`~repro.faults.retry.RetryPolicy` (real sleeps, same backoff
+   semantics the simulated chunk retries use), and finally classified
+   ``timed-out`` — without aborting the rest of the campaign.
+3. **Graceful interruption.**  SIGINT/SIGTERM set a stop flag; the
+   runner finishes the in-progress journal commit, marks unreached
+   entries ``skipped``, restores the previous signal handlers, and
+   reports ``interrupted`` so the CLI can exit with the distinct
+   resumable status code
+   (:data:`~repro.campaign.report.EXIT_INTERRUPTED`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.analysis.expectations import EXPECTATIONS, check_expectation
+from repro.analysis.results_io import (
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.errors import CampaignError
+from repro.faults.retry import WATCHDOG_RETRY_POLICY, RetryPolicy
+from repro.workloads.experiments import (
+    ExperimentResult,
+    run_experiment,
+    run_fault_scenario,
+)
+
+from repro.campaign.journal import CampaignJournal, JournalRecord
+from repro.campaign.manifest import CampaignEntry, CampaignManifest
+from repro.campaign.report import CampaignOutcome, CampaignReport
+from repro.campaign.watchdog import (
+    CampaignInterruptedError,
+    DeadlineExceededError,
+    run_with_deadline,
+)
+
+__all__ = ["CampaignRunner"]
+
+_HANDLED_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class CampaignRunner:
+    """Run a campaign durably; see the module docstring for guarantees.
+
+    Parameters
+    ----------
+    manifest:
+        What to run, in order.
+    journal_path:
+        Where settled entries are committed.  The journal binds to the
+        manifest's fingerprint; resuming against a journal written for a
+        different manifest is refused.
+    retry_policy:
+        Watchdog retry-after-timeout budget and backoff
+        (:data:`~repro.faults.retry.WATCHDOG_RETRY_POLICY` by default).
+    results_dir:
+        When set, every productive entry's result is also saved as
+        ``<results_dir>/<entry_id>.json`` (atomically) — including
+        resumed entries, so a resumed campaign leaves byte-identical
+        artifacts.
+    registry:
+        Test seam: per-entry-id callables that override the default
+        experiment drivers.
+    check_claims:
+        Check results against the paper's recorded expectations.
+    handle_signals:
+        Install SIGINT/SIGTERM handlers for graceful checkpointing
+        (skipped automatically off the main thread).
+    progress:
+        Callback receiving one human-readable line per settled entry.
+    sleep:
+        Test seam for the real backoff sleeps between timeout retries.
+    """
+
+    def __init__(
+        self,
+        manifest: CampaignManifest,
+        journal_path: str | pathlib.Path,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        results_dir: Optional[str | pathlib.Path] = None,
+        registry: Optional[Mapping[str, Callable[[], ExperimentResult]]] = None,
+        check_claims: bool = True,
+        handle_signals: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        poll_interval_s: float = 0.02,
+    ) -> None:
+        self.manifest = manifest
+        self.journal_path = pathlib.Path(journal_path)
+        self.retry_policy = retry_policy or WATCHDOG_RETRY_POLICY
+        self.results_dir = (
+            pathlib.Path(results_dir) if results_dir is not None else None
+        )
+        self.registry = dict(registry or {})
+        self.check_claims = check_claims
+        self.handle_signals = handle_signals
+        self.progress = progress
+        self._sleep = sleep
+        self._poll_interval_s = poll_interval_s
+        self._stop = threading.Event()
+        self._signal_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Entry execution
+    # ------------------------------------------------------------------
+
+    def _callable(self, entry: CampaignEntry) -> Callable[[], ExperimentResult]:
+        if entry.entry_id in self.registry:
+            return self.registry[entry.entry_id]
+        if entry.kind == "experiment":
+            experiment_id = entry.resolved_experiment_id
+            fast = entry.fast
+            return lambda: run_experiment(experiment_id, fast=fast)
+        return lambda: run_fault_scenario(
+            workload=entry.workload,
+            experiment_id=entry.entry_id,
+            title=f"Fault scenario '{entry.entry_id}' on {entry.workload}",
+            scenario=entry.scenario,
+            size_label=entry.size_label,
+            fast=entry.fast,
+        )
+
+    def _violations(
+        self, entry: CampaignEntry, result: ExperimentResult
+    ) -> List[str]:
+        if not self.check_claims or entry.kind != "experiment":
+            return []
+        if entry.resolved_experiment_id not in EXPECTATIONS:
+            return []
+        return check_expectation(result)
+
+    def _save_result(self, entry_id: str, result: ExperimentResult) -> None:
+        if self.results_dir is not None:
+            save_result(result, self.results_dir / f"{entry_id}.json")
+
+    def _report_progress(self, outcome: CampaignOutcome) -> None:
+        if self.progress is not None:
+            self.progress(
+                f"{outcome.entry_id} {outcome.status} "
+                f"({outcome.elapsed_s:.1f}s)"
+            )
+
+    def _run_entry(
+        self, entry: CampaignEntry, journal: CampaignJournal
+    ) -> Optional[CampaignOutcome]:
+        """Run one live entry to a settled, journaled outcome.
+
+        Returns ``None`` when the operator interrupted the attempt —
+        nothing is journaled and the entry re-runs on resume.
+        """
+        fn = self._callable(entry)
+        deadline_s = entry.effective_deadline_s(
+            self.manifest.default_deadline_s
+        )
+        last_timeout: Optional[DeadlineExceededError] = None
+        for attempt in range(1, self.retry_policy.max_attempts + 1):
+            start = time.perf_counter()
+            try:
+                result = run_with_deadline(
+                    fn,
+                    deadline_s,
+                    stop=self._stop,
+                    label=entry.entry_id,
+                    poll_interval_s=self._poll_interval_s,
+                )
+            except CampaignInterruptedError:
+                return None
+            except DeadlineExceededError as exc:
+                last_timeout = exc
+                if attempt < self.retry_policy.max_attempts:
+                    delay = self.retry_policy.backoff_s(attempt)
+                    if delay > 0:
+                        self._sleep(delay)
+                    continue
+                elapsed = time.perf_counter() - start
+                record = JournalRecord(
+                    entry_id=entry.entry_id,
+                    status="timed-out",
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                    payload=None,
+                    violations=[str(last_timeout)],
+                )
+                journal.commit(record)
+                return CampaignOutcome(
+                    entry=entry,
+                    status="timed-out",
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                    result=None,
+                    violations=[str(last_timeout)],
+                )
+            elapsed = time.perf_counter() - start
+            violations = self._violations(entry, result)
+            status = "completed" if attempt == 1 else "retried"
+            record = JournalRecord(
+                entry_id=entry.entry_id,
+                status=status,
+                attempts=attempt,
+                elapsed_s=elapsed,
+                payload=result_to_dict(result),
+                violations=violations,
+            )
+            journal.commit(record)
+            self._save_result(entry.entry_id, result)
+            return CampaignOutcome(
+                entry=entry,
+                status=status,
+                attempts=attempt,
+                elapsed_s=elapsed,
+                result=result,
+                violations=violations,
+            )
+        raise AssertionError("retry loop must settle or return")
+
+    def _resumed_outcome(
+        self, entry: CampaignEntry, record: JournalRecord
+    ) -> CampaignOutcome:
+        result = (
+            result_from_dict(record.payload)
+            if record.payload is not None
+            else None
+        )
+        if result is not None:
+            self._save_result(entry.entry_id, result)
+        status = "resumed" if record.status != "timed-out" else "timed-out"
+        return CampaignOutcome(
+            entry=entry,
+            status=status,
+            attempts=record.attempts,
+            elapsed_s=record.elapsed_s,
+            result=result,
+            violations=list(record.violations),
+        )
+
+    # ------------------------------------------------------------------
+    # Signal handling
+    # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        if not self.handle_signals:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+
+        def _handler(signum, _frame):
+            self._signal_name = signal.Signals(signum).name
+            self._stop.set()
+
+        for signum in _HANDLED_SIGNALS:
+            previous[signum] = signal.signal(signum, _handler)
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous) -> None:
+        if previous is None:
+            return
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    # ------------------------------------------------------------------
+    # The campaign loop
+    # ------------------------------------------------------------------
+
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Execute the campaign; see the class docstring.
+
+        ``resume=True`` continues an existing journal (a missing journal
+        simply starts fresh, so resume is safe to pass unconditionally);
+        ``resume=False`` refuses to touch an existing journal rather
+        than silently discarding its state.
+        """
+        journal = CampaignJournal(self.journal_path)
+        fingerprint = self.manifest.fingerprint()
+        if journal.exists:
+            if not resume:
+                raise CampaignError(
+                    f"campaign journal '{self.journal_path}' already "
+                    "exists; pass resume=True (--resume) to continue it, "
+                    "or delete the journal to start fresh"
+                )
+            records = journal.load(expected_fingerprint=fingerprint)
+        else:
+            journal.initialize(self.manifest.name, fingerprint)
+            records = {}
+
+        self._stop.clear()
+        self._signal_name = None
+        report = CampaignReport(
+            campaign=self.manifest.name,
+            journal_path=self.journal_path,
+        )
+        previous_handlers = self._install_signal_handlers()
+        try:
+            for entry in self.manifest.entries:
+                if self._stop.is_set():
+                    report.interrupted = True
+                if report.interrupted:
+                    report.outcomes.append(
+                        CampaignOutcome(
+                            entry=entry,
+                            status="skipped",
+                            attempts=0,
+                            elapsed_s=0.0,
+                            result=None,
+                            violations=[],
+                        )
+                    )
+                    continue
+                if entry.entry_id in records:
+                    outcome = self._resumed_outcome(
+                        entry, records[entry.entry_id]
+                    )
+                else:
+                    maybe = self._run_entry(entry, journal)
+                    if maybe is None:
+                        report.interrupted = True
+                        report.outcomes.append(
+                            CampaignOutcome(
+                                entry=entry,
+                                status="skipped",
+                                attempts=0,
+                                elapsed_s=0.0,
+                                result=None,
+                                violations=[],
+                            )
+                        )
+                        continue
+                    outcome = maybe
+                report.outcomes.append(outcome)
+                self._report_progress(outcome)
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+        report.signal_name = self._signal_name
+        return report

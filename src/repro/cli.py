@@ -10,6 +10,11 @@ Subcommands
 - ``repro classify WORKLOAD`` — auto-detect the workload's model classes
   from multiple profile runs (the paper's Section 3.3 procedure).
 - ``repro figure FIGID [--fast]`` — reproduce one paper figure.
+- ``repro suite [--journal PATH --resume]`` — run the whole evaluation,
+  optionally crash-safely on the campaign engine.
+- ``repro campaign MANIFEST.json [--resume]`` — run a user-defined
+  campaign with a durable journal, watchdog deadlines, and graceful
+  SIGINT/SIGTERM checkpointing (exit code 75 = interrupted, resumable).
 
 All times are in the simulator's model units (see DESIGN.md).
 """
@@ -223,6 +228,31 @@ def _cmd_whatif(args) -> int:
 def _cmd_suite(args) -> int:
     from repro.workloads.suite import run_paper_suite
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    if args.journal:
+        from repro.analysis import format_campaign
+        from repro.campaign import CampaignRunner, paper_suite_manifest
+
+        manifest = paper_suite_manifest(
+            fast=args.fast,
+            experiment_ids=args.only or None,
+            deadline_s=args.deadline,
+        )
+        runner = CampaignRunner(
+            manifest,
+            args.journal,
+            results_dir=args.results_dir,
+            progress=print,
+        )
+        report = runner.run(resume=args.resume)
+        print()
+        print(format_campaign(report))
+        if report.ok:
+            print("\nall experiments match the paper's claims")
+        return report.exit_code
+
     report = run_paper_suite(
         fast=args.fast,
         experiment_ids=args.only or None,
@@ -236,6 +266,34 @@ def _cmd_suite(args) -> int:
         return 0
     print(f"\n{len(report.failures)} experiment(s) no longer match the paper")
     return 1
+
+
+def _cmd_campaign(args) -> int:
+    from repro.analysis import format_campaign
+    from repro.campaign import CampaignRunner, load_manifest
+    from repro.faults import RetryPolicy
+
+    manifest = load_manifest(args.manifest)
+    journal = args.journal or f"{args.manifest}.journal.json"
+    policy = None
+    if args.max_attempts is not None:
+        policy = RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_backoff_s=0.0,
+            backoff_factor=1.0,
+            max_backoff_s=0.0,
+        )
+    runner = CampaignRunner(
+        manifest,
+        journal,
+        retry_policy=policy,
+        results_dir=args.results_dir,
+        progress=print,
+    )
+    report = runner.run(resume=args.resume)
+    print()
+    print(format_campaign(report))
+    return report.exit_code
 
 
 def _cmd_shares(args) -> int:
@@ -330,7 +388,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", metavar="FIGID",
         help="restrict to specific experiments",
     )
+    suite_p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="run crash-safely on the campaign engine, journaling every "
+        "finished experiment to PATH",
+    )
+    suite_p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted journaled run, re-running only "
+        "incomplete experiments (requires --journal)",
+    )
+    suite_p.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="also save each experiment result JSON under DIR",
+    )
+    suite_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog wall-clock deadline per experiment "
+        "(journaled runs only)",
+    )
     suite_p.set_defaults(func=_cmd_suite)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run a campaign manifest with a durable, resumable journal",
+    )
+    camp_p.add_argument("manifest", help="path to a campaign manifest JSON")
+    camp_p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal path (default: MANIFEST.journal.json)",
+    )
+    camp_p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run from its journal",
+    )
+    camp_p.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="also save each entry's result JSON under DIR",
+    )
+    camp_p.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="watchdog attempts per entry before classifying it "
+        "timed-out (default: 2, immediate retry)",
+    )
+    camp_p.set_defaults(func=_cmd_campaign)
 
     shares_p = sub.add_parser(
         "shares", help="component shares of a workload across configurations"

@@ -25,6 +25,8 @@ separately (Section 3 of the paper):
 - :mod:`repro.core.errors`        — the relative-error metric of Section 5.
 - :mod:`repro.core.degraded`      — the degraded-mode extension: expected
   recovery term ``T̂_recover`` for runs under an installed fault schedule.
+- :mod:`repro.core.durable`       — crash-safe atomic JSON persistence
+  shared by the profile store, result store, and campaign journal.
 """
 
 from repro.core.allocation import (
@@ -53,6 +55,13 @@ from repro.core.degraded import (
     DegradedModePredictor,
     DegradedPrediction,
     RecoveryBreakdown,
+)
+from repro.core.durable import (
+    CorruptStoreError,
+    FormatVersionError,
+    StoreError,
+    atomic_write_json,
+    atomic_write_text,
 )
 from repro.core.errors import relative_error
 from repro.core.heterogeneous import (
@@ -103,6 +112,11 @@ __all__ = [
     "DegradedModePredictor",
     "DegradedPrediction",
     "RecoveryBreakdown",
+    "CorruptStoreError",
+    "FormatVersionError",
+    "StoreError",
+    "atomic_write_json",
+    "atomic_write_text",
     "relative_error",
     "ComponentScalingFactors",
     "CrossClusterPredictor",

@@ -1,0 +1,189 @@
+"""Durable atomic persistence shared by every JSON store in the repo.
+
+Profiles are scheduling inputs, experiment results are regression
+baselines, and campaign journals are what a killed run resumes from —
+none of them may be corrupted by a crash mid-write.  This module is the
+single place that guarantees it:
+
+- :func:`atomic_write_text` / :func:`atomic_write_json` write to a
+  temporary file *in the same directory*, flush, ``fsync`` the file,
+  ``os.replace`` it over the destination, then ``fsync`` the directory.
+  A reader therefore sees either the complete old document or the
+  complete new one, never a truncated hybrid — even if the process dies
+  at any instruction in between.
+- :func:`read_json_document` turns a truncated / tampered / non-object
+  file into a :class:`CorruptStoreError` that names the path and tells
+  the operator how to regenerate it, and an unrecognized
+  ``format_version`` into a :class:`FormatVersionError`, instead of a
+  raw ``json.JSONDecodeError`` or a silently partial object.
+
+``core/store`` (profiles), ``analysis/results_io`` (experiment
+results) and ``campaign/journal`` (suite journals) all route their I/O
+through here, so every persistence path inherits the same guarantees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "StoreError",
+    "CorruptStoreError",
+    "FormatVersionError",
+    "atomic_write_text",
+    "atomic_write_json",
+    "canonical_json",
+    "content_digest",
+    "read_json_document",
+]
+
+
+class StoreError(ReproError):
+    """Base class for durable-persistence failures."""
+
+
+class CorruptStoreError(StoreError, ConfigurationError):
+    """A stored document is unreadable (truncated, tampered, not JSON).
+
+    Also derives from :class:`~repro.simgrid.errors.ConfigurationError`
+    so callers that predate the durable layer keep catching it.
+    """
+
+
+class FormatVersionError(StoreError, ConfigurationError):
+    """A stored document has a ``format_version`` this build cannot read.
+
+    Raised instead of silently constructing a partial object: the file
+    was most likely written by a newer version of the framework, and the
+    safe options are upgrading or regenerating the file.
+    """
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Durably replace ``path`` with ``text``; returns the path.
+
+    The temporary file lives in the destination directory so that
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  Both
+    the file contents and the directory entry are fsynced before
+    returning, so a crash after this call cannot lose the write and a
+    crash during it cannot corrupt an existing file.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_json(path: str | pathlib.Path, data: Any) -> pathlib.Path:
+    """Durably replace ``path`` with ``data`` rendered as JSON."""
+    return atomic_write_text(path, canonical_json(data))
+
+
+def canonical_json(data: Any) -> str:
+    """The one serialization every durable document uses.
+
+    Deterministic (keys in insertion order, fixed indentation, trailing
+    newline), so that a value committed to a journal, reloaded, and
+    re-saved is byte-identical to one written directly.
+    """
+    return json.dumps(data, indent=2) + "\n"
+
+
+def content_digest(data: Any) -> str:
+    """SHA-256 over the canonical JSON of ``data`` (for tamper checks)."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def read_json_document(
+    path: str | pathlib.Path,
+    kind: str,
+    *,
+    expected_version: Optional[int] = None,
+    remedy: str = "regenerate the file",
+) -> Dict[str, Any]:
+    """Read one durable JSON document, validating shape and version.
+
+    Parameters
+    ----------
+    kind:
+        Human label for error messages ("profile", "experiment result",
+        "campaign journal").
+    expected_version:
+        When given, the document's top-level ``format_version`` must
+        equal it; anything else raises :class:`FormatVersionError`.
+    remedy:
+        What the operator should do about a corrupt file, appended to
+        the :class:`CorruptStoreError` message.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no {kind} at '{path}'")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CorruptStoreError(
+            f"{kind} file '{path}' is corrupt (invalid or truncated JSON "
+            f"at line {exc.lineno}); {remedy}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CorruptStoreError(
+            f"{kind} file '{path}' is corrupt (expected a JSON object, "
+            f"found {type(data).__name__}); {remedy}"
+        )
+    if expected_version is not None:
+        check_format_version(data, kind, expected_version, source=str(path))
+    return data
+
+
+def check_format_version(
+    data: Dict[str, Any],
+    kind: str,
+    expected_version: int,
+    *,
+    source: Optional[str] = None,
+) -> None:
+    """Raise :class:`FormatVersionError` unless the version matches."""
+    version = data.get("format_version")
+    if version == expected_version:
+        return
+    where = f" in '{source}'" if source else ""
+    raise FormatVersionError(
+        f"cannot read {kind}{where}: format_version {version!r} is not "
+        f"supported by this build (expected {expected_version}); it was "
+        "likely written by a newer version of the framework — upgrade, "
+        "or regenerate the file with this version"
+    )
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush a rename to disk (no-op on platforms without dir fds)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

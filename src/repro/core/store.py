@@ -8,10 +8,14 @@ This module provides a JSON round-trip for
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Any, Dict, List
 
+from repro.core.durable import (
+    atomic_write_json,
+    check_format_version,
+    read_json_document,
+)
 from repro.core.profile import Profile
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.serialize import cluster_from_dict, cluster_to_dict
@@ -53,12 +57,7 @@ def profile_to_dict(profile: Profile) -> Dict[str, Any]:
 
 def profile_from_dict(data: Dict[str, Any]) -> Profile:
     """Rebuild a profile from :func:`profile_to_dict` output."""
-    version = data.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported profile format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
+    check_format_version(data, "profile", _FORMAT_VERSION)
     try:
         return Profile(
             app=str(data["app"]),
@@ -84,22 +83,28 @@ def profile_from_dict(data: Dict[str, Any]) -> Profile:
 
 
 def save_profile(profile: Profile, path: str | pathlib.Path) -> pathlib.Path:
-    """Write a profile to a JSON file; returns the path."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(profile_to_dict(profile), indent=2) + "\n")
-    return path
+    """Durably write a profile to a JSON file; returns the path.
+
+    The write is atomic (temp file + fsync + rename), so a crash here
+    can never leave a truncated profile behind.
+    """
+    return atomic_write_json(path, profile_to_dict(profile))
 
 
 def load_profile(path: str | pathlib.Path) -> Profile:
-    """Read a profile from a JSON file."""
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise ConfigurationError(f"no profile at '{path}'")
-    try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"'{path}' is not valid JSON: {exc}") from exc
+    """Read a profile from a JSON file.
+
+    A truncated or tampered file raises
+    :class:`~repro.core.durable.CorruptStoreError`, an unknown
+    ``format_version`` raises
+    :class:`~repro.core.durable.FormatVersionError`.
+    """
+    data = read_json_document(
+        path,
+        "profile",
+        remedy="re-profile the workload with "
+        "`repro run WORKLOAD ... --save-profile`",
+    )
     return profile_from_dict(data)
 
 

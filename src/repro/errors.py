@@ -8,6 +8,11 @@ callers embedding the framework can catch one type uniformly:
 - :class:`FaultError` — the fault-injection / fault-tolerance branch
   (:mod:`repro.faults`): malformed fault schedules, and
   :class:`RecoveryExhaustedError` when recovery cannot proceed.
+- :class:`CampaignError` — the campaign-engine branch
+  (:mod:`repro.campaign`): malformed manifests, journal misuse,
+  watchdog deadline overruns, and operator interrupts.
+- :class:`repro.core.durable.StoreError` — the durable-persistence
+  branch: corrupt stored documents and unsupported format versions.
 
 The branches live in their own modules; this module only anchors the
 hierarchy so that ``repro.simgrid`` does not need to import ``repro.faults``
@@ -16,7 +21,7 @@ or vice versa.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "FaultError", "RecoveryExhaustedError"]
+__all__ = ["ReproError", "FaultError", "RecoveryExhaustedError", "CampaignError"]
 
 
 class ReproError(Exception):
@@ -39,4 +44,13 @@ class RecoveryExhaustedError(FaultError):
     policy's attempt budget, when a data node crashes and no replica of the
     dataset remains to fail over to, or when every compute node has
     crashed.
+    """
+
+
+class CampaignError(ReproError):
+    """A campaign manifest, journal, or runner operation is invalid.
+
+    Raised for malformed campaign manifests, for attempts to overwrite an
+    existing journal without ``--resume``, and as the base class of the
+    runner's control-flow exceptions (deadline overruns, interrupts).
     """

@@ -23,7 +23,11 @@ model is :class:`repro.core.degraded.DegradedModePredictor`.
 
 from repro.errors import FaultError, RecoveryExhaustedError
 from repro.faults.injector import FaultInjector, select_failover_replica
-from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    WATCHDOG_RETRY_POLICY,
+    RetryPolicy,
+)
 from repro.faults.scenario import (
     injector_from_dict,
     load_scenario,
@@ -46,6 +50,7 @@ __all__ = [
     "FaultInjector",
     "select_failover_replica",
     "DEFAULT_RETRY_POLICY",
+    "WATCHDOG_RETRY_POLICY",
     "RetryPolicy",
     "injector_from_dict",
     "load_scenario",

@@ -12,11 +12,11 @@ as fatal for the run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import FaultError
 
-__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY", "WATCHDOG_RETRY_POLICY"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +104,29 @@ class RetryPolicy:
         """Most failures a chunk can survive (one attempt must succeed)."""
         return self.max_attempts - 1
 
+    def backoff_delays(self) -> List[float]:
+        """The real sleep before each retry, in order.
+
+        ``backoff_delays()[i]`` is the delay between failed attempt
+        ``i + 1`` and retry ``i + 2`` — used by callers that actually
+        wait (the campaign watchdog) rather than charge simulated time.
+
+        >>> RetryPolicy(max_attempts=3, base_backoff_s=0.1).backoff_delays()
+        [0.1, 0.2]
+        """
+        return [self.backoff_s(i) for i in range(1, self.max_attempts)]
+
 
 #: Policy used when a scenario does not specify one.
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Policy the campaign watchdog uses for retry-after-timeout when none is
+#: configured: one immediate retry, then give up and classify the entry
+#: as timed-out.  A deadline overrun usually means the experiment is
+#: stuck, not slow, so long backoffs would only delay the campaign.
+WATCHDOG_RETRY_POLICY = RetryPolicy(
+    max_attempts=2,
+    base_backoff_s=0.0,
+    backoff_factor=1.0,
+    max_backoff_s=0.0,
+)

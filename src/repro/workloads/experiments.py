@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
     CrossClusterPredictor,
+    DegradedModePredictor,
     GlobalReductionModel,
     ModelClasses,
     NoCommunicationModel,
@@ -30,6 +31,7 @@ from repro.core import (
     measure_scaling_factors,
     relative_error,
 )
+from repro.faults import injector_from_dict, schedule_from_dict
 from repro.middleware import FreerideGRuntime
 from repro.middleware.scheduler import RunConfig
 from repro.simgrid.errors import ConfigurationError
@@ -54,6 +56,7 @@ __all__ = [
     "run_dataset_scaling",
     "run_bandwidth_scaling",
     "run_cross_cluster",
+    "run_fault_scenario",
 ]
 
 #: Reduced grid used by tests (`fast=True`) to keep runtimes low.
@@ -384,6 +387,68 @@ def run_cross_cluster(
                 data_nodes=n,
                 compute_nodes=c,
                 model=model.label,
+                actual=run.breakdown.total,
+                predicted=predicted.total,
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fault-scenario sweeps: campaign entries for unreliable-grid coverage.
+# ---------------------------------------------------------------------------
+
+
+def run_fault_scenario(
+    workload: str,
+    experiment_id: str,
+    title: str,
+    scenario: Dict[str, object],
+    size_label: Optional[str] = None,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Sweep a fault scenario across the configuration grid.
+
+    The Figure 2-6 protocol extended to unreliable grids: profile once on
+    a clean 1-1 run, then execute every grid configuration under the
+    fault schedule of ``scenario`` (the :mod:`repro.faults.scenario` JSON
+    mapping) and predict it with the degraded-mode model, which adds the
+    expected recovery term for the schedule.  The scenario must be valid
+    for every configuration in the grid (node indices in range).
+    """
+    spec = _workload(workload)
+    schedule = schedule_from_dict(scenario)
+    predictor = DegradedModePredictor(
+        GlobalReductionModel(_natural_classes(spec))
+    )
+
+    profile_config = make_run_config(1, 1)
+    _, profile_run = _execute(spec, profile_config, size_label)
+    profile = Profile.from_run(profile_config, profile_run.breakdown)
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        workload=workload,
+        metadata={
+            "base_profile": "1-1",
+            "dataset": size_label or spec.default_size,
+            "scenario": dict(scenario),
+        },
+    )
+    for n, c in _grid(fast):
+        config = make_run_config(n, c)
+        dataset = spec.make_dataset(size_label)
+        run = FreerideGRuntime(
+            config, faults=injector_from_dict(scenario)
+        ).execute(spec.make_app(), dataset)
+        target = PredictionTarget(config=config, dataset_bytes=dataset.nbytes)
+        predicted = predictor.predict(profile, target, schedule)
+        result.rows.append(
+            ExperimentRow(
+                data_nodes=n,
+                compute_nodes=c,
+                model="degraded mode",
                 actual=run.breakdown.total,
                 predicted=predicted.total,
             )

@@ -4,10 +4,17 @@
 plus the extension experiments), checks each against its recorded
 :class:`~repro.analysis.expectations.FigureExpectation`, and returns a
 :class:`SuiteReport`.  The CLI exposes it as ``repro suite``.
+
+With a ``journal`` path the suite runs on the crash-safe campaign
+engine (:mod:`repro.campaign`): every finished experiment is durably
+committed, a killed run resumes with ``resume=True`` re-running only the
+incomplete experiments, and per-experiment deadlines are enforced by
+the watchdog.
 """
 
 from __future__ import annotations
 
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -20,17 +27,28 @@ from repro.workloads.experiments import (
     run_experiment,
 )
 
-__all__ = ["SuiteEntry", "SuiteReport", "run_paper_suite"]
+__all__ = [
+    "SuiteEntry",
+    "SuiteReport",
+    "run_paper_suite",
+    "suite_report_from_campaign",
+]
 
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """Outcome of one experiment within a suite run."""
+    """Outcome of one experiment within a suite run.
+
+    ``status`` is ``"completed"`` for a plain run; journaled runs also
+    produce ``"resumed"`` (restored from a previous run's journal) and
+    ``"retried"`` (completed after a watchdog timeout).
+    """
 
     experiment_id: str
     result: ExperimentResult
     violations: List[str]
     elapsed_s: float
+    status: str = "completed"
 
     @property
     def ok(self) -> bool:
@@ -40,14 +58,20 @@ class SuiteEntry:
 
 @dataclass
 class SuiteReport:
-    """All experiments of one suite run."""
+    """All experiments of one suite run.
+
+    ``interrupted`` is set by journaled runs the operator stopped
+    mid-campaign (SIGINT/SIGTERM); the journal holds the completed
+    entries and a ``resume`` run finishes the rest.
+    """
 
     entries: List[SuiteEntry] = field(default_factory=list)
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
         """True when the whole reproduction matches the paper."""
-        return all(entry.ok for entry in self.entries)
+        return not self.interrupted and all(entry.ok for entry in self.entries)
 
     @property
     def failures(self) -> List[SuiteEntry]:
@@ -65,26 +89,81 @@ class SuiteReport:
         lines = []
         for entry in self.entries:
             status = "ok" if entry.ok else "MISMATCH"
+            origin = "" if entry.status == "completed" else f" [{entry.status}]"
             lines.append(
                 f"{entry.experiment_id:14s} {status:8s} "
-                f"({entry.elapsed_s:5.1f}s)  {entry.result.title}"
+                f"({entry.elapsed_s:5.1f}s)  {entry.result.title}{origin}"
             )
             for violation in entry.violations:
                 lines.append(f"{'':14s} !! {violation}")
+        if self.interrupted:
+            lines.append(
+                "suite interrupted — journal checkpoint written; re-run "
+                "with resume to finish"
+            )
         return lines
+
+
+def suite_report_from_campaign(campaign_report) -> SuiteReport:
+    """Project a :class:`~repro.campaign.report.CampaignReport` onto the
+    suite's report type.
+
+    Only productive entries (completed / resumed / retried) become
+    :class:`SuiteEntry` rows — timed-out and skipped entries carry no
+    result; they stay visible in the campaign report itself.
+    """
+    report = SuiteReport(interrupted=campaign_report.interrupted)
+    for outcome in campaign_report.outcomes:
+        if outcome.result is None:
+            continue
+        report.entries.append(
+            SuiteEntry(
+                experiment_id=outcome.entry_id,
+                result=outcome.result,
+                violations=list(outcome.violations),
+                elapsed_s=outcome.elapsed_s,
+                status=outcome.status,
+            )
+        )
+    return report
 
 
 def run_paper_suite(
     fast: bool = False,
     experiment_ids: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    journal: Optional[str | pathlib.Path] = None,
+    resume: bool = False,
+    results_dir: Optional[str | pathlib.Path] = None,
+    deadline_s: Optional[float] = None,
 ) -> SuiteReport:
     """Run experiments (all by default) and check the paper's claims.
 
     ``fast=True`` uses the reduced configuration grid — quick smoke
     coverage; the claims that need the full grid are skipped
     automatically by the checker.
+
+    With ``journal`` set, the suite runs on the crash-safe campaign
+    engine: finished experiments are durably committed and
+    ``resume=True`` continues a killed run, re-running only the
+    experiments the journal does not hold.  ``deadline_s`` bounds each
+    experiment's wall-clock time (watchdog-enforced).
     """
+    if journal is not None:
+        from repro.campaign.manifest import paper_suite_manifest
+        from repro.campaign.runner import CampaignRunner
+
+        manifest = paper_suite_manifest(
+            fast=fast, experiment_ids=experiment_ids, deadline_s=deadline_s
+        )
+        runner = CampaignRunner(
+            manifest,
+            journal,
+            results_dir=results_dir,
+            progress=progress,
+        )
+        return suite_report_from_campaign(runner.run(resume=resume))
+
     ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:

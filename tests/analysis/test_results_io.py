@@ -87,3 +87,46 @@ class TestCompareResults:
         )
         with pytest.raises(ConfigurationError):
             compare_results(make_result(), current)
+
+
+class TestDurableResults:
+    def test_corrupt_file_names_path_and_remedy(self, tmp_path):
+        from repro.core.durable import CorruptStoreError
+
+        path = tmp_path / "r.json"
+        path.write_text('{"rows": [')
+        with pytest.raises(CorruptStoreError) as excinfo:
+            load_result(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "re-run the experiment" in message
+
+    def test_future_format_version_rejected(self, tmp_path):
+        import json
+
+        from repro.core.durable import FormatVersionError
+
+        path = save_result(make_result(), tmp_path / "r.json")
+        data = json.loads(path.read_text())
+        data["format_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(FormatVersionError, match="newer version"):
+            load_result(path)
+
+    def test_save_is_atomic_and_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        import repro.core.durable as durable
+
+        path = save_result(make_result(), tmp_path / "r.json")
+        before = path.read_bytes()
+        assert [p.name for p in tmp_path.iterdir()] == ["r.json"]
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(durable.os, "replace", explode)
+        with pytest.raises(OSError):
+            save_result(make_result(errors=(0.5, 0.5)), path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["r.json"]

@@ -1,0 +1,140 @@
+"""Tests for the durable campaign journal."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignJournal, JournalRecord
+from repro.core.durable import CorruptStoreError, FormatVersionError
+from repro.errors import CampaignError
+
+from tests.campaign.conftest import fake_result
+from repro.analysis.results_io import result_to_dict
+
+
+def record(entry_id, status="completed", attempts=1):
+    payload = None if status == "timed-out" else result_to_dict(
+        fake_result(entry_id)
+    )
+    return JournalRecord(
+        entry_id=entry_id,
+        status=status,
+        attempts=attempts,
+        elapsed_s=0.5,
+        payload=payload,
+        violations=[] if status != "timed-out" else ["deadline"],
+    )
+
+
+class TestRoundTrip:
+    def test_commit_and_load(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        journal.commit(record("fig02"))
+        journal.commit(record("fig03", status="timed-out", attempts=2))
+
+        fresh = CampaignJournal(tmp_path / "j.json")
+        records = fresh.load(expected_fingerprint="fp-1")
+        assert list(records) == ["fig02", "fig03"]
+        assert records["fig02"].status == "completed"
+        assert records["fig02"].payload["experiment_id"] == "fig02"
+        assert records["fig03"].status == "timed-out"
+        assert records["fig03"].payload is None
+        assert records["fig03"].attempts == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        journal.commit(record("fig02"))
+        assert [p.name for p in tmp_path.iterdir()] == ["j.json"]
+
+
+class TestMisuse:
+    def test_commit_before_initialize(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignJournal(tmp_path / "j.json").commit(record("fig02"))
+
+    def test_initialize_refuses_existing(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        with pytest.raises(CampaignError, match="already exists"):
+            CampaignJournal(tmp_path / "j.json").initialize("camp", "fp-1")
+
+    def test_duplicate_commit_rejected(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        journal.commit(record("fig02"))
+        with pytest.raises(CampaignError, match="already journaled"):
+            journal.commit(record("fig02"))
+
+    def test_unsettled_status_rejected(self):
+        with pytest.raises(CampaignError):
+            record("fig02", status="skipped")
+
+
+class TestCorruptionDetection:
+    def _journal_with_one_entry(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        journal.commit(record("fig02"))
+        return tmp_path / "j.json"
+
+    def test_truncated_file(self, tmp_path):
+        path = self._journal_with_one_entry(tmp_path)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(CorruptStoreError, match=str(path)):
+            CampaignJournal(path).load()
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = self._journal_with_one_entry(tmp_path)
+        data = json.loads(path.read_text())
+        data["entries"][0]["payload"]["rows"][0]["actual"] = 99.0
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorruptStoreError, match="checksum"):
+            CampaignJournal(path).load()
+
+    def test_unknown_format_version(self, tmp_path):
+        path = self._journal_with_one_entry(tmp_path)
+        data = json.loads(path.read_text())
+        data["format_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(FormatVersionError, match="newer version"):
+            CampaignJournal(path).load()
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        path = self._journal_with_one_entry(tmp_path)
+        with pytest.raises(CampaignError, match="different manifest"):
+            CampaignJournal(path).load(expected_fingerprint="other-fp")
+
+    def test_missing_key(self, tmp_path):
+        path = self._journal_with_one_entry(tmp_path)
+        data = json.loads(path.read_text())
+        del data["manifest_sha256"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorruptStoreError):
+            CampaignJournal(path).load()
+
+
+class TestCommitAtomicity:
+    def test_failed_replace_preserves_old_journal(self, tmp_path, monkeypatch):
+        journal = CampaignJournal(tmp_path / "j.json")
+        journal.initialize("camp", "fp-1")
+        journal.commit(record("fig02"))
+        before = (tmp_path / "j.json").read_bytes()
+
+        import repro.core.durable as durable
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk pulled mid-rename")
+
+        monkeypatch.setattr(durable.os, "replace", explode)
+        with pytest.raises(OSError):
+            journal.commit(record("fig03"))
+        monkeypatch.undo()
+
+        # The on-disk journal is the complete previous document and no
+        # temp file survived the failed commit.
+        assert (tmp_path / "j.json").read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["j.json"]
+        records = CampaignJournal(tmp_path / "j.json").load()
+        assert list(records) == ["fig02"]

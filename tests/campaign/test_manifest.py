@@ -1,0 +1,154 @@
+"""Tests for campaign manifests."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignEntry,
+    CampaignManifest,
+    load_manifest,
+    manifest_from_dict,
+    manifest_to_dict,
+    paper_suite_manifest,
+)
+from repro.core.durable import CorruptStoreError
+from repro.errors import CampaignError
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.experiments import EXPERIMENTS
+
+SCENARIO = {"seed": 7, "faults": [{"type": "chunk-read-error", "rate": 0.05}]}
+
+
+def sample_dict():
+    return {
+        "name": "nightly",
+        "default_deadline_s": 120.0,
+        "entries": [
+            {"id": "fig02", "fast": True},
+            {"id": "fig04", "deadline_s": 30.0},
+            {
+                "id": "em-under-faults",
+                "kind": "fault-scenario",
+                "workload": "em",
+                "fast": True,
+                "scenario": SCENARIO,
+            },
+        ],
+    }
+
+
+class TestRoundTrip:
+    def test_from_dict_to_dict(self):
+        manifest = manifest_from_dict(sample_dict())
+        assert manifest.name == "nightly"
+        assert [e.entry_id for e in manifest.entries] == [
+            "fig02",
+            "fig04",
+            "em-under-faults",
+        ]
+        assert manifest.entries[0].fast
+        assert manifest.entries[1].deadline_s == 30.0
+        assert manifest.entries[2].kind == "fault-scenario"
+        assert manifest.entries[2].scenario == SCENARIO
+        assert manifest_from_dict(manifest_to_dict(manifest)) == manifest
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        a = manifest_from_dict(sample_dict())
+        b = manifest_from_dict(sample_dict())
+        assert a.fingerprint() == b.fingerprint()
+        changed = sample_dict()
+        changed["entries"][0]["fast"] = False
+        assert manifest_from_dict(changed).fingerprint() != a.fingerprint()
+
+    def test_effective_deadline_applies_default(self):
+        manifest = manifest_from_dict(sample_dict())
+        assert manifest.entries[0].effective_deadline_s(
+            manifest.default_deadline_s
+        ) == 120.0
+        assert manifest.entries[1].effective_deadline_s(
+            manifest.default_deadline_s
+        ) == 30.0
+
+    def test_load_manifest(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(sample_dict()))
+        assert load_manifest(path) == manifest_from_dict(sample_dict())
+
+
+class TestValidation:
+    def test_unknown_manifest_key(self):
+        data = sample_dict()
+        data["deadline"] = 3  # typo for default_deadline_s
+        with pytest.raises(CampaignError, match="unknown key"):
+            manifest_from_dict(data)
+
+    def test_unknown_entry_key(self):
+        data = sample_dict()
+        data["entries"][0]["deadline"] = 3
+        with pytest.raises(CampaignError, match="unknown key"):
+            manifest_from_dict(data)
+
+    def test_duplicate_entry_ids(self):
+        data = sample_dict()
+        data["entries"].append({"id": "fig02"})
+        with pytest.raises(CampaignError, match="duplicate"):
+            manifest_from_dict(data)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(CampaignError, match="unknown experiment"):
+            CampaignEntry(entry_id="fig99")
+
+    def test_fault_scenario_requires_workload_and_scenario(self):
+        with pytest.raises(CampaignError, match="workload"):
+            CampaignEntry(entry_id="x", kind="fault-scenario", scenario=SCENARIO)
+        with pytest.raises(CampaignError, match="scenario"):
+            CampaignEntry(entry_id="x", kind="fault-scenario", workload="em")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CampaignError, match="kind"):
+            CampaignEntry(entry_id="fig02", kind="mystery")
+
+    def test_empty_manifest(self):
+        with pytest.raises(CampaignError, match="no entries"):
+            CampaignManifest(name="empty", entries=())
+
+    def test_non_positive_deadline(self):
+        with pytest.raises(CampaignError, match="positive"):
+            CampaignEntry(entry_id="fig02", deadline_s=0.0)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no campaign manifest"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        with pytest.raises(CorruptStoreError, match=str(path)):
+            load_manifest(path)
+
+
+class TestPaperSuiteManifest:
+    def test_covers_all_experiments(self):
+        manifest = paper_suite_manifest(fast=True)
+        assert manifest.name == "paper-suite-fast"
+        assert [e.entry_id for e in manifest.entries] == sorted(EXPERIMENTS)
+        assert all(e.fast for e in manifest.entries)
+
+    def test_subset_and_deadline(self):
+        manifest = paper_suite_manifest(
+            fast=False, experiment_ids=["fig04", "fig02"], deadline_s=60.0
+        )
+        assert manifest.name == "paper-suite"
+        assert [e.entry_id for e in manifest.entries] == ["fig04", "fig02"]
+        assert manifest.default_deadline_s == 60.0
+
+    def test_unknown_ids_rejected(self):
+        with pytest.raises(CampaignError, match="unknown experiments"):
+            paper_suite_manifest(experiment_ids=["fig99"])
+
+    def test_fast_changes_fingerprint(self):
+        assert (
+            paper_suite_manifest(fast=True).fingerprint()
+            != paper_suite_manifest(fast=False).fingerprint()
+        )

@@ -1,0 +1,257 @@
+"""Tests for the crash-safe campaign runner.
+
+The fakes are instant and instrumented (see conftest), so crash/resume
+behavior is asserted precisely: which entries re-ran, what the journal
+holds, and that a resumed campaign's result artifacts are byte-identical
+to an uninterrupted run's.
+"""
+
+import hashlib
+import time
+
+import pytest
+
+from repro.campaign import (
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_PROBLEMS,
+    CampaignRunner,
+)
+from repro.errors import CampaignError
+from repro.faults.retry import RetryPolicy
+
+from tests.campaign.conftest import (
+    FAKE_IDS,
+    fake_registry,
+    fake_result,
+    make_manifest,
+)
+
+
+def run_campaign(tmp_path, subdir, *, crash_at=None, log=None, **kwargs):
+    manifest = make_manifest()
+    root = tmp_path / subdir
+    runner = CampaignRunner(
+        manifest,
+        root / "journal.json",
+        registry=fake_registry(FAKE_IDS, log=log, crash_at=crash_at),
+        results_dir=root / "results",
+        check_claims=False,
+        handle_signals=False,
+        **kwargs,
+    )
+    return runner
+
+
+def results_digest(results_dir):
+    """Map of result-file name -> sha256 of its bytes."""
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(results_dir.iterdir())
+    }
+
+
+class TestCleanRun:
+    def test_all_entries_complete(self, tmp_path):
+        log = []
+        runner = run_campaign(tmp_path, "clean", log=log)
+        report = runner.run()
+        assert report.ok
+        assert report.exit_code == EXIT_OK
+        assert not report.interrupted
+        assert [o.status for o in report.outcomes] == ["completed"] * 6
+        assert log == FAKE_IDS
+        assert sorted(report.results()) == sorted(FAKE_IDS)
+        names = sorted(p.name for p in (tmp_path / "clean/results").iterdir())
+        assert names == sorted(f"{i}.json" for i in FAKE_IDS)
+
+    def test_rerun_without_resume_refused(self, tmp_path):
+        run_campaign(tmp_path, "c").run()
+        with pytest.raises(CampaignError, match="already exists"):
+            run_campaign(tmp_path, "c").run()
+
+    def test_resume_of_missing_journal_starts_fresh(self, tmp_path):
+        report = run_campaign(tmp_path, "c").run(resume=True)
+        assert report.ok
+
+
+class TestCrashAndResume:
+    @pytest.mark.parametrize("crash_at", [0, 2, 5])
+    def test_resume_reruns_only_unsettled_entries(self, tmp_path, crash_at):
+        # Uninterrupted reference run.
+        ref = run_campaign(tmp_path, "ref")
+        assert ref.run().ok
+        ref_digest = results_digest(tmp_path / "ref/results")
+
+        # Crashed run: the injected exception escapes the runner, like a
+        # process dying mid-entry.  Settled entries are already durable.
+        crash_log = []
+        with pytest.raises(RuntimeError, match="injected crash"):
+            run_campaign(tmp_path, "crashed", crash_at=crash_at,
+                         log=crash_log).run()
+        assert crash_log == FAKE_IDS[: crash_at + 1]
+
+        # Resume re-runs only the crashed entry and everything after it.
+        resume_log = []
+        report = run_campaign(tmp_path, "crashed", log=resume_log).run(
+            resume=True
+        )
+        assert resume_log == FAKE_IDS[crash_at:]
+        assert report.ok
+        statuses = [report.outcome(i).status for i in FAKE_IDS]
+        assert statuses == ["resumed"] * crash_at + ["completed"] * (
+            6 - crash_at
+        )
+
+        # The combined artifacts are byte-identical to the clean run's.
+        assert results_digest(tmp_path / "crashed/results") == ref_digest
+
+    def test_resume_against_changed_manifest_refused(self, tmp_path):
+        run_campaign(tmp_path, "c").run()
+        manifest = make_manifest(ids=FAKE_IDS[:3])
+        runner = CampaignRunner(
+            manifest,
+            tmp_path / "c/journal.json",
+            registry=fake_registry(FAKE_IDS[:3]),
+            check_claims=False,
+            handle_signals=False,
+        )
+        with pytest.raises(CampaignError, match="different manifest"):
+            runner.run(resume=True)
+
+    def test_resume_of_complete_journal_reruns_nothing(self, tmp_path):
+        run_campaign(tmp_path, "c").run()
+        log = []
+        report = run_campaign(tmp_path, "c", log=log).run(resume=True)
+        assert log == []
+        assert [o.status for o in report.outcomes] == ["resumed"] * 6
+
+
+class TestWatchdog:
+    def _hang(self):
+        time.sleep(10.0)
+
+    def test_timeout_classified_and_campaign_continues(self, tmp_path):
+        manifest = make_manifest(ids=["fig02", "fig03"], deadline_s=0.05)
+        registry = fake_registry(["fig02", "fig03"])
+        registry["fig02"] = self._hang
+        slept = []
+        runner = CampaignRunner(
+            manifest,
+            tmp_path / "journal.json",
+            registry=registry,
+            check_claims=False,
+            handle_signals=False,
+            sleep=slept.append,
+            poll_interval_s=0.01,
+        )
+        report = runner.run()
+        timed_out = report.outcome("fig02")
+        assert timed_out.status == "timed-out"
+        assert timed_out.attempts == 2  # WATCHDOG_RETRY_POLICY default
+        assert timed_out.result is None
+        assert any("deadline" in v for v in timed_out.violations)
+        # The rest of the campaign still ran.
+        assert report.outcome("fig03").status == "completed"
+        assert not report.ok
+        assert report.exit_code == EXIT_PROBLEMS
+        # The timed-out classification is durable: a resume restores it
+        # without re-running the hung entry.
+        resumed = CampaignRunner(
+            manifest,
+            tmp_path / "journal.json",
+            registry=registry,
+            check_claims=False,
+            handle_signals=False,
+        ).run(resume=True)
+        assert resumed.outcome("fig02").status == "timed-out"
+        assert resumed.outcome("fig03").status == "resumed"
+
+    def test_retry_after_timeout_succeeds(self, tmp_path):
+        manifest = make_manifest(ids=["fig02"], deadline_s=0.05)
+        calls = []
+
+        def flaky():
+            calls.append("x")
+            if len(calls) == 1:
+                time.sleep(10.0)  # first attempt hangs past the deadline
+            return fake_result("fig02")
+
+        slept = []
+        runner = CampaignRunner(
+            manifest,
+            tmp_path / "journal.json",
+            registry={"fig02": flaky},
+            retry_policy=RetryPolicy(
+                max_attempts=3,
+                base_backoff_s=0.25,
+                backoff_factor=2.0,
+                max_backoff_s=10.0,
+            ),
+            check_claims=False,
+            handle_signals=False,
+            sleep=slept.append,
+            poll_interval_s=0.01,
+        )
+        report = runner.run()
+        outcome = report.outcome("fig02")
+        assert outcome.status == "retried"
+        assert outcome.attempts == 2
+        assert outcome.result is not None
+        assert report.ok
+        # Real backoff with RetryPolicy semantics: one sleep, base delay.
+        assert slept == [0.25]
+
+
+class TestInterruption:
+    def test_stop_mid_campaign_checkpoints_and_skips(self, tmp_path):
+        manifest = make_manifest()
+        runner = run_campaign(tmp_path, "c")
+
+        # Trip the stop flag from inside the third entry, as a signal
+        # handler would; the entry then lingers long enough for the
+        # watchdog poll loop to abandon it.
+        def stopping_fig04():
+            runner._stop.set()
+            time.sleep(5.0)
+            return fake_result("fig04")
+
+        runner.registry["fig04"] = stopping_fig04
+        report = runner.run()
+        assert report.interrupted
+        assert report.exit_code == EXIT_INTERRUPTED
+        statuses = [report.outcome(i).status for i in FAKE_IDS]
+        # fig04's attempt was abandoned (not journaled) and everything
+        # after it was skipped without running.
+        assert statuses == ["completed", "completed", "skipped", "skipped",
+                            "skipped", "skipped"]
+        skipped = report.outcome("fig04")
+        assert skipped.attempts == 0
+
+        # Resume finishes the remaining entries.
+        log = []
+        resumed = run_campaign(tmp_path, "c", log=log).run(resume=True)
+        assert resumed.ok
+        assert log == FAKE_IDS[2:]
+        assert [resumed.outcome(i).status for i in FAKE_IDS] == (
+            ["resumed"] * 2 + ["completed"] * 4
+        )
+
+
+class TestClaimChecking:
+    def test_violations_flagged_without_aborting(self, tmp_path):
+        manifest = make_manifest(ids=["fig02"])
+        runner = CampaignRunner(
+            manifest,
+            tmp_path / "journal.json",
+            registry=fake_registry(["fig02"]),
+            check_claims=True,
+            handle_signals=False,
+        )
+        report = runner.run()
+        outcome = report.outcome("fig02")
+        # The fake result's errors don't satisfy fig02's recorded claims.
+        assert outcome.status == "completed"
+        assert outcome.violations
+        assert not report.ok
+        assert report.exit_code == EXIT_PROBLEMS

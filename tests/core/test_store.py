@@ -113,3 +113,49 @@ class TestProfileStore:
             store.save("../escape", make_profile())
         with pytest.raises(ConfigurationError):
             store.save(".hidden", make_profile())
+
+
+class TestDurableStore:
+    def test_corrupt_file_names_path_and_remedy(self, tmp_path):
+        from repro.core.durable import CorruptStoreError
+
+        path = tmp_path / "p.json"
+        path.write_text("{truncated")
+        with pytest.raises(CorruptStoreError) as excinfo:
+            load_profile(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "re-profile" in message
+
+    def test_future_format_version_names_remedy(self, tmp_path):
+        from repro.core.durable import FormatVersionError
+
+        path = save_profile(make_profile(), tmp_path / "p.json")
+        data = json.loads(path.read_text())
+        data["format_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(FormatVersionError, match="newer version"):
+            load_profile(path)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        save_profile(make_profile(), tmp_path / "p.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["p.json"]
+
+    def test_failed_save_preserves_previous_profile(self, tmp_path, monkeypatch):
+        import repro.core.durable as durable
+
+        path = save_profile(make_profile(app="kmeans"), tmp_path / "p.json")
+        before = path.read_bytes()
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(durable.os, "replace", explode)
+        with pytest.raises(OSError):
+            save_profile(make_profile(app="em"), path)
+        monkeypatch.undo()
+
+        # Atomicity: the old profile is intact, no temp file remains.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["p.json"]
+        assert load_profile(path).app == "kmeans"

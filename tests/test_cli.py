@@ -162,3 +162,87 @@ class TestFigureChart:
         out = capsys.readouterr().out
         assert "relative error" in out
         assert "█" in out
+
+
+class TestSuiteJournal:
+    def test_resume_requires_journal(self, capsys):
+        code = main(["suite", "--fast", "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_journaled_suite_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "suite.journal.json")
+        code = main(
+            ["suite", "--fast", "--only", "fig09", "--journal", journal]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed" in out
+        assert "match the paper" in out
+
+        # A second run without --resume must refuse to clobber the journal.
+        code = main(
+            ["suite", "--fast", "--only", "fig09", "--journal", journal]
+        )
+        assert code == 1
+        assert "already exists" in capsys.readouterr().err
+
+        # --resume restores the settled entry without re-running it.
+        code = main(
+            [
+                "suite",
+                "--fast",
+                "--only",
+                "fig09",
+                "--journal",
+                journal,
+                "--resume",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed" in out
+
+
+class TestCampaign:
+    def _write_manifest(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-campaign",
+                    "entries": [{"id": "fig09", "fast": True}],
+                }
+            )
+        )
+        return path
+
+    def test_campaign_runs_manifest(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path)
+        code = main(["campaign", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig09" in out
+        assert "campaign 'cli-campaign': 1 completed" in out
+        # Default journal path sits beside the manifest.
+        assert (tmp_path / "campaign.json.journal.json").exists()
+
+    def test_campaign_resume_and_results_dir(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path)
+        results = tmp_path / "results"
+        assert main(["campaign", str(manifest), "--results-dir", str(results)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", str(manifest), "--results-dir", str(results), "--resume"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 resumed" in out
+        assert (results / "fig09.json").exists()
+
+    def test_missing_manifest_reports_error(self, tmp_path, capsys):
+        code = main(["campaign", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "no campaign manifest" in capsys.readouterr().err
