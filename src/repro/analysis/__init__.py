@@ -4,9 +4,16 @@
   EXPERIMENTS.md generator.
 - :mod:`repro.analysis.stats`  — summary statistics and shape checks
   (model ordering, error trends) over experiment results.
+- :mod:`repro.analysis.broker` — policy comparison tables and the
+  calibration error trend for broker reports.
 """
 
 from repro.analysis.ascii import error_bar_chart, horizontal_bar
+from repro.analysis.broker import (
+    format_broker,
+    format_error_trend,
+    format_policy_run,
+)
 from repro.analysis.breakdown import (
     ComponentShares,
     format_shares,
@@ -55,9 +62,12 @@ __all__ = [
     "result_from_dict",
     "result_to_dict",
     "save_result",
+    "format_broker",
     "format_campaign",
+    "format_error_trend",
     "format_experiment",
     "format_fault_events",
+    "format_policy_run",
     "format_summary",
     "error_summary",
     "mean",

@@ -1,0 +1,111 @@
+"""ASCII rendering of broker reports.
+
+One table per policy run — headline metrics, the placement schedule,
+rejections with their machine-usable codes — plus a cross-policy
+comparison table and the rolling prediction-error trend that shows the
+online calibration converging.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.ascii import horizontal_bar
+
+if TYPE_CHECKING:  # avoid a runtime analysis -> broker import cycle
+    from repro.broker.report import BrokerReport, PolicyRun
+
+__all__ = ["format_broker", "format_policy_run", "format_error_trend"]
+
+
+def format_policy_run(run: "PolicyRun", *, schedule: bool = True) -> str:
+    """Render one policy's placements and metrics as an ASCII table."""
+    lines: List[str] = [
+        f"policy: {run.label}",
+        (
+            f"  jobs {run.jobs}  completed {len(run.placements)}  "
+            f"rejected {len(run.rejections)}"
+        ),
+        (
+            f"  makespan {run.makespan:.4f}s  mean wait {run.mean_wait:.4f}s"
+            f"  deadline-miss {100 * run.deadline_miss_rate:.1f}%"
+            f"  mean |err| {100 * run.mean_error():.2f}%"
+        ),
+    ]
+    if schedule and run.placements:
+        header = (
+            f"  {'job':<18} {'placement':<26} {'arrive':>8} {'start':>8} "
+            f"{'end':>8} {'T̂':>8} {'err':>7}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for p in run.placements:
+            where = (
+                f"{p.replica_site}[{p.data_nodes}]->"
+                f"{p.compute_site}[{p.compute_nodes}]"
+            )
+            miss = " MISS" if p.missed_deadline else ""
+            lines.append(
+                f"  {p.job_id:<18} {where:<26} {p.arrival:>8.3f} "
+                f"{p.start:>8.3f} {p.end:>8.3f} {p.predicted_total:>8.3f} "
+                f"{100 * p.relative_error:>6.1f}%{miss}"
+            )
+    for r in run.rejections:
+        lines.append(
+            f"  rejected {r.job_id} at t={r.time:.3f}s [{r.code}] {r.reason}"
+        )
+    return "\n".join(lines)
+
+
+def format_error_trend(run: "PolicyRun", *, buckets: int = 8) -> str:
+    """Bucketed mean relative error over completion order, as bars.
+
+    The downward trend of this chart is the visible effect of online
+    calibration: later jobs are predicted with learned correction
+    factors.
+    """
+    series = [err for _, err in run.error_series]
+    if not series:
+        return f"{run.label}: no completed jobs"
+    buckets = max(1, min(buckets, len(series)))
+    size = len(series) / buckets
+    means: List[float] = []
+    for b in range(buckets):
+        chunk = series[int(b * size) : int((b + 1) * size)] or [series[-1]]
+        means.append(sum(chunk) / len(chunk))
+    top = max(means) or 1.0
+    lines = [f"{run.label}: mean |err| by completion order"]
+    for b, value in enumerate(means):
+        lines.append(
+            f"  jobs {int(b * size) + 1:>4}-{int((b + 1) * size):>4} "
+            f"{100 * value:>7.2f}% {horizontal_bar(value, top, width=30)}"
+        )
+    return "\n".join(lines)
+
+
+def format_broker(report: "BrokerReport", *, schedule: bool = False) -> str:
+    """Render a full broker report: comparison table + per-policy runs."""
+    header = (
+        f"{'policy':<28} {'done':>5} {'rej':>4} {'makespan':>10} "
+        f"{'wait':>8} {'miss%':>6} {'err%':>6}"
+    )
+    lines: List[str] = [
+        f"broker workload: {report.name}",
+        header,
+        "-" * len(header),
+    ]
+    for run in report.runs:
+        lines.append(
+            f"{run.label:<28} {len(run.placements):>5} "
+            f"{len(run.rejections):>4} {run.makespan:>9.4f}s "
+            f"{run.mean_wait:>7.4f}s {100 * run.deadline_miss_rate:>5.1f}% "
+            f"{100 * run.mean_error():>5.2f}%"
+        )
+    for run in report.runs:
+        lines.append("")
+        lines.append(format_policy_run(run, schedule=schedule))
+    calibrated = [run for run in report.runs if run.calibrated]
+    if calibrated:
+        lines.append("")
+        lines.append(format_error_trend(calibrated[0]))
+    return "\n".join(lines)

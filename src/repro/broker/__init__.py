@@ -1,0 +1,76 @@
+"""Prediction-guided grid brokering over simulated time.
+
+The broker subsystem accepts a stream of FREERIDE-G jobs and places
+each on a (replica site, compute configuration) pair chosen by a
+pluggable policy over the prediction framework, correcting the model
+online from observed runs.  See :mod:`repro.broker.engine` for the
+event-loop semantics and DESIGN.md section 12 for the design rationale.
+"""
+
+from repro.broker.calibration import CorrectionFactor, OnlineCalibrator
+from repro.broker.engine import ActualRun, GridBroker
+from repro.broker.events import (
+    Event,
+    EventKind,
+    EventQueue,
+    GridLedger,
+    NodeWindow,
+    SitePool,
+)
+from repro.broker.jobs import (
+    BrokerJob,
+    BrokerWorkloadDoc,
+    load_workload_document,
+    parse_workload_document,
+    sorted_jobs,
+)
+from repro.broker.policies import (
+    POLICY_NAMES,
+    DeadlineAwarePolicy,
+    MinCompletionPolicy,
+    MinCostPolicy,
+    PlacementOption,
+    PlacementPolicy,
+    Rejection,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.broker.report import (
+    BrokerPlacement,
+    BrokerRejection,
+    BrokerReport,
+    PolicyRun,
+    load_report,
+)
+
+__all__ = [
+    "ActualRun",
+    "BrokerJob",
+    "BrokerPlacement",
+    "BrokerRejection",
+    "BrokerReport",
+    "BrokerWorkloadDoc",
+    "CorrectionFactor",
+    "DeadlineAwarePolicy",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "GridBroker",
+    "GridLedger",
+    "MinCompletionPolicy",
+    "MinCostPolicy",
+    "NodeWindow",
+    "OnlineCalibrator",
+    "POLICY_NAMES",
+    "PlacementOption",
+    "PlacementPolicy",
+    "PolicyRun",
+    "Rejection",
+    "RoundRobinPolicy",
+    "SitePool",
+    "load_report",
+    "load_workload_document",
+    "make_policy",
+    "parse_workload_document",
+    "sorted_jobs",
+]

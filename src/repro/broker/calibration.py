@@ -1,0 +1,177 @@
+"""Online calibration of component predictions from observed runs.
+
+Vazhkudai & Schopf predict wide-area data-transfer times by regressing
+on the *history* of observed transfers rather than trusting a static
+model.  The broker applies the same idea to all three components of the
+paper's additive model: after every completed job it compares the actual
+``T_disk`` / ``T_network`` / ``T_compute`` against the model's raw
+prediction and maintains a multiplicative correction factor per
+(application, resource) key via an exponentially-weighted update — the
+scalar steady-state form of that regression:
+
+    f  <-  f + alpha * (actual / predicted - f)
+
+Components are keyed by the resource that determines them:
+
+- ``disk``    by (app, replica site)  — retrieval runs on the repository;
+- ``network`` by (app, replica site -> compute site) — the path;
+- ``compute`` by (app, compute site)  — processing hardware.
+
+A fresh key starts at factor 1.0 (the uncalibrated model).  Because the
+factors multiply the *prediction*, systematic model bias — most visibly
+the cross-cluster case where a profile from one machine type predicts
+another without measured scaling factors — is learned away over the job
+stream, which is exactly what the broker benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.models import PredictedBreakdown
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["CorrectionFactor", "OnlineCalibrator"]
+
+#: Components the calibrator corrects, in reporting order.
+COMPONENTS = ("disk", "network", "compute")
+
+#: Predicted component times below this are treated as "no signal":
+#: a ratio against a near-zero prediction is numerically meaningless.
+_MIN_PREDICTED = 1e-12
+
+
+@dataclass
+class CorrectionFactor:
+    """State of one (component, app, resource) correction."""
+
+    value: float = 1.0
+    observations: int = 0
+
+    def update(self, ratio: float, alpha: float) -> None:
+        self.value += alpha * (ratio - self.value)
+        self.observations += 1
+
+
+@dataclass(frozen=True)
+class _Key:
+    component: str
+    app: str
+    resource: str
+
+
+@dataclass
+class OnlineCalibrator:
+    """Per-(app, site) multiplicative correction of predicted breakdowns.
+
+    Parameters
+    ----------
+    alpha:
+        Exponential weight of the newest observation (0 < alpha <= 1).
+        Higher alpha adapts faster but is noisier.
+    clamp:
+        Bounds applied to each observed actual/predicted ratio before the
+        update, so one pathological run cannot poison a factor.
+    """
+
+    alpha: float = 0.3
+    clamp: Tuple[float, float] = (0.1, 10.0)
+    _factors: Dict[_Key, CorrectionFactor] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        lo, hi = self.clamp
+        if not 0.0 < lo < hi:
+            raise ConfigurationError("clamp bounds must satisfy 0 < lo < hi")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _resources(
+        replica_site: str, compute_site: str
+    ) -> Dict[str, str]:
+        return {
+            "disk": replica_site,
+            "network": f"{replica_site}->{compute_site}",
+            "compute": compute_site,
+        }
+
+    def factor(
+        self, component: str, app: str, replica_site: str, compute_site: str
+    ) -> float:
+        """Current correction factor (1.0 when never observed)."""
+        if component not in COMPONENTS:
+            raise ConfigurationError(f"unknown component '{component}'")
+        resource = self._resources(replica_site, compute_site)[component]
+        state = self._factors.get(_Key(component, app, resource))
+        return state.value if state is not None else 1.0
+
+    def correct(
+        self,
+        app: str,
+        replica_site: str,
+        compute_site: str,
+        raw: PredictedBreakdown,
+    ) -> PredictedBreakdown:
+        """Apply the current factors to a raw model prediction.
+
+        ``T_ro``/``T_g`` ride the compute factor (they are sub-terms of
+        the processing component), which is what
+        :meth:`PredictedBreakdown.scaled` implements.
+        """
+        return raw.scaled(
+            self.factor("disk", app, replica_site, compute_site),
+            self.factor("network", app, replica_site, compute_site),
+            self.factor("compute", app, replica_site, compute_site),
+        )
+
+    def observe(
+        self,
+        app: str,
+        replica_site: str,
+        compute_site: str,
+        raw: PredictedBreakdown,
+        actual: Tuple[float, float, float],
+    ) -> None:
+        """Fold one completed run into the factors.
+
+        ``actual`` is the observed ``(t_disk, t_network, t_compute)``.
+        Components whose raw prediction carries no signal are skipped.
+        """
+        lo, hi = self.clamp
+        resources = self._resources(replica_site, compute_site)
+        predicted = {
+            "disk": raw.t_disk,
+            "network": raw.t_network,
+            "compute": raw.t_compute,
+        }
+        observed = dict(zip(COMPONENTS, actual))
+        for component in COMPONENTS:
+            p = predicted[component]
+            a = observed[component]
+            if p < _MIN_PREDICTED or a < 0.0:
+                continue
+            ratio = min(max(a / p, lo), hi)
+            key = _Key(component, app, resources[component])
+            self._factors.setdefault(key, CorrectionFactor()).update(
+                ratio, self.alpha
+            )
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Factors keyed ``component -> 'app @ resource' -> value`` (sorted)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key in sorted(
+            self._factors, key=lambda k: (k.component, k.app, k.resource)
+        ):
+            out.setdefault(key.component, {})[
+                f"{key.app} @ {key.resource}"
+            ] = self._factors[key].value
+        return out
+
+    @property
+    def total_observations(self) -> int:
+        return sum(f.observations for f in self._factors.values())

@@ -1,0 +1,545 @@
+"""The prediction-guided grid broker.
+
+:class:`GridBroker` closes the loop the paper motivates: a *stream* of
+FREERIDE-G jobs arrives over simulated time and contends for cluster
+nodes, and each job is placed on a (replica site, compute configuration)
+pair chosen by a pluggable policy over the prediction framework's
+one-profile estimates.  The broker is a discrete-event simulation:
+
+1. **Arrival** — the job is admission-checked: the
+   :class:`~repro.core.selection.ResourceSelector` enumerates its
+   full-capacity candidates (an infeasible job is rejected with the
+   selector's machine-usable rejection reasons) and the policy may
+   refuse it outright (deadline admission control).  Admitted jobs enter
+   the wait queue, ordered by priority then arrival.
+2. **Placement** — whenever an event fires, the broker tries to place
+   the queue head on the candidates that fit the *currently free* nodes
+   (no backfilling: a blocked head blocks the queue, which keeps the
+   simulation fair and the scheduling property provable).  The policy
+   sees calibrated predictions, so its completion estimate is realized
+   queue wait + :math:`\\hat T_{exec}`.
+3. **Execution** — the placement runs for real on the simulated
+   middleware (:class:`~repro.middleware.runtime.FreerideGRuntime`);
+   identical (dataset, configuration) runs are memoized, which is sound
+   because the middleware is deterministic.
+4. **Completion** — nodes are released and the *observed* component
+   times are fed to the :class:`~repro.broker.calibration.OnlineCalibrator`,
+   so later placements of the same (app, site) use corrected estimates.
+   Online calibration replaces the paper's measured cross-cluster
+   scaling factors with factors learned from the stream itself.
+
+Every data structure iterates in a deterministic order, so replaying
+the same job stream yields a byte-identical :class:`BrokerReport`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.broker.calibration import OnlineCalibrator
+from repro.broker.events import Event, EventKind, EventQueue, GridLedger
+from repro.broker.jobs import BrokerJob, BrokerWorkloadDoc, sorted_jobs
+from repro.broker.policies import (
+    POLICY_NAMES,
+    PlacementOption,
+    Rejection,
+    make_policy,
+)
+from repro.broker.report import (
+    BrokerPlacement,
+    BrokerRejection,
+    BrokerReport,
+    PolicyRun,
+)
+from repro.core.classes import ModelClasses
+from repro.core.models import GlobalReductionModel, PredictionModel
+from repro.core.profile import Profile
+from repro.core.selection import (
+    InfeasibleSelectionError,
+    ResourceSelector,
+    SelectionCandidate,
+    SelectionOutcome,
+)
+from repro.middleware.dataset import Dataset
+from repro.middleware.replica import ReplicaCatalog
+from repro.middleware.runtime import FreerideGRuntime
+from repro.middleware.scheduler import RunConfig
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.hardware import ClusterSpec
+from repro.simgrid.topology import GridTopology, SiteKind
+from repro.workloads.registry import WORKLOADS, WorkloadSpec
+
+__all__ = ["GridBroker", "ActualRun"]
+
+
+@dataclass(frozen=True)
+class ActualRun:
+    """Observed component times of one executed placement."""
+
+    t_disk: float
+    t_network: float
+    t_compute: float
+
+    @property
+    def total(self) -> float:
+        return self.t_disk + self.t_network + self.t_compute
+
+    @property
+    def components(self) -> Tuple[float, float, float]:
+        return (self.t_disk, self.t_network, self.t_compute)
+
+
+@dataclass(frozen=True)
+class _Completion:
+    """Payload of a completion event."""
+
+    job: BrokerJob
+    candidate: SelectionCandidate
+    data_node_ids: Tuple[int, ...]
+    compute_node_ids: Tuple[int, ...]
+    raw: object  # PredictedBreakdown
+    predicted_total: float
+    actual: ActualRun
+
+
+class GridBroker:
+    """Places a stream of jobs on a grid using calibrated predictions.
+
+    Parameters
+    ----------
+    topology:
+        The grid (repository + compute sites with annotated links).
+    allocations:
+        Candidate ``(data_nodes, compute_nodes)`` pairs per site pair.
+    replicas:
+        Optional ``dataset-key -> [repository sites]`` placement map
+        (keys as :attr:`BrokerJob.dataset_key`); by default every
+        repository site holds every dataset.
+    profile_cluster:
+        Hardware the one-off 1-1 reference profiles are collected on
+        (default: the paper's Pentium/Myrinet testbed).  Predictions for
+        other machine types carry systematic error that the online
+        calibration layer then learns away.
+    alpha:
+        Exponential weight of the calibrator (see
+        :class:`~repro.broker.calibration.OnlineCalibrator`).
+    """
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        allocations: Sequence[Tuple[int, int]],
+        *,
+        replicas: Optional[Mapping[str, Sequence[str]]] = None,
+        profile_cluster: Optional[ClusterSpec] = None,
+        alpha: float = 0.3,
+    ) -> None:
+        if not allocations:
+            raise ConfigurationError("need at least one candidate allocation")
+        if not list(topology.sites(SiteKind.COMPUTE)):
+            raise ConfigurationError("broker grid has no compute sites")
+        if not list(topology.sites(SiteKind.REPOSITORY)):
+            raise ConfigurationError("broker grid has no repository sites")
+        self.topology = topology
+        self.allocations = list(allocations)
+        self._replica_map = {
+            key: list(sites) for key, sites in (replicas or {}).items()
+        }
+        if profile_cluster is None:
+            from repro.workloads.clusters import pentium_myrinet_cluster
+
+            profile_cluster = pentium_myrinet_cluster()
+        self.profile_cluster = profile_cluster
+        self.alpha = alpha
+
+        self.catalog = ReplicaCatalog(topology)
+        self._datasets: Dict[str, Dataset] = {}
+        self._profiles: Dict[str, Profile] = {}
+        self._models: Dict[str, PredictionModel] = {}
+        self._selections: Dict[str, SelectionOutcome] = {}
+        self._infeasible: Dict[str, InfeasibleSelectionError] = {}
+        self._exec_cache: Dict[tuple, ActualRun] = {}
+        #: Node ledger of the most recent :meth:`run`, for inspection.
+        self.last_ledger: Optional[GridLedger] = None
+
+    @classmethod
+    def from_document(cls, doc: BrokerWorkloadDoc, **kwargs) -> "GridBroker":
+        """Build a broker for a parsed workload document."""
+        return cls(
+            doc.build_topology(),
+            doc.allocations,
+            replicas=doc.replicas,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-workload artefacts (datasets, profiles, selections) — memoized
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _spec(workload: str) -> WorkloadSpec:
+        spec = WORKLOADS.get(workload)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown workload '{workload}'; known: {sorted(WORKLOADS)}"
+            )
+        return spec
+
+    def _model(self, workload: str) -> PredictionModel:
+        model = self._models.get(workload)
+        if model is None:
+            spec = self._spec(workload)
+            model = GlobalReductionModel(
+                ModelClasses.parse(
+                    spec.natural_object_class, spec.natural_global_class
+                )
+            )
+            self._models[workload] = model
+        return model
+
+    def _dataset(self, job: BrokerJob) -> Dataset:
+        key = job.dataset_key
+        dataset = self._datasets.get(key)
+        if dataset is None:
+            dataset = self._spec(job.workload).make_dataset(job.size)
+            if dataset.name not in self.catalog:
+                sites = self._replica_map.get(key)
+                if sites is None:
+                    sites = sorted(
+                        s.name for s in self.topology.repositories()
+                    )
+                if not sites:
+                    raise ConfigurationError(
+                        f"no replica sites for dataset '{key}'"
+                    )
+                for site in sites:
+                    self.catalog.add(dataset.name, site)
+            self._datasets[key] = dataset
+        return dataset
+
+    def _profile(self, job: BrokerJob) -> Profile:
+        """The one-off 1-1 reference profile for (workload, size)."""
+        key = job.dataset_key
+        profile = self._profiles.get(key)
+        if profile is None:
+            spec = self._spec(job.workload)
+            dataset = self._dataset(job)
+            from repro.workloads.clusters import DEFAULT_BANDWIDTH
+
+            config = RunConfig(
+                storage_cluster=self.profile_cluster,
+                compute_cluster=self.profile_cluster,
+                data_nodes=1,
+                compute_nodes=1,
+                bandwidth=DEFAULT_BANDWIDTH,
+            )
+            run = FreerideGRuntime(config).execute(spec.make_app(), dataset)
+            profile = Profile.from_run(config, run.breakdown)
+            self._profiles[key] = profile
+        return profile
+
+    def _selection(self, job: BrokerJob) -> SelectionOutcome:
+        """Full-capacity candidate enumeration (raises when infeasible)."""
+        key = job.dataset_key
+        cached = self._selections.get(key)
+        if cached is not None:
+            return cached
+        known_error = self._infeasible.get(key)
+        if known_error is not None:
+            raise known_error
+        dataset = self._dataset(job)
+        selector = ResourceSelector(
+            topology=self.topology,
+            catalog=self.catalog,
+            model_for_site=self._model(job.workload),
+            allocations=self.allocations,
+        )
+        try:
+            outcome = selector.select(
+                dataset.name, dataset.nbytes, self._profile(job)
+            )
+        except InfeasibleSelectionError as exc:
+            self._infeasible[key] = exc
+            raise
+        self._selections[key] = outcome
+        return outcome
+
+    def baseline_estimate(
+        self, workload: str, size: Optional[str] = None
+    ) -> float:
+        """Best raw predicted execution time on this grid (idle).
+
+        Job-stream generators scale deadlines off this number.
+        """
+        probe = BrokerJob(job_id="baseline", workload=workload, size=size)
+        outcome = self._selection(probe)
+        return min(c.predicted_total for c in outcome.candidates)
+
+    # ------------------------------------------------------------------
+    # Execution (memoized; the middleware is deterministic)
+    # ------------------------------------------------------------------
+
+    def _execute(self, job: BrokerJob, cand: SelectionCandidate) -> ActualRun:
+        storage = self.topology.site(cand.replica_site).cluster
+        compute = self.topology.site(cand.compute_site).cluster
+        key = (
+            job.dataset_key,
+            storage.name,
+            compute.name,
+            cand.data_nodes,
+            cand.compute_nodes,
+            cand.bandwidth,
+        )
+        actual = self._exec_cache.get(key)
+        if actual is None:
+            config = RunConfig(
+                storage_cluster=storage,
+                compute_cluster=compute,
+                data_nodes=cand.data_nodes,
+                compute_nodes=cand.compute_nodes,
+                bandwidth=cand.bandwidth,
+            )
+            result = FreerideGRuntime(config).execute(
+                self._spec(job.workload).make_app(), self._dataset(job)
+            )
+            breakdown = result.breakdown
+            actual = ActualRun(
+                t_disk=breakdown.t_disk,
+                t_network=breakdown.t_network,
+                t_compute=breakdown.t_compute,
+            )
+            self._exec_cache[key] = actual
+        return actual
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[BrokerJob],
+        policy: str = "min-completion",
+        *,
+        calibrate: bool = True,
+    ) -> PolicyRun:
+        """Broker one job stream under one policy.
+
+        Returns the :class:`PolicyRun` with placements, rejections and
+        the completion-ordered prediction-error series.  The per-node
+        reservation windows of the run are kept on :attr:`last_ledger`
+        for inspection (the property tests check them for overlap).
+        """
+        if not jobs:
+            raise ConfigurationError("no jobs to broker")
+        stream = sorted_jobs(jobs)
+        policy_impl = make_policy(
+            policy, [s.name for s in self.topology.sites(SiteKind.COMPUTE)]
+        )
+        calibrator = OnlineCalibrator(alpha=self.alpha)
+        ledger = GridLedger.from_topology(self.topology)
+        queue = EventQueue()
+        for job in stream:
+            queue.push(Event(time=job.arrival, kind=EventKind.ARRIVAL,
+                             payload=job))
+
+        pending: List[Tuple[tuple, BrokerJob]] = []  # (sort key, job)
+        placements: List[BrokerPlacement] = []
+        rejections: List[BrokerRejection] = []
+        errors: List[Tuple[str, float]] = []
+
+        def reject(job: BrokerJob, now: float, code: str, reason: str) -> None:
+            rejections.append(
+                BrokerRejection(
+                    job_id=job.job_id,
+                    workload=job.workload,
+                    time=now,
+                    code=code,
+                    reason=reason,
+                    deadline=job.deadline,
+                )
+            )
+
+        while queue:
+            event = queue.pop()
+            now = event.time
+            if event.kind is EventKind.COMPLETION:
+                done: _Completion = event.payload
+                ledger.pool(done.candidate.replica_site).release(
+                    done.data_node_ids
+                )
+                ledger.pool(done.candidate.compute_site).release(
+                    done.compute_node_ids
+                )
+                errors.append(
+                    (
+                        done.job.job_id,
+                        abs(done.actual.total - done.predicted_total)
+                        / done.actual.total,
+                    )
+                )
+                if calibrate:
+                    calibrator.observe(
+                        done.job.workload,
+                        done.candidate.replica_site,
+                        done.candidate.compute_site,
+                        done.raw,
+                        done.actual.components,
+                    )
+            else:
+                job: BrokerJob = event.payload
+                try:
+                    outcome = self._selection(job)
+                except InfeasibleSelectionError as exc:
+                    detail = "; ".join(r.label for r in exc.rejections[:3])
+                    reject(
+                        job,
+                        now,
+                        "no-feasible-configuration",
+                        detail or str(exc),
+                    )
+                    continue
+                options = self._options(job, outcome, calibrator)
+                refusal = policy_impl.admit(job, options, now)
+                if refusal is not None:
+                    reject(job, now, refusal.code, refusal.reason)
+                    continue
+                entry = ((-job.priority, job.arrival, job.job_id), job)
+                bisect.insort(pending, entry)
+
+            # Placement: serve the queue head while it fits; no backfill.
+            while pending:
+                head = pending[0][1]
+                outcome = self._selection(head)
+                feasible = [
+                    option
+                    for option in self._options(head, outcome, calibrator)
+                    if ledger.fits_now(
+                        option.replica_site,
+                        option.compute_site,
+                        option.data_nodes,
+                        option.compute_nodes,
+                    )
+                ]
+                if not feasible:
+                    break
+                decision = policy_impl.choose(head, feasible, now)
+                pending.pop(0)
+                if isinstance(decision, Rejection):
+                    reject(head, now, decision.code, decision.reason)
+                    continue
+                self._place(
+                    head, decision, now, ledger, queue, placements
+                )
+
+        self.last_ledger = ledger
+        return PolicyRun(
+            policy=policy,
+            calibrated=calibrate,
+            placements=tuple(placements),
+            rejections=tuple(rejections),
+            error_series=tuple(errors),
+            calibration_factors=calibrator.snapshot() if calibrate else {},
+        )
+
+    def _options(
+        self,
+        job: BrokerJob,
+        outcome: SelectionOutcome,
+        calibrator: OnlineCalibrator,
+    ) -> List[PlacementOption]:
+        return [
+            PlacementOption(
+                candidate=cand,
+                raw=cand.prediction,
+                calibrated=calibrator.correct(
+                    job.workload,
+                    cand.replica_site,
+                    cand.compute_site,
+                    cand.prediction,
+                ),
+            )
+            for cand in outcome.candidates
+        ]
+
+    def _place(
+        self,
+        job: BrokerJob,
+        option: PlacementOption,
+        now: float,
+        ledger: GridLedger,
+        queue: EventQueue,
+        placements: List[BrokerPlacement],
+    ) -> None:
+        actual = self._execute(job, option.candidate)
+        start, end = now, now + actual.total
+        data_ids = ledger.pool(option.replica_site).acquire(
+            option.data_nodes, job.job_id, start, end
+        )
+        compute_ids = ledger.pool(option.compute_site).acquire(
+            option.compute_nodes, job.job_id, start, end
+        )
+        placements.append(
+            BrokerPlacement(
+                job_id=job.job_id,
+                workload=job.workload,
+                replica_site=option.replica_site,
+                compute_site=option.compute_site,
+                data_nodes=option.data_nodes,
+                compute_nodes=option.compute_nodes,
+                data_node_ids=data_ids,
+                compute_node_ids=compute_ids,
+                arrival=job.arrival,
+                start=start,
+                end=end,
+                predicted_total=option.predicted_total,
+                raw_predicted_total=option.raw.total,
+                deadline=job.deadline,
+                priority=job.priority,
+            )
+        )
+        queue.push(
+            Event(
+                time=end,
+                kind=EventKind.COMPLETION,
+                payload=_Completion(
+                    job=job,
+                    candidate=option.candidate,
+                    data_node_ids=data_ids,
+                    compute_node_ids=compute_ids,
+                    raw=option.raw,
+                    predicted_total=option.predicted_total,
+                    actual=actual,
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def compare(
+        self,
+        name: str,
+        jobs: Sequence[BrokerJob],
+        policies: Sequence[str] = POLICY_NAMES,
+        *,
+        include_uncalibrated: bool = True,
+    ) -> BrokerReport:
+        """Run every policy over the same stream; one report.
+
+        ``include_uncalibrated`` adds a calibration-off twin of the first
+        policy, the control for the calibration-accuracy claim.
+        """
+        runs = [self.run(jobs, policy) for policy in policies]
+        if include_uncalibrated and policies:
+            runs.append(self.run(jobs, policies[0], calibrate=False))
+        return BrokerReport(name=name, runs=tuple(runs))
+
+    def resolve_jobs(self, doc: BrokerWorkloadDoc) -> List[BrokerJob]:
+        """The document's job stream (expanding a seeded stream spec)."""
+        if doc.jobs:
+            return list(doc.jobs)
+        from repro.workloads.streams import StreamSpec, generate_stream
+
+        spec = StreamSpec.from_dict(doc.stream or {})
+        return generate_stream(spec, baselines=self.baseline_estimate)

@@ -1,0 +1,204 @@
+"""Discrete-event primitives of the grid broker.
+
+The broker simulates a stream of jobs contending for cluster nodes, so
+its completion estimate is *queue wait + predicted execution time*, not
+the bare :math:`\\hat T_{exec}` of a one-shot selection.  Two pieces make
+that accounting exact and auditable:
+
+- :class:`EventQueue` — a deterministic time-ordered queue of job
+  arrivals and completions.  At equal timestamps completions drain
+  before arrivals, so nodes freed at instant ``t`` are available to a
+  job arriving at ``t``; remaining ties break on insertion order.
+- :class:`SitePool` / :class:`GridLedger` — per-site free-node tracking
+  with an append-only history of :class:`NodeWindow` reservations.  A
+  placement acquires *specific node indices* (always the lowest free
+  ones, for determinism) over a closed time window; the recorded
+  windows are what the property tests check for per-node overlap.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.topology import GridTopology
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventQueue",
+    "NodeWindow",
+    "SitePool",
+    "GridLedger",
+]
+
+
+class EventKind(enum.IntEnum):
+    """Event ordering classes; lower values drain first at equal times."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulated occurrence; ``payload`` is owned by the broker."""
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ConfigurationError("event times must be >= 0")
+        heapq.heappush(
+            self._heap,
+            (event.time, int(event.kind), next(self._seq), event),
+        )
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise ConfigurationError("event queue is empty")
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class NodeWindow:
+    """One node of one site reserved for one job over ``[start, end)``."""
+
+    site: str
+    node: int
+    start: float
+    end: float
+    job_id: str
+
+    def overlaps(self, other: "NodeWindow") -> bool:
+        """True when both windows claim the same node at the same time."""
+        if self.site != other.site or self.node != other.node:
+            return False
+        return self.start < other.end and other.start < self.end
+
+
+class SitePool:
+    """Free-node bookkeeping for one site, with a reservation history.
+
+    Nodes are identified by index ``0 .. num_nodes-1``.  Acquisition is
+    deterministic (lowest free indices first) and records one
+    :class:`NodeWindow` per node immediately — the end time is known at
+    placement because the simulated execution time is.  Release happens
+    later, when the broker pops the matching completion event.
+    """
+
+    def __init__(self, name: str, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError(f"site '{name}' needs at least one node")
+        self.name = name
+        self.num_nodes = num_nodes
+        self._free = list(range(num_nodes))  # kept sorted
+        self.windows: List[NodeWindow] = []
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self, count: int, job_id: str, start: float, end: float
+    ) -> Tuple[int, ...]:
+        """Reserve ``count`` nodes over ``[start, end)``; returns their ids."""
+        if count <= 0:
+            raise ConfigurationError("must acquire at least one node")
+        if end <= start:
+            raise ConfigurationError("reservation must have positive length")
+        if count > len(self._free):
+            raise ConfigurationError(
+                f"site '{self.name}' has {len(self._free)} free node(s); "
+                f"cannot acquire {count}"
+            )
+        taken = tuple(self._free[:count])
+        del self._free[:count]
+        for node in taken:
+            self.windows.append(
+                NodeWindow(
+                    site=self.name,
+                    node=node,
+                    start=start,
+                    end=end,
+                    job_id=job_id,
+                )
+            )
+        return taken
+
+    def release(self, nodes: Tuple[int, ...]) -> None:
+        """Return previously acquired nodes to the free pool."""
+        for node in nodes:
+            if node in self._free or not 0 <= node < self.num_nodes:
+                raise ConfigurationError(
+                    f"site '{self.name}': node {node} is not reserved"
+                )
+        self._free = sorted(self._free + list(nodes))
+
+
+class GridLedger:
+    """All :class:`SitePool` instances of one broker run."""
+
+    def __init__(self, capacities: Dict[str, int]) -> None:
+        self._pools = {
+            name: SitePool(name, nodes)
+            for name, nodes in sorted(capacities.items())
+        }
+
+    @classmethod
+    def from_topology(cls, topology: GridTopology) -> "GridLedger":
+        return cls(
+            {site.name: site.cluster.num_nodes for site in topology.sites()}
+        )
+
+    def pool(self, site: str) -> SitePool:
+        pool = self._pools.get(site)
+        if pool is None:
+            raise ConfigurationError(f"no node pool for site '{site}'")
+        return pool
+
+    def free(self, site: str) -> int:
+        return self.pool(site).free_count
+
+    def fits_now(
+        self, replica_site: str, compute_site: str, data_nodes: int,
+        compute_nodes: int,
+    ) -> bool:
+        """Can this placement start immediately?
+
+        When replica and compute site coincide, the job needs the *sum*
+        of both node sets from the one pool.
+        """
+        if replica_site == compute_site:
+            return self.free(replica_site) >= data_nodes + compute_nodes
+        return (
+            self.free(replica_site) >= data_nodes
+            and self.free(compute_site) >= compute_nodes
+        )
+
+    def all_windows(self) -> List[NodeWindow]:
+        """Every reservation made so far, in acquisition order per site."""
+        windows: List[NodeWindow] = []
+        for name in sorted(self._pools):
+            windows.extend(self._pools[name].windows)
+        return windows

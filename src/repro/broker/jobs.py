@@ -1,0 +1,235 @@
+"""Broker jobs and the JSON workload documents ``repro broker`` consumes.
+
+A *broker workload* describes one experiment: the grid (sites, links),
+the candidate node allocations, where each dataset is replicated, and
+the job stream — either an explicit list of jobs or a seeded
+:class:`~repro.workloads.streams.StreamSpec` the broker expands
+deterministically.  Example document::
+
+    {
+      "name": "demo",
+      "allocations": [[1, 2], [2, 4]],
+      "sites": [
+        {"name": "repo-a", "kind": "repository",
+         "cluster": "pentium-myrinet", "nodes": 16},
+        {"name": "hpc-1", "kind": "compute",
+         "cluster": "opteron-infiniband", "nodes": 16}
+      ],
+      "links": [{"a": "repo-a", "b": "hpc-1", "bw": 2.0e6}],
+      "replicas": {"knn@350 MB": ["repo-a"]},
+      "jobs": [
+        {"id": "j0", "workload": "knn", "size": "350 MB",
+         "arrival": 0.0, "deadline": 3.0, "priority": 1}
+      ]
+    }
+
+``replicas`` is optional (default: every repository site holds every
+dataset), as is ``priority`` (default 0; higher runs first) and
+``deadline`` (default none).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.topology import GridTopology, SiteKind
+
+__all__ = [
+    "BrokerJob",
+    "BrokerWorkloadDoc",
+    "parse_workload_document",
+    "load_workload_document",
+    "sorted_jobs",
+]
+
+
+@dataclass(frozen=True)
+class BrokerJob:
+    """One job of the stream submitted to the broker.
+
+    ``size`` is a dataset-size label of the workload (``None`` = the
+    workload's default size).  ``deadline`` is an absolute simulated
+    time; ``priority`` orders the wait queue (higher first, FIFO within
+    a priority level).
+    """
+
+    job_id: str
+    workload: str
+    size: Optional[str] = None
+    arrival: float = 0.0
+    deadline: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ConfigurationError("jobs need a non-empty id")
+        if self.arrival < 0:
+            raise ConfigurationError(
+                f"job '{self.job_id}': arrival time must be >= 0"
+            )
+        if self.deadline is not None and self.deadline <= self.arrival:
+            raise ConfigurationError(
+                f"job '{self.job_id}': deadline must be after arrival"
+            )
+
+    @property
+    def dataset_key(self) -> str:
+        """The ``workload@size`` key used by replica placements."""
+        return f"{self.workload}@{self.size}" if self.size else self.workload
+
+
+def _cluster_factories():
+    # Imported lazily: workloads.streams imports this module, so a
+    # module-level import would create a package cycle.
+    from repro.workloads.clusters import (
+        opteron_infiniband_cluster,
+        pentium_myrinet_cluster,
+    )
+
+    return {
+        "pentium-myrinet": pentium_myrinet_cluster,
+        "opteron-infiniband": opteron_infiniband_cluster,
+    }
+
+
+@dataclass
+class BrokerWorkloadDoc:
+    """A parsed broker workload document."""
+
+    name: str
+    allocations: List[Tuple[int, int]]
+    sites: List[Dict[str, Any]]
+    links: List[Dict[str, Any]]
+    replicas: Dict[str, List[str]] = field(default_factory=dict)
+    jobs: Tuple[BrokerJob, ...] = ()
+    stream: Optional[Dict[str, Any]] = None
+
+    def build_topology(self) -> GridTopology:
+        """Materialize the document's grid as a :class:`GridTopology`."""
+        factories = _cluster_factories()
+        topology = GridTopology()
+        for site in self.sites:
+            factory = factories.get(site["cluster"])
+            if factory is None:
+                raise ConfigurationError(
+                    f"unknown cluster '{site['cluster']}' for site "
+                    f"'{site['name']}'; known: {sorted(factories)}"
+                )
+            kind = SiteKind(site["kind"])
+            topology.add_site(
+                site["name"], kind, factory(num_nodes=int(site["nodes"]))
+            )
+        for link in self.links:
+            topology.connect(
+                link["a"],
+                link["b"],
+                bw=float(link["bw"]),
+                latency_s=float(link.get("latency_s", 0.0)),
+            )
+        return topology
+
+
+def parse_workload_document(doc: Mapping[str, Any]) -> BrokerWorkloadDoc:
+    """Validate and parse a broker workload dictionary."""
+    if not isinstance(doc, Mapping):
+        raise ConfigurationError("broker workload must be a JSON object")
+    name = str(doc.get("name", "broker-workload"))
+
+    raw_sites = doc.get("sites")
+    if not raw_sites:
+        raise ConfigurationError("broker workload needs a 'sites' list")
+    sites: List[Dict[str, Any]] = []
+    for entry in raw_sites:
+        for key in ("name", "kind", "cluster"):
+            if key not in entry:
+                raise ConfigurationError(f"every site needs a '{key}'")
+        try:
+            SiteKind(entry["kind"])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"site '{entry['name']}': unknown kind '{entry['kind']}'"
+            ) from exc
+        sites.append(
+            {
+                "name": str(entry["name"]),
+                "kind": str(entry["kind"]),
+                "cluster": str(entry["cluster"]),
+                "nodes": int(entry.get("nodes", 8)),
+            }
+        )
+
+    allocations = [
+        (int(n), int(c)) for n, c in doc.get("allocations", [[1, 2], [2, 4]])
+    ]
+    links = [dict(link) for link in doc.get("links", [])]
+    replicas = {
+        str(key): [str(s) for s in sites_list]
+        for key, sites_list in dict(doc.get("replicas", {})).items()
+    }
+
+    jobs = tuple(
+        BrokerJob(
+            job_id=str(entry["id"]),
+            workload=str(entry["workload"]),
+            size=entry.get("size"),
+            arrival=float(entry.get("arrival", 0.0)),
+            deadline=(
+                float(entry["deadline"])
+                if entry.get("deadline") is not None
+                else None
+            ),
+            priority=int(entry.get("priority", 0)),
+        )
+        for entry in doc.get("jobs", [])
+    )
+    seen: set[str] = set()
+    for job in jobs:
+        if job.job_id in seen:
+            raise ConfigurationError(f"duplicate job id '{job.job_id}'")
+        seen.add(job.job_id)
+
+    stream = doc.get("stream")
+    if stream is not None:
+        stream = dict(stream)
+    if not jobs and stream is None:
+        raise ConfigurationError(
+            "broker workload needs either 'jobs' or a 'stream' spec"
+        )
+    if jobs and stream is not None:
+        raise ConfigurationError(
+            "give either explicit 'jobs' or a 'stream' spec, not both"
+        )
+
+    return BrokerWorkloadDoc(
+        name=name,
+        allocations=allocations,
+        sites=sites,
+        links=links,
+        replicas=replicas,
+        jobs=jobs,
+        stream=stream,
+    )
+
+
+def load_workload_document(path: str | pathlib.Path) -> BrokerWorkloadDoc:
+    """Load and parse a broker workload JSON file."""
+    from repro.core.durable import read_json_document
+
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no broker workload file at '{path}'")
+    doc = read_json_document(
+        path,
+        "broker workload",
+        remedy="check the path or regenerate the workload JSON "
+        "(see README, 'Prediction-guided brokering')",
+    )
+    return parse_workload_document(doc)
+
+
+def sorted_jobs(jobs: Sequence[BrokerJob]) -> List[BrokerJob]:
+    """Arrival order with deterministic tie-breaking (id)."""
+    return sorted(jobs, key=lambda j: (j.arrival, j.job_id))

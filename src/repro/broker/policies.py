@@ -1,0 +1,257 @@
+"""Placement policies of the grid broker.
+
+Every policy sees the same information at a decision point: the job, the
+current simulated time, and the list of :class:`PlacementOption` — the
+(replica, compute site, allocation) pairs that are *feasible right now*
+given free node capacity, each carrying a calibrated predicted
+breakdown.  Since the job has already waited in the queue until ``now``,
+the predicted completion of an option is ``now + prediction.total`` —
+queue wait plus :math:`\\hat T_{exec}`, the quantity the paper's model
+makes cheap to evaluate.
+
+- :class:`MinCompletionPolicy` — earliest predicted completion.
+- :class:`MinCostPolicy` — fewest predicted node-hours (machines x time).
+- :class:`DeadlineAwarePolicy` — cheapest option that still meets the
+  job's deadline; *admission control* rejects jobs that cannot meet it
+  (at arrival when even an idle grid is too slow, at placement when the
+  realized queue wait has eaten the slack).
+- :class:`RoundRobinPolicy` — the prediction-free baseline: rotate over
+  compute sites and take the first configured allocation there.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.broker.jobs import BrokerJob
+from repro.core.models import PredictedBreakdown
+from repro.core.selection import SelectionCandidate
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "PlacementOption",
+    "Rejection",
+    "PlacementPolicy",
+    "MinCompletionPolicy",
+    "MinCostPolicy",
+    "DeadlineAwarePolicy",
+    "RoundRobinPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class PlacementOption:
+    """One feasible placement with raw and calibrated predictions."""
+
+    candidate: SelectionCandidate
+    raw: PredictedBreakdown
+    calibrated: PredictedBreakdown
+
+    @property
+    def replica_site(self) -> str:
+        return self.candidate.replica_site
+
+    @property
+    def compute_site(self) -> str:
+        return self.candidate.compute_site
+
+    @property
+    def data_nodes(self) -> int:
+        return self.candidate.data_nodes
+
+    @property
+    def compute_nodes(self) -> int:
+        return self.candidate.compute_nodes
+
+    @property
+    def predicted_total(self) -> float:
+        """Calibrated predicted execution time."""
+        return self.calibrated.total
+
+    @property
+    def node_hours(self) -> float:
+        """Predicted cost: machines reserved x predicted time."""
+        return (self.data_nodes + self.compute_nodes) * self.calibrated.total
+
+    @property
+    def sort_label(self) -> tuple:
+        """Deterministic final tie-break."""
+        return (
+            self.replica_site,
+            self.compute_site,
+            self.data_nodes,
+            self.compute_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A policy's refusal to place a job, with a machine-usable code."""
+
+    code: str
+    reason: str
+
+
+class PlacementPolicy(abc.ABC):
+    """Common interface; instances may be stateful — one per broker run."""
+
+    #: CLI/report name.
+    name: str = "policy"
+
+    def admit(
+        self,
+        job: BrokerJob,
+        options: Sequence[PlacementOption],
+        now: float,
+    ) -> Optional[Rejection]:
+        """Arrival-time admission check against an *idle* grid.
+
+        ``options`` are the full-capacity placements (ignoring current
+        load).  Returning a :class:`Rejection` drops the job before it
+        ever queues; the default admits everything.
+        """
+        return None
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        job: BrokerJob,
+        options: Sequence[PlacementOption],
+        now: float,
+    ) -> PlacementOption | Rejection:
+        """Pick among currently feasible options (never empty)."""
+
+
+class MinCompletionPolicy(PlacementPolicy):
+    """Earliest predicted completion (= min calibrated T̂_exec now)."""
+
+    name = "min-completion"
+
+    def choose(self, job, options, now):
+        return min(options, key=lambda o: (o.predicted_total, o.sort_label))
+
+
+class MinCostPolicy(PlacementPolicy):
+    """Fewest predicted node-hours; completion time breaks ties."""
+
+    name = "min-cost"
+
+    def choose(self, job, options, now):
+        return min(
+            options,
+            key=lambda o: (o.node_hours, o.predicted_total, o.sort_label),
+        )
+
+
+class DeadlineAwarePolicy(PlacementPolicy):
+    """Cheapest option that meets the deadline; rejects hopeless jobs.
+
+    Jobs without a deadline fall back to min-completion behaviour.
+    """
+
+    name = "deadline-aware"
+
+    def admit(self, job, options, now):
+        if job.deadline is None:
+            return None
+        best = min(now + o.predicted_total for o in options)
+        if best > job.deadline:
+            return Rejection(
+                code="deadline-unmeetable",
+                reason=(
+                    f"predicted completion {best:.4f}s exceeds deadline "
+                    f"{job.deadline:.4f}s even on an idle grid"
+                ),
+            )
+        return None
+
+    def choose(self, job, options, now):
+        if job.deadline is None:
+            return min(
+                options, key=lambda o: (o.predicted_total, o.sort_label)
+            )
+        meeting = [
+            o for o in options if now + o.predicted_total <= job.deadline
+        ]
+        if not meeting:
+            best = min(now + o.predicted_total for o in options)
+            return Rejection(
+                code="deadline-miss-predicted",
+                reason=(
+                    f"after waiting until t={now:.4f}s the best predicted "
+                    f"completion {best:.4f}s exceeds deadline "
+                    f"{job.deadline:.4f}s"
+                ),
+            )
+        return min(
+            meeting,
+            key=lambda o: (o.node_hours, o.predicted_total, o.sort_label),
+        )
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Prediction-free baseline: rotate compute sites, fixed allocation.
+
+    The rotation pointer advances over the site list in registration
+    order; at each decision the policy takes the first rotation site
+    with a feasible option and, there, the first option in the broker's
+    enumeration order (smallest allocation at the alphabetically first
+    replica) — no predicted time is consulted.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, compute_sites: Sequence[str]) -> None:
+        if not compute_sites:
+            raise ConfigurationError("round-robin needs compute sites")
+        self._sites = list(compute_sites)
+        self._next = 0
+
+    def choose(self, job, options, now):
+        for offset in range(len(self._sites)):
+            site = self._sites[(self._next + offset) % len(self._sites)]
+            here: List[PlacementOption] = [
+                o for o in options if o.compute_site == site
+            ]
+            if here:
+                self._next = (self._next + offset + 1) % len(self._sites)
+                return min(
+                    here,
+                    key=lambda o: (
+                        o.data_nodes + o.compute_nodes,
+                        o.sort_label,
+                    ),
+                )
+        # Options always name known compute sites, so this is unreachable
+        # unless the policy was built for a different topology.
+        raise ConfigurationError(
+            "round-robin saw options for sites outside its rotation"
+        )
+
+
+#: Names accepted by the CLI, in canonical order.
+POLICY_NAMES = (
+    "min-completion",
+    "min-cost",
+    "deadline-aware",
+    "round-robin",
+)
+
+
+def make_policy(name: str, compute_sites: Sequence[str]) -> PlacementPolicy:
+    """A fresh policy instance (policies may carry per-run state)."""
+    if name == "min-completion":
+        return MinCompletionPolicy()
+    if name == "min-cost":
+        return MinCostPolicy()
+    if name == "deadline-aware":
+        return DeadlineAwarePolicy()
+    if name == "round-robin":
+        return RoundRobinPolicy(compute_sites)
+    raise ConfigurationError(
+        f"unknown broker policy '{name}'; known: {', '.join(POLICY_NAMES)}"
+    )

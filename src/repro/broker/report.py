@@ -1,0 +1,306 @@
+"""The broker's result artefact: placements, rejections, metrics.
+
+A :class:`BrokerReport` is the durable output of one ``repro broker``
+run: per policy, where every job ran (with the exact node windows), why
+any job was rejected, the headline metrics (makespan, mean queue wait,
+deadline-miss rate) and the rolling prediction-error series in
+completion order — the curve that shows online calibration converging.
+
+Serialization goes through :func:`repro.core.durable.canonical_json`,
+so replaying the same seeded workload produces a byte-identical report
+file (asserted by ``benchmarks/bench_broker.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.durable import atomic_write_json, read_json_document
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "BrokerPlacement",
+    "BrokerRejection",
+    "PolicyRun",
+    "BrokerReport",
+    "load_report",
+]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BrokerPlacement:
+    """One completed job: where, when, and how well it was predicted."""
+
+    job_id: str
+    workload: str
+    replica_site: str
+    compute_site: str
+    data_nodes: int
+    compute_nodes: int
+    data_node_ids: Tuple[int, ...]
+    compute_node_ids: Tuple[int, ...]
+    arrival: float
+    start: float
+    end: float
+    predicted_total: float
+    raw_predicted_total: float
+    deadline: Optional[float] = None
+    priority: int = 0
+
+    @property
+    def wait(self) -> float:
+        """Queue wait: placement start minus arrival."""
+        return self.start - self.arrival
+
+    @property
+    def actual_total(self) -> float:
+        return self.end - self.start
+
+    @property
+    def relative_error(self) -> float:
+        """|actual - predicted| / actual of the calibrated prediction."""
+        return abs(self.actual_total - self.predicted_total) / self.actual_total
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.deadline is not None and self.end > self.deadline
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.job_id}: {self.replica_site}[{self.data_nodes}] -> "
+            f"{self.compute_site}[{self.compute_nodes}]"
+        )
+
+
+@dataclass(frozen=True)
+class BrokerRejection:
+    """One job the broker refused, with a machine-usable code."""
+
+    job_id: str
+    workload: str
+    time: float
+    code: str
+    reason: str
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PolicyRun:
+    """Everything one policy did to one job stream."""
+
+    policy: str
+    calibrated: bool
+    placements: Tuple[BrokerPlacement, ...]
+    rejections: Tuple[BrokerRejection, ...]
+    #: (job_id, relative error) in *completion* order — the rolling
+    #: prediction-error series.
+    error_series: Tuple[Tuple[str, float], ...]
+    #: Final calibration factors, ``component -> 'app @ resource' -> f``.
+    calibration_factors: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def label(self) -> str:
+        suffix = "" if self.calibrated else " (uncalibrated)"
+        return f"{self.policy}{suffix}"
+
+    @property
+    def jobs(self) -> int:
+        return len(self.placements) + len(self.rejections)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last placed job (0 when none ran)."""
+        return max((p.end for p in self.placements), default=0.0)
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.placements:
+            return 0.0
+        return sum(p.wait for p in self.placements) / len(self.placements)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Share of deadline jobs not served by their deadline.
+
+        A *rejected* job with a deadline counts as missed — otherwise a
+        policy could zero its miss rate by refusing every hard job.
+        """
+        with_deadline = [p for p in self.placements if p.deadline is not None]
+        rejected = [r for r in self.rejections if r.deadline is not None]
+        total = len(with_deadline) + len(rejected)
+        if total == 0:
+            return 0.0
+        missed = sum(1 for p in with_deadline if p.missed_deadline)
+        return (missed + len(rejected)) / total
+
+    def mean_error(self, last: Optional[int] = None) -> float:
+        """Mean relative prediction error, optionally of the last N jobs."""
+        series = [err for _, err in self.error_series]
+        if last is not None:
+            series = series[-last:]
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+
+@dataclass(frozen=True)
+class BrokerReport:
+    """Per-policy outcomes of one broker workload."""
+
+    name: str
+    runs: Tuple[PolicyRun, ...]
+
+    def run(self, label: str) -> PolicyRun:
+        for run in self.runs:
+            if run.label == label or run.policy == label:
+                return run
+        raise ConfigurationError(f"no policy run labelled '{label}'")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "kind": "broker-report",
+            "name": self.name,
+            "runs": [_run_to_dict(run) for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BrokerReport":
+        version = doc.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported broker report format_version {version!r}"
+            )
+        return cls(
+            name=str(doc["name"]),
+            runs=tuple(_run_from_dict(entry) for entry in doc["runs"]),
+        )
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Durably write the report as canonical JSON."""
+        return atomic_write_json(path, self.to_dict())
+
+
+def load_report(path: str | pathlib.Path) -> BrokerReport:
+    """Load a saved broker report."""
+    doc = read_json_document(
+        path,
+        "broker report",
+        expected_version=_FORMAT_VERSION,
+        remedy="re-run `repro broker WORKLOAD.json --report PATH`",
+    )
+    return BrokerReport.from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+
+
+def _run_to_dict(run: PolicyRun) -> Dict[str, Any]:
+    return {
+        "policy": run.policy,
+        "calibrated": run.calibrated,
+        "placements": [
+            {
+                "job_id": p.job_id,
+                "workload": p.workload,
+                "replica_site": p.replica_site,
+                "compute_site": p.compute_site,
+                "data_nodes": p.data_nodes,
+                "compute_nodes": p.compute_nodes,
+                "data_node_ids": list(p.data_node_ids),
+                "compute_node_ids": list(p.compute_node_ids),
+                "arrival": p.arrival,
+                "start": p.start,
+                "end": p.end,
+                "predicted_total": p.predicted_total,
+                "raw_predicted_total": p.raw_predicted_total,
+                "deadline": p.deadline,
+                "priority": p.priority,
+            }
+            for p in run.placements
+        ],
+        "rejections": [
+            {
+                "job_id": r.job_id,
+                "workload": r.workload,
+                "time": r.time,
+                "code": r.code,
+                "reason": r.reason,
+                "deadline": r.deadline,
+            }
+            for r in run.rejections
+        ],
+        "error_series": [[job_id, err] for job_id, err in run.error_series],
+        "calibration_factors": run.calibration_factors,
+        "metrics": {
+            "jobs": run.jobs,
+            "completed": len(run.placements),
+            "rejected": len(run.rejections),
+            "makespan": run.makespan,
+            "mean_wait": run.mean_wait,
+            "deadline_miss_rate": run.deadline_miss_rate,
+            "mean_error": run.mean_error(),
+        },
+    }
+
+
+def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
+    placements: List[BrokerPlacement] = [
+        BrokerPlacement(
+            job_id=str(p["job_id"]),
+            workload=str(p["workload"]),
+            replica_site=str(p["replica_site"]),
+            compute_site=str(p["compute_site"]),
+            data_nodes=int(p["data_nodes"]),
+            compute_nodes=int(p["compute_nodes"]),
+            data_node_ids=tuple(int(n) for n in p["data_node_ids"]),
+            compute_node_ids=tuple(int(n) for n in p["compute_node_ids"]),
+            arrival=float(p["arrival"]),
+            start=float(p["start"]),
+            end=float(p["end"]),
+            predicted_total=float(p["predicted_total"]),
+            raw_predicted_total=float(p["raw_predicted_total"]),
+            deadline=(
+                float(p["deadline"]) if p.get("deadline") is not None else None
+            ),
+            priority=int(p.get("priority", 0)),
+        )
+        for p in doc["placements"]
+    ]
+    rejections = tuple(
+        BrokerRejection(
+            job_id=str(r["job_id"]),
+            workload=str(r["workload"]),
+            time=float(r["time"]),
+            code=str(r["code"]),
+            reason=str(r["reason"]),
+            deadline=(
+                float(r["deadline"]) if r.get("deadline") is not None else None
+            ),
+        )
+        for r in doc["rejections"]
+    )
+    return PolicyRun(
+        policy=str(doc["policy"]),
+        calibrated=bool(doc["calibrated"]),
+        placements=tuple(placements),
+        rejections=rejections,
+        error_series=tuple(
+            (str(job_id), float(err)) for job_id, err in doc["error_series"]
+        ),
+        calibration_factors={
+            str(comp): {str(k): float(v) for k, v in factors.items()}
+            for comp, factors in doc.get("calibration_factors", {}).items()
+        },
+    )

@@ -296,6 +296,27 @@ def _cmd_campaign(args) -> int:
     return report.exit_code
 
 
+def _cmd_broker(args) -> int:
+    from repro.analysis import format_broker
+    from repro.broker import POLICY_NAMES, GridBroker, load_workload_document
+
+    doc = load_workload_document(args.workload)
+    broker = GridBroker.from_document(doc, alpha=args.alpha)
+    jobs = broker.resolve_jobs(doc)
+    policies = args.policy or list(POLICY_NAMES)
+    report = broker.compare(
+        doc.name,
+        jobs,
+        policies,
+        include_uncalibrated=not args.no_calibration_baseline,
+    )
+    print(format_broker(report, schedule=args.schedule))
+    if args.report:
+        path = report.save(args.report)
+        print(f"\nreport written to {path}")
+    return 0
+
+
 def _cmd_shares(args) -> int:
     from repro.analysis import format_shares, sweep_shares
 
@@ -432,6 +453,37 @@ def build_parser() -> argparse.ArgumentParser:
         "timed-out (default: 2, immediate retry)",
     )
     camp_p.set_defaults(func=_cmd_campaign)
+
+    broker_p = sub.add_parser(
+        "broker",
+        help="broker a job stream over a grid with prediction-guided "
+        "placement and online calibration",
+    )
+    broker_p.add_argument(
+        "workload", help="path to a broker workload JSON (see README)"
+    )
+    broker_p.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="policy to run (repeatable; default: all of "
+        "min-completion, min-cost, deadline-aware, round-robin)",
+    )
+    broker_p.add_argument(
+        "--no-calibration-baseline", action="store_true",
+        help="skip the calibration-off control run",
+    )
+    broker_p.add_argument(
+        "--schedule", action="store_true",
+        help="also print the full per-job placement schedule",
+    )
+    broker_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="save the full report as canonical JSON",
+    )
+    broker_p.add_argument(
+        "--alpha", type=float, default=0.3,
+        help="calibration learning rate in (0, 1] (default 0.3)",
+    )
+    broker_p.set_defaults(func=_cmd_broker)
 
     shares_p = sub.add_parser(
         "shares", help="component shares of a workload across configurations"

@@ -79,6 +79,8 @@ from repro.core.models import (
 from repro.core.pipeline_model import PipelinedBottleneckModel
 from repro.core.profile import Profile
 from repro.core.selection import (
+    InfeasibleSelectionError,
+    RejectedCandidate,
     ResourceSelector,
     SelectionCandidate,
     SelectionOutcome,
@@ -128,6 +130,8 @@ __all__ = [
     "ReductionCommunicationModel",
     "PipelinedBottleneckModel",
     "Profile",
+    "InfeasibleSelectionError",
+    "RejectedCandidate",
     "ResourceSelector",
     "SelectionCandidate",
     "SelectionOutcome",

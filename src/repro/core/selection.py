@@ -10,12 +10,20 @@ minimum cost."
 node allocation) combination, obtains the path bandwidth from the grid
 topology, predicts the execution time with the supplied model, and ranks
 the candidates by predicted cost.
+
+Pruned combinations are not silently dropped: every infeasible
+(replica, configuration) pair is recorded as a
+:class:`RejectedCandidate` with a machine-usable ``code`` and a
+human-readable ``reason``, available on :attr:`SelectionOutcome.rejections`.
+When *nothing* is feasible, :meth:`ResourceSelector.select` raises
+:class:`InfeasibleSelectionError`, which carries the same rejection list —
+the broker's admission control turns these into its rejection messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.models import PredictedBreakdown, PredictionModel
 from repro.core.profile import Profile
@@ -25,7 +33,59 @@ from repro.middleware.scheduler import RunConfig
 from repro.simgrid.errors import ConfigurationError, TopologyError
 from repro.simgrid.topology import GridTopology, SiteKind
 
-__all__ = ["SelectionCandidate", "SelectionOutcome", "ResourceSelector"]
+__all__ = [
+    "SelectionCandidate",
+    "RejectedCandidate",
+    "SelectionOutcome",
+    "InfeasibleSelectionError",
+    "ResourceSelector",
+]
+
+
+@dataclass(frozen=True)
+class RejectedCandidate:
+    """One pruned (replica, configuration) combination and why.
+
+    ``data_nodes``/``compute_nodes`` are ``None`` when the whole site pair
+    was pruned before any allocation was considered (e.g. the sites are
+    not connected).  ``code`` is stable and machine-usable:
+
+    - ``"unreachable"``           — no topology path replica -> compute site;
+    - ``"infeasible-allocation"`` — the allocation violates a resource
+      constraint (cluster too small, ``c < n``, ...).
+    """
+
+    replica_site: str
+    compute_site: str
+    data_nodes: Optional[int]
+    compute_nodes: Optional[int]
+    code: str
+    reason: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable description of the pruned combination."""
+        alloc = (
+            f"[{self.data_nodes}] -> {self.compute_site}[{self.compute_nodes}]"
+            if self.data_nodes is not None
+            else f" -> {self.compute_site}"
+        )
+        return f"{self.replica_site}{alloc}: {self.reason}"
+
+
+class InfeasibleSelectionError(ConfigurationError):
+    """No (replica, configuration) pair is feasible.
+
+    Carries the per-candidate :attr:`rejections` so callers (notably the
+    grid broker's admission control) can report *why* each combination was
+    pruned instead of a bare "nothing feasible".
+    """
+
+    def __init__(
+        self, message: str, rejections: Sequence[RejectedCandidate] = ()
+    ) -> None:
+        super().__init__(message)
+        self.rejections: Tuple[RejectedCandidate, ...] = tuple(rejections)
 
 
 @dataclass(frozen=True)
@@ -55,9 +115,14 @@ class SelectionCandidate:
 
 @dataclass(frozen=True)
 class SelectionOutcome:
-    """Ranked candidates; ``best`` minimizes predicted execution time."""
+    """Ranked candidates; ``best`` minimizes predicted execution time.
+
+    ``rejections`` records every pruned combination (in enumeration
+    order) so callers can explain why a particular pairing is absent.
+    """
 
     candidates: Tuple[SelectionCandidate, ...]
+    rejections: Tuple[RejectedCandidate, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.candidates:
@@ -93,7 +158,7 @@ class ResourceSelector:
     allocations:
         Candidate ``(data_nodes, compute_nodes)`` pairs to consider at
         every site pair; infeasible ones (exceeding a cluster's size) are
-        skipped silently.
+        pruned and recorded on :attr:`SelectionOutcome.rejections`.
     """
 
     def __init__(
@@ -134,6 +199,7 @@ class ResourceSelector:
             raise ConfigurationError("no compute sites to consider")
 
         candidates: List[SelectionCandidate] = []
+        rejections: List[RejectedCandidate] = []
         for replica in replicas:
             storage_cluster = self.topology.site(replica.site).cluster
             for site_name in sites:
@@ -142,8 +208,18 @@ class ResourceSelector:
                     bandwidth = self.topology.bandwidth_between(
                         replica.site, site_name
                     )
-                except TopologyError:
-                    continue  # unreachable pair
+                except TopologyError as exc:
+                    rejections.append(
+                        RejectedCandidate(
+                            replica_site=replica.site,
+                            compute_site=site_name,
+                            data_nodes=None,
+                            compute_nodes=None,
+                            code="unreachable",
+                            reason=str(exc),
+                        )
+                    )
+                    continue
                 model = self._model(site_name)
                 for data_nodes, compute_nodes in self.allocations:
                     try:
@@ -154,8 +230,18 @@ class ResourceSelector:
                             compute_nodes=compute_nodes,
                             bandwidth=bandwidth,
                         )
-                    except ConfigurationError:
-                        continue  # infeasible allocation at this site pair
+                    except ConfigurationError as exc:
+                        rejections.append(
+                            RejectedCandidate(
+                                replica_site=replica.site,
+                                compute_site=site_name,
+                                data_nodes=data_nodes,
+                                compute_nodes=compute_nodes,
+                                code="infeasible-allocation",
+                                reason=str(exc),
+                            )
+                        )
+                        continue
                     target = PredictionTarget(
                         config=config, dataset_bytes=dataset_bytes
                     )
@@ -172,8 +258,15 @@ class ResourceSelector:
                     )
 
         if not candidates:
-            raise ConfigurationError(
+            detail = "; ".join(r.label for r in rejections[:4])
+            if len(rejections) > 4:
+                detail += f"; ... {len(rejections) - 4} more"
+            raise InfeasibleSelectionError(
                 f"no feasible (replica, configuration) pair for '{dataset}'"
+                + (f" ({detail})" if detail else ""),
+                rejections,
             )
         candidates.sort(key=lambda cand: (cand.predicted_total, cand.label))
-        return SelectionOutcome(candidates=tuple(candidates))
+        return SelectionOutcome(
+            candidates=tuple(candidates), rejections=tuple(rejections)
+        )

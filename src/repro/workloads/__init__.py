@@ -8,6 +8,8 @@
   the paper's five workloads at the paper's dataset sizes.
 - :mod:`repro.workloads.experiments` — per-figure experiment drivers
   (Figures 2-13).
+- :mod:`repro.workloads.streams`     — seeded synthetic job streams for
+  broker experiments.
 """
 
 from repro.workloads.clusters import (
@@ -26,6 +28,7 @@ from repro.workloads.registry import (
     make_app,
     make_dataset,
 )
+from repro.workloads.streams import StreamSpec, generate_stream
 
 __all__ = [
     "DEFAULT_BANDWIDTH",
@@ -38,4 +41,6 @@ __all__ = [
     "WorkloadSpec",
     "make_app",
     "make_dataset",
+    "StreamSpec",
+    "generate_stream",
 ]

@@ -1,0 +1,193 @@
+"""Seeded job-stream generators for broker experiments.
+
+A :class:`StreamSpec` describes a synthetic arrival process — Poisson
+arrivals (exponential inter-arrival times), a workload mix, optional
+deadlines drawn as a slack multiple of each workload's best predicted
+execution time, and a priority distribution.  :func:`generate_stream`
+expands it into concrete :class:`~repro.broker.jobs.BrokerJob` objects
+using a seeded NumPy generator, so the same spec always yields the same
+stream — the foundation of the broker's bit-identical replay guarantee.
+
+Draw order is fixed (all inter-arrival gaps first, then per job: mix
+index, priority index, deadline coin, slack): changing it would silently
+change every seeded experiment, so treat it as part of the format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["StreamSpec", "generate_stream"]
+
+#: ``baselines`` may be a callable ``(workload, size) -> seconds`` or a
+#: mapping keyed like :attr:`BrokerJob.dataset_key`.
+Baselines = Union[
+    Callable[[str, Optional[str]], float], Mapping[str, float], None
+]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A deterministic recipe for a synthetic job stream.
+
+    ``mix`` entries are ``(workload, size, weight)``; ``size`` may be
+    ``None`` for the workload's default dataset.  ``deadline_fraction``
+    of jobs get a deadline ``arrival + slack * baseline`` where slack is
+    uniform over ``deadline_slack`` and baseline is the workload's best
+    predicted execution time on the target grid.
+    """
+
+    count: int
+    seed: int = 0
+    mean_interarrival: float = 0.1
+    mix: Tuple[Tuple[str, Optional[str], float], ...] = (
+        ("kmeans", None, 1.0),
+        ("knn", None, 1.0),
+        ("vortex", None, 1.0),
+    )
+    deadline_fraction: float = 0.0
+    deadline_slack: Tuple[float, float] = (1.5, 3.0)
+    priorities: Tuple[int, ...] = (0,)
+    priority_weights: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError("stream count must be positive")
+        if self.mean_interarrival <= 0:
+            raise ConfigurationError("mean inter-arrival must be positive")
+        if not self.mix:
+            raise ConfigurationError("stream needs a non-empty workload mix")
+        if any(weight <= 0 for _, _, weight in self.mix):
+            raise ConfigurationError("mix weights must be positive")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ConfigurationError("deadline fraction must be in [0, 1]")
+        lo, hi = self.deadline_slack
+        if not 0.0 < lo <= hi:
+            raise ConfigurationError(
+                "deadline slack must satisfy 0 < lo <= hi"
+            )
+        if not self.priorities:
+            raise ConfigurationError("priorities must be non-empty")
+        if self.priority_weights and len(self.priority_weights) != len(
+            self.priorities
+        ):
+            raise ConfigurationError(
+                "priority_weights must match priorities in length"
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "StreamSpec":
+        """Parse the ``stream`` section of a broker workload document.
+
+        Example::
+
+            {"count": 200, "seed": 7, "mean_interarrival": 0.05,
+             "mix": [["kmeans", null, 2.0], ["em", null, 1.0]],
+             "deadline_fraction": 0.4, "deadline_slack": [1.5, 3.0],
+             "priorities": [0, 1]}
+        """
+        if "count" not in doc:
+            raise ConfigurationError("stream spec needs a 'count'")
+        kwargs: dict = {
+            "count": int(doc["count"]),
+            "seed": int(doc.get("seed", 0)),
+            "mean_interarrival": float(doc.get("mean_interarrival", 0.1)),
+            "deadline_fraction": float(doc.get("deadline_fraction", 0.0)),
+        }
+        if "mix" in doc:
+            mix: List[Tuple[str, Optional[str], float]] = []
+            for entry in doc["mix"]:
+                entry = list(entry)
+                if not entry:
+                    raise ConfigurationError("empty mix entry")
+                workload = str(entry[0])
+                size = entry[1] if len(entry) > 1 else None
+                size = str(size) if size is not None else None
+                weight = float(entry[2]) if len(entry) > 2 else 1.0
+                mix.append((workload, size, weight))
+            kwargs["mix"] = tuple(mix)
+        if "deadline_slack" in doc:
+            lo, hi = doc["deadline_slack"]
+            kwargs["deadline_slack"] = (float(lo), float(hi))
+        if "priorities" in doc:
+            kwargs["priorities"] = tuple(int(p) for p in doc["priorities"])
+        if "priority_weights" in doc:
+            kwargs["priority_weights"] = tuple(
+                float(w) for w in doc["priority_weights"]
+            )
+        return cls(**kwargs)
+
+
+def _baseline_for(
+    baselines: Baselines, workload: str, size: Optional[str]
+) -> float:
+    key = f"{workload}@{size}" if size else workload
+    if baselines is None:
+        raise ConfigurationError(
+            "stream draws deadlines but no baselines were provided; "
+            "pass a mapping or GridBroker.baseline_estimate"
+        )
+    if callable(baselines):
+        value = baselines(workload, size)
+    else:
+        if key not in baselines:
+            raise ConfigurationError(f"no baseline for dataset '{key}'")
+        value = baselines[key]
+    value = float(value)
+    if value <= 0:
+        raise ConfigurationError(f"baseline for '{key}' must be positive")
+    return value
+
+
+def generate_stream(spec: StreamSpec, baselines: Baselines = None) -> List:
+    """Expand a :class:`StreamSpec` into a deterministic job list.
+
+    Returns :class:`~repro.broker.jobs.BrokerJob` objects sorted by
+    arrival.  ``baselines`` is only consulted when the spec draws
+    deadlines.
+    """
+    # Imported here: repro.broker.jobs <- repro.workloads would cycle at
+    # module scope (broker jobs build topologies from workload clusters).
+    from repro.broker.jobs import BrokerJob
+
+    rng = np.random.default_rng(spec.seed)
+    gaps = rng.exponential(spec.mean_interarrival, spec.count)
+    arrivals = np.cumsum(gaps)
+
+    mix_weights = np.array([w for _, _, w in spec.mix], dtype=float)
+    mix_weights /= mix_weights.sum()
+    if spec.priority_weights:
+        prio_weights = np.array(spec.priority_weights, dtype=float)
+        prio_weights /= prio_weights.sum()
+    else:
+        prio_weights = None
+
+    jobs: List[BrokerJob] = []
+    for i in range(spec.count):
+        mix_index = int(rng.choice(len(spec.mix), p=mix_weights))
+        workload, size, _ = spec.mix[mix_index]
+        prio_index = int(rng.choice(len(spec.priorities), p=prio_weights))
+        priority = spec.priorities[prio_index]
+        arrival = float(arrivals[i])
+        deadline = None
+        if rng.random() < spec.deadline_fraction:
+            slack = float(rng.uniform(*spec.deadline_slack))
+            deadline = arrival + slack * _baseline_for(
+                baselines, workload, size
+            )
+        jobs.append(
+            BrokerJob(
+                job_id=f"job{i:04d}-{workload}",
+                workload=workload,
+                size=size,
+                arrival=arrival,
+                deadline=deadline,
+                priority=priority,
+            )
+        )
+    return jobs

@@ -1,0 +1,44 @@
+"""Shared broker fixtures: a small heterogeneous grid.
+
+One :class:`GridBroker` instance is shared per module — its caches
+(datasets, profiles, selections, executions) are read-only between runs,
+while every :meth:`run` gets a fresh ledger/queue/calibrator, so sharing
+is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import GridBroker
+from repro.simgrid.topology import GridTopology, SiteKind
+from repro.workloads.clusters import (
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+
+
+def small_grid() -> GridTopology:
+    topology = GridTopology()
+    topology.add_site(
+        "repo-a", SiteKind.REPOSITORY, pentium_myrinet_cluster(num_nodes=16)
+    )
+    topology.add_site(
+        "hpc-1", SiteKind.COMPUTE, pentium_myrinet_cluster(num_nodes=16)
+    )
+    topology.add_site(
+        "hpc-2", SiteKind.COMPUTE, opteron_infiniband_cluster(num_nodes=16)
+    )
+    topology.connect("repo-a", "hpc-1", bw=2.0e6)
+    topology.connect("repo-a", "hpc-2", bw=1.0e6)
+    return topology
+
+
+@pytest.fixture(scope="module")
+def grid() -> GridTopology:
+    return small_grid()
+
+
+@pytest.fixture(scope="module")
+def broker(grid: GridTopology) -> GridBroker:
+    return GridBroker(grid, [(1, 2), (2, 4)])

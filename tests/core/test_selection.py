@@ -109,3 +109,57 @@ class TestResourceSelector:
         selector = self.make_selector(grid, allocations=[(2, 4)])
         outcome = selector.select("points", 1e6, make_profile())
         assert outcome.best.label == "repo-b[2] -> hpc-1[4]"
+
+
+class TestRejectionReasons:
+    def make_selector(self, grid, allocations=((1, 1), (2, 4), (4, 8))):
+        topo, catalog = grid
+        return ResourceSelector(
+            topology=topo,
+            catalog=catalog,
+            model_for_site=NoCommunicationModel(),
+            allocations=allocations,
+        )
+
+    def test_infeasible_allocation_recorded(self, grid):
+        # hpc-2 has only 4 nodes, so (4, 8) is pruned there — with a reason.
+        selector = self.make_selector(grid, allocations=[(4, 8)])
+        outcome = selector.select("points", 1e6, make_profile())
+        pruned = [r for r in outcome.rejections if r.compute_site == "hpc-2"]
+        assert pruned, "expected rejections for the undersized site"
+        for r in pruned:
+            assert r.code == "infeasible-allocation"
+            assert r.data_nodes == 4 and r.compute_nodes == 8
+            assert r.reason
+            assert "hpc-2" in r.label or r.replica_site in r.label
+
+    def test_unreachable_pair_recorded(self, grid):
+        topo, catalog = grid
+        topo.add_site("hpc-island", SiteKind.COMPUTE, small_cluster_spec())
+        selector = self.make_selector(grid, allocations=[(1, 1)])
+        outcome = selector.select("points", 1e6, make_profile())
+        island = [
+            r for r in outcome.rejections if r.compute_site == "hpc-island"
+        ]
+        # Both replicas fail to reach the island; site-level rejections
+        # carry no allocation.
+        assert {r.replica_site for r in island} == {"repo-a", "repo-b"}
+        assert all(r.code == "unreachable" for r in island)
+        assert all(r.data_nodes is None for r in island)
+
+    def test_all_infeasible_raises_with_reasons(self, grid):
+        from repro.core.selection import InfeasibleSelectionError
+
+        selector = self.make_selector(grid, allocations=[(16, 32)])
+        with pytest.raises(InfeasibleSelectionError) as excinfo:
+            selector.select("points", 1e6, make_profile())
+        err = excinfo.value
+        assert err.rejections
+        assert all(r.code == "infeasible-allocation" for r in err.rejections)
+        # The error is still a ConfigurationError for legacy callers.
+        assert isinstance(err, ConfigurationError)
+
+    def test_feasible_selection_keeps_empty_rejections(self, grid):
+        selector = self.make_selector(grid, allocations=[(1, 1)])
+        outcome = selector.select("points", 1e6, make_profile())
+        assert outcome.rejections == ()

@@ -21,6 +21,8 @@ CASES = [
     ("advanced_middleware.py", ["cluster-of-SMPs", "gather topology"]),
     ("bandwidth_forecasting.py", ["forecast accuracy", "T_network"]),
     ("grid_scheduling.py", ["policy comparison", "predicted best"]),
+    ("broker_workload.py", ["broker workload", "calibration win",
+                            "deadline-aware"]),
 ]
 
 

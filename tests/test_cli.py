@@ -246,3 +246,86 @@ class TestCampaign:
         code = main(["campaign", str(tmp_path / "absent.json")])
         assert code == 1
         assert "no campaign manifest" in capsys.readouterr().err
+
+
+class TestBroker:
+    def _write_workload(self, tmp_path, body=None):
+        import json
+
+        doc = body or {
+            "name": "cli-broker",
+            "allocations": [[1, 2]],
+            "sites": [
+                {"name": "repo", "kind": "repository",
+                 "cluster": "pentium-myrinet", "nodes": 8},
+                {"name": "hpc", "kind": "compute",
+                 "cluster": "pentium-myrinet", "nodes": 8},
+            ],
+            "links": [{"a": "repo", "b": "hpc", "bw": 2.0e6}],
+            "jobs": [
+                {"id": "j0", "workload": "kmeans"},
+                {"id": "j1", "workload": "kmeans", "arrival": 0.05},
+            ],
+        }
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_broker_runs_all_policies(self, tmp_path, capsys):
+        code = main(["broker", str(self._write_workload(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 0
+        for policy in ["min-completion", "min-cost", "deadline-aware",
+                       "round-robin"]:
+            assert policy in out
+        assert "(uncalibrated)" in out
+        assert "makespan" in out
+
+    def test_broker_single_policy_with_report(self, tmp_path, capsys):
+        from repro.broker import load_report
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["broker", str(self._write_workload(tmp_path)),
+             "--policy", "min-completion", "--no-calibration-baseline",
+             "--report", str(report_path), "--schedule"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "min-cost" not in out
+        assert "j0" in out  # --schedule prints the placement table
+        report = load_report(report_path)
+        assert [run.label for run in report.runs] == ["min-completion"]
+
+    def test_broker_stream_workload(self, tmp_path, capsys):
+        doc = {
+            "name": "cli-stream",
+            "allocations": [[1, 2]],
+            "sites": [
+                {"name": "repo", "kind": "repository",
+                 "cluster": "pentium-myrinet", "nodes": 8},
+                {"name": "hpc", "kind": "compute",
+                 "cluster": "pentium-myrinet", "nodes": 8},
+            ],
+            "links": [{"a": "repo", "b": "hpc", "bw": 2.0e6}],
+            "stream": {"count": 5, "seed": 3, "mix": [["kmeans"]]},
+        }
+        code = main(
+            ["broker", str(self._write_workload(tmp_path, doc)),
+             "--policy", "round-robin", "--no-calibration-baseline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round-robin" in out
+
+    def test_missing_workload_reports_error(self, tmp_path, capsys):
+        code = main(["broker", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "no broker workload" in capsys.readouterr().err
+
+    def test_bad_alpha_reports_error(self, tmp_path, capsys):
+        code = main(
+            ["broker", str(self._write_workload(tmp_path)), "--alpha", "2.0"]
+        )
+        assert code == 1
+        assert "alpha" in capsys.readouterr().err
