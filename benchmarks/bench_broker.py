@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 
 from repro.analysis import format_broker
+from repro.core.durable import atomic_write_text
 from repro.broker import GridBroker
 from repro.simgrid.topology import GridTopology, SiteKind
 from repro.workloads.clusters import (
@@ -93,7 +94,7 @@ def test_broker_policies_and_calibration(benchmark, tmp_path):
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "broker.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / "broker.txt", text + "\n")
     report.save(RESULTS_DIR / "broker.json")
 
     min_completion = report.run("min-completion")

@@ -21,6 +21,7 @@ import pathlib
 import pytest
 
 from repro.analysis import format_experiment, save_result
+from repro.core.durable import atomic_write_text
 from repro.analysis.expectations import EXPECTATIONS, check_expectation
 from repro.workloads.experiments import ExperimentResult
 
@@ -44,7 +45,7 @@ def figure_report():
         print(text)
         RESULTS_DIR.mkdir(exist_ok=True)
         stem = f"{result.experiment_id}_{result.workload}"
-        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        atomic_write_text(RESULTS_DIR / f"{stem}.txt", text + "\n")
         save_result(result, RESULTS_DIR / f"{stem}.json")
 
         if result.experiment_id in EXPECTATIONS:

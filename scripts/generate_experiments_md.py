@@ -12,6 +12,7 @@ import sys
 import time
 
 from repro.analysis import error_summary, worst_configuration
+from repro.core.durable import atomic_write_text
 from repro.workloads.experiments import EXPERIMENTS, run_experiment
 
 OUT = pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
@@ -184,7 +185,7 @@ def main() -> int:
         result = run_experiment(figure_id)
         sections.append(figure_section(result))
         print(f"{figure_id} done in {time.time() - start:.1f}s", flush=True)
-    OUT.write_text(HEADER + "\n".join(sections))
+    atomic_write_text(OUT, HEADER + "\n".join(sections))
     print(f"wrote {OUT} in {time.time() - t0:.1f}s total")
     return 0
 

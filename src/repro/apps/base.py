@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import UsageError
 from repro.middleware.instrument import OpCounter
 
 __all__ = ["pairwise_sq_dists", "charge_distance_ops", "farthest_point_init"]
@@ -34,7 +35,7 @@ def farthest_point_init(
     """
     sample = np.asarray(sample, dtype=np.float64)
     if sample.ndim != 2 or sample.shape[0] < k:
-        raise ValueError(
+        raise UsageError(
             f"need a 2-D sample with at least {k} points, got {sample.shape}"
         )
     rng = np.random.default_rng(seed)

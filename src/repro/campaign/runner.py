@@ -38,7 +38,7 @@ from repro.analysis.results_io import (
     result_to_dict,
     save_result,
 )
-from repro.errors import CampaignError
+from repro.errors import CampaignError, InternalError
 from repro.faults.retry import WATCHDOG_RETRY_POLICY, RetryPolicy
 from repro.workloads.experiments import (
     ExperimentResult,
@@ -233,7 +233,7 @@ class CampaignRunner:
                 result=result,
                 violations=violations,
             )
-        raise AssertionError("retry loop must settle or return")
+        raise InternalError("retry loop must settle or return")
 
     def _resumed_outcome(
         self, entry: CampaignEntry, record: JournalRecord

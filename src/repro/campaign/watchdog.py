@@ -88,7 +88,7 @@ def run_with_deadline(
     worker.start()
     while not done.is_set():
         if stop is not None and stop.is_set():
-            raise CampaignInterruptedError()
+            raise CampaignInterruptedError
         wait = poll_interval_s
         if deadline_s is not None:
             remaining = deadline_s - (time.monotonic() - start)

@@ -15,6 +15,9 @@ Subcommands
 - ``repro campaign MANIFEST.json [--resume]`` — run a user-defined
   campaign with a durable journal, watchdog deadlines, and graceful
   SIGINT/SIGTERM checkpointing (exit code 75 = interrupted, resumable).
+- ``repro lint [PATHS]`` — the AST-based contract checker enforcing the
+  repo's determinism/durability/error-model invariants (see DESIGN.md
+  §13); exits non-zero on any non-baselined finding.
 
 All times are in the simulator's model units (see DESIGN.md).
 """
@@ -317,6 +320,12 @@ def _cmd_broker(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _cmd_shares(args) -> int:
     from repro.analysis import format_shares, sweep_shares
 
@@ -484,6 +493,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibration learning rate in (0, 1] (default 0.3)",
     )
     broker_p.set_defaults(func=_cmd_broker)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="check the determinism/durability/error-model contracts "
+        "(AST-based; see DESIGN.md §13)",
+    )
+    add_lint_arguments(lint_p)
+    lint_p.set_defaults(func=_cmd_lint)
 
     shares_p = sub.add_parser(
         "shares", help="component shares of a workload across configurations"

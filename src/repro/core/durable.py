@@ -102,11 +102,14 @@ def atomic_write_json(path: str | pathlib.Path, data: Any) -> pathlib.Path:
 def canonical_json(data: Any) -> str:
     """The one serialization every durable document uses.
 
-    Deterministic (keys in insertion order, fixed indentation, trailing
-    newline), so that a value committed to a journal, reloaded, and
-    re-saved is byte-identical to one written directly.
+    Deterministic (sorted keys, fixed indentation, trailing newline), so
+    that a value committed to a journal, reloaded, and re-saved is
+    byte-identical to one written directly — regardless of the dict
+    construction order of either side.  The REP003 lint contract holds
+    every other ``json.dump(s)`` call in the repo to the same sorted-key
+    form.
     """
-    return json.dumps(data, indent=2) + "\n"
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
 
 
 def content_digest(data: Any) -> str:

@@ -21,11 +21,37 @@ or vice versa.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "FaultError", "RecoveryExhaustedError", "CampaignError"]
+__all__ = [
+    "ReproError",
+    "FaultError",
+    "RecoveryExhaustedError",
+    "CampaignError",
+    "UsageError",
+    "InternalError",
+]
 
 
 class ReproError(Exception):
     """Base class for every error raised by the repro framework."""
+
+
+class UsageError(ReproError):
+    """A library API was called in violation of its documented contract.
+
+    Raised when an embedder passes arguments a docstring rules out (an
+    empty reduction-object list to ``merge_local``, a malformed sample to
+    ``farthest_point_init``).  The caller is at fault, but embedders still
+    catch it under :class:`ReproError` like every other framework failure.
+    """
+
+
+class InternalError(ReproError):
+    """An internal invariant was violated — a framework bug, not misuse.
+
+    Raised from "unreachable" branches so that even a bug in the framework
+    surfaces as a classified :class:`ReproError` instead of a bare builtin
+    exception escaping the error model.
+    """
 
 
 class FaultError(ReproError):

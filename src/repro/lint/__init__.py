@@ -1,0 +1,70 @@
+"""repro.lint — AST-based checker for the repo's coding contracts.
+
+The reproduction's guarantees (seeded byte-identical replay, crash-safe
+resumable campaigns, fault recovery bit-identical to fault-free runs)
+rest on coding contracts this package makes machine-checked:
+
+========  =======================  ==========================================
+code      name                     contract
+========  =======================  ==========================================
+REP001    no-wall-clock            no host-clock reads outside the watchdog
+REP002    seeded-rng               every RNG constructed with an explicit seed
+REP003    canonical-json           json.dump(s) passes sort_keys=True
+REP004    durable-writes           persistence via repro.core.durable only
+REP005    repro-errors             raise ReproError subclasses, not builtins
+REP006    float-equality           no ==/!= against float literals
+REP007    ordered-serialization    no raw set iteration in report/serialize
+REP008    ledger-discipline        ledger mutation only in GridBroker's loop
+========  =======================  ==========================================
+
+Run it as ``repro lint [PATHS]`` or ``python -m repro.lint``; see
+DESIGN.md §13 for the full contract rationale and docs/lint-rules.md for
+the rule table.
+"""
+
+from repro.lint.baseline import Baseline, BaselinePartition
+from repro.lint.context import ModuleContext
+from repro.lint.engine import (
+    PARSE_ERROR_CODE,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding, Fix
+from repro.lint.fixes import apply_fixes
+from repro.lint.registry import RULES, Rule, all_rules, register
+from repro.lint.reporters import (
+    REPORT_FORMATS,
+    LintReport,
+    render,
+    render_github,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselinePartition",
+    "Finding",
+    "Fix",
+    "LintError",
+    "LintReport",
+    "ModuleContext",
+    "PARSE_ERROR_CODE",
+    "REPORT_FORMATS",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "apply_fixes",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render",
+    "render_github",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,169 @@
+"""The ``repro lint`` command (also runnable as ``python -m repro.lint``).
+
+Kept importable without numpy/scipy so the CI lint job stays light: this
+module and everything it pulls in (engine, rules, baseline, reporters)
+is stdlib + :mod:`repro.errors` + :mod:`repro.core.durable` only.
+
+Exit codes: 0 — clean modulo baseline; 1 — new findings (or a
+:class:`ReproError` surfaced by the top-level CLI); 2 — usage error from
+argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.findings import Finding
+from repro.lint.fixes import apply_fixes
+from repro.lint.registry import all_rules
+from repro.lint.reporters import REPORT_FORMATS, LintReport, render
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to a parser (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS), metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORT_FORMATS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of suppressed-but-tracked findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (REP003 sort_keys=True) in place",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all); e.g. "
+        "REP003,REP004 for harness code where only the writer "
+        "contracts apply",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory finding paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (code, name, summary) and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments."""
+    if args.list_rules:
+        print(_rule_table())
+        return 0
+    root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
+    rules = _selected_rules(args.select)
+    findings = lint_paths(args.paths, root=root, rules=rules)
+    fixed = 0
+    if args.fix:
+        applied = apply_fixes(findings, root)
+        fixed = sum(applied.values())
+        if fixed:
+            findings = lint_paths(args.paths, root=root, rules=rules)
+    if args.write_baseline:
+        if not args.baseline:
+            raise ReproError("--write-baseline requires --baseline FILE")
+        path = Baseline.from_findings(findings).save(args.baseline)
+        print(
+            f"baseline written to {path} "
+            f"({len(findings)} finding(s) recorded)"
+        )
+        return 0
+    baseline = (
+        Baseline.load(args.baseline) if args.baseline else Baseline.empty()
+    )
+    report = LintReport(
+        partition=baseline.partition(findings),
+        files_scanned=_count_files(args.paths),
+        fixed=fixed,
+    )
+    output = render(report, args.format)
+    if output:
+        print(output)
+    return report.exit_code
+
+
+def _selected_rules(select: Optional[str]):
+    if not select:
+        return None
+    from repro.lint.errors import LintError
+    from repro.lint.registry import RULES
+
+    codes = [c.strip().upper() for c in select.split(",") if c.strip()]
+    all_instances = {rule.code: rule for rule in all_rules()}
+    unknown = [c for c in codes if c not in all_instances]
+    if unknown:
+        raise LintError(
+            f"unknown rule code(s) {', '.join(unknown)} in --select "
+            f"(registered: {', '.join(sorted(RULES))})"
+        )
+    return [all_instances[c] for c in codes]
+
+
+def _count_files(paths: Sequence[str]) -> int:
+    from repro.lint.engine import iter_python_files
+
+    return len(iter_python_files([pathlib.Path(p) for p in paths]))
+
+
+def _rule_table() -> str:
+    lines: List[str] = []
+    for rule in all_rules():
+        fixable = " (autofix)" if rule.fixable else ""
+        lines.append(f"{rule.code}  {rule.name}{fixable}")
+        lines.append(f"        {rule.summary}")
+        lines.append(f"        why: {rule.rationale}")
+        if rule.allowlist:
+            lines.append(
+                "        allowlist: " + ", ".join(rule.allowlist)
+            )
+        if rule.scope:
+            lines.append(
+                "        scope: modules matching "
+                + ", ".join(rule.scope)
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based contract checker for the repro framework's "
+            "determinism, durability, and error-model invariants"
+        ),
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint_command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# Re-exported for the docs generator and tests.
+def findings_for(paths: Sequence[str]) -> List[Finding]:
+    return lint_paths(paths)

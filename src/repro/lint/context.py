@@ -1,0 +1,44 @@
+"""Per-module context handed to every rule during the single AST walk."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Optional, Tuple
+
+__all__ = ["ModuleContext"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module: path identity plus source-access helpers.
+
+    ``relpath`` is POSIX-style and relative to the lint root; it is the
+    path that appears in findings, baselines, and rule allowlists, so it
+    is stable across machines and checkouts.
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, source: str, relpath: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=relpath)
+        return cls(
+            relpath=relpath.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, or '' when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def segment(self, node: ast.AST) -> Optional[str]:
+        """The exact source text of ``node`` (None for synthetic nodes)."""
+        return ast.get_source_segment(self.source, node)

@@ -1,0 +1,148 @@
+"""The AST-visitor rule engine: one walk per file, event dispatch to rules.
+
+The engine parses each module once, builds a node-type → interested-rules
+dispatch table, and hands every node of :func:`ast.walk` to exactly the
+rules that declared that node type.  Adding a rule therefore never adds
+another tree traversal, and a rule never sees nodes it did not ask for.
+
+Files that fail to parse are reported as findings under the synthetic
+code ``REP000`` rather than aborting the run: a syntax error in one file
+must not hide contract violations in the other two hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+PARSE_ERROR_CODE = "REP000"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(
+    paths: Sequence[pathlib.Path],
+) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = set()
+    out: List[pathlib.Path] = []
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"no such file or directory: '{path}'")
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def _dispatch_table(
+    rules: Sequence[Rule],
+) -> Dict[Type[ast.AST], List[Rule]]:
+    table: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            table.setdefault(node_type, []).append(rule)
+    return table
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module given as text; the unit the fixture tests use."""
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = ModuleContext.parse(source, relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                path=relpath.replace("\\", "/"),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    applicable = [r for r in active if r.applies_to(ctx.relpath)]
+    if not applicable:
+        return []
+    table = _dispatch_table(applicable)
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        for rule in table.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(
+    path: pathlib.Path,
+    root: pathlib.Path,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one file on disk, reporting paths relative to ``root``."""
+    return lint_source(
+        path.read_text(encoding="utf-8"), _relpath(path, root), rules
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path],
+    *,
+    root: Optional[str | pathlib.Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint files and directories; the programmatic entry point.
+
+    ``root`` anchors the relative paths used in findings and baselines;
+    it defaults to the current working directory (the repo root in CI
+    and in the test suite).
+    """
+    rootpath = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files([pathlib.Path(p) for p in paths]):
+        findings.extend(lint_file(path, rootpath, active))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return path.as_posix()
+    return rel.as_posix()
+
+
+def iter_rule_findings(  # pragma: no cover - thin convenience wrapper
+    source: str, relpath: str, rule: Rule
+) -> Iterable[Finding]:
+    """Findings of a single rule on one source blob (doc/test helper)."""
+    return lint_source(source, relpath, [rule])

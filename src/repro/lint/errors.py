@@ -1,0 +1,21 @@
+"""Errors raised by the static-contract checker itself.
+
+These cover misuse of the linter (unknown reporter names, unreadable
+baseline files, paths that do not exist) — *not* the contract violations
+it reports, which are data (:class:`repro.lint.findings.Finding`), never
+exceptions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["LintError"]
+
+
+class LintError(ReproError):
+    """The lint run itself cannot proceed (bad arguments, bad baseline).
+
+    Distinct from a *finding*: findings are reported and exit with code 1;
+    a ``LintError`` means the tool was invoked incorrectly.
+    """

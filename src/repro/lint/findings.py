@@ -1,0 +1,67 @@
+"""Finding and Fix: the data the rule engine produces.
+
+A :class:`Finding` is one contract violation at one source location.  Its
+:attr:`~Finding.identity` deliberately excludes the line number — baselines
+match on ``(code, path, snippet)`` so that unrelated edits that shift a
+violation up or down the file do not invalidate the baseline, while any
+edit that *touches the violating line itself* does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Finding", "Fix"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fix:
+    """A mechanical source replacement for an autofixable finding.
+
+    Spans are in the parser's coordinates: 1-based lines, 0-based columns,
+    end-exclusive — exactly what ``ast`` puts on nodes, so rules can copy
+    ``lineno``/``col_offset``/``end_lineno``/``end_col_offset`` verbatim.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One violation of one registered rule at one source location."""
+
+    code: str  # stable rule code, e.g. "REP003"
+    message: str  # one-line human explanation of this occurrence
+    path: str  # POSIX path relative to the lint root
+    line: int  # 1-based
+    col: int  # 1-based (display convention; ast col_offset + 1)
+    snippet: str  # the violating source line, stripped (baseline identity)
+    fix: Optional[Fix] = None
+
+    @property
+    def fixable(self) -> bool:
+        return self.fix is not None
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """What a baseline matches on: line-number-independent."""
+        return (self.code, self.path, self.snippet)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+            "fixable": self.fixable,
+        }

@@ -1,0 +1,95 @@
+"""Applying mechanical fixes to source files.
+
+Fixes are span replacements recorded on findings by fixable rules
+(currently REP003's ``sort_keys=True`` insertion).  Per file, spans are
+applied bottom-up so earlier replacements never shift later offsets, and
+overlapping spans are refused defensively.  Rewritten sources go back to
+disk through the durable layer — the linter practices the REP004
+contract it enforces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.durable import atomic_write_text
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding, Fix
+
+__all__ = ["apply_fixes"]
+
+
+def apply_fixes(
+    findings: Sequence[Finding],
+    root: pathlib.Path,
+) -> Dict[str, int]:
+    """Rewrite every fixable finding; returns {relpath: fixes applied}.
+
+    Paths in findings are relative to ``root`` (the lint root), matching
+    how the engine produced them.
+    """
+    by_file: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_file.setdefault(finding.path, []).append(finding)
+    applied: Dict[str, int] = {}
+    for relpath, file_findings in sorted(by_file.items()):
+        path = _resolve(relpath, root)
+        source = path.read_text(encoding="utf-8")
+        rewritten = _apply_to_source(
+            source, [f.fix for f in file_findings if f.fix is not None],
+            relpath,
+        )
+        if rewritten != source:
+            atomic_write_text(path, rewritten)
+        applied[relpath] = len(file_findings)
+    return applied
+
+
+def _resolve(relpath: str, root: pathlib.Path) -> pathlib.Path:
+    candidate = pathlib.Path(relpath)
+    if candidate.is_absolute():
+        return candidate
+    return root / candidate
+
+
+def _apply_to_source(
+    source: str, fixes: Sequence[Fix], relpath: str
+) -> str:
+    line_starts = _line_start_offsets(source)
+
+    def offset(line: int, col: int) -> int:
+        if not 1 <= line <= len(line_starts):
+            raise LintError(
+                f"fix for {relpath} is out of range (line {line}); "
+                "the file changed since it was linted — re-run lint"
+            )
+        return line_starts[line - 1] + col
+
+    spans: List[Tuple[int, int, str]] = sorted(
+        (
+            offset(fix.start_line, fix.start_col),
+            offset(fix.end_line, fix.end_col),
+            fix.replacement,
+        )
+        for fix in fixes
+    )
+    for (_, prev_end, _), (next_start, _, _) in zip(spans, spans[1:]):
+        if next_start < prev_end:
+            raise LintError(
+                f"overlapping fixes in {relpath}; re-run lint after "
+                "applying fixes once"
+            )
+    out = source
+    for start, end, replacement in reversed(spans):
+        out = out[:start] + replacement + out[end:]
+    return out
+
+
+def _line_start_offsets(source: str) -> List[int]:
+    starts = [0]
+    for idx, char in enumerate(source):
+        if char == "\n":
+            starts.append(idx + 1)
+    return starts

@@ -1,0 +1,137 @@
+"""Reporters: text for humans, JSON for tools, GitHub annotations for CI.
+
+All three render a :class:`LintReport` — the findings partitioned
+against the baseline plus run metadata — and all three are pure
+functions returning a string, so golden-output tests can pin them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.core.durable import canonical_json
+from repro.lint.baseline import BaselinePartition
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["LintReport", "REPORT_FORMATS", "render"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Everything a reporter needs about one lint run."""
+
+    partition: BaselinePartition
+    files_scanned: int
+    fixed: int = 0  # findings rewritten by --fix in this run
+
+    @property
+    def new(self) -> Tuple[Finding, ...]:
+        return self.partition.new
+
+    @property
+    def suppressed(self) -> Tuple[Finding, ...]:
+        return self.partition.suppressed
+
+    @property
+    def ok(self) -> bool:
+        return not self.partition.new
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for finding in report.new:
+        flag = " [fixable]" if finding.fixable else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col} "
+            f"{finding.code}{flag} {finding.message}"
+        )
+    summary = (
+        f"{len(report.new)} new finding(s), "
+        f"{len(report.suppressed)} baselined, "
+        f"{report.files_scanned} file(s) scanned"
+    )
+    if report.fixed:
+        summary += f", {report.fixed} fixed"
+    lines.append(summary)
+    for identity, count in report.partition.stale:
+        code, path, snippet = identity
+        lines.append(
+            f"stale baseline entry: {code} at {path} ({count} "
+            f"unmatched occurrence(s) of {snippet!r}); shrink the "
+            "baseline with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    document = {
+        "format_version": 1,
+        "tool": "repro.lint",
+        "summary": {
+            "new": len(report.new),
+            "suppressed": len(report.suppressed),
+            "stale_baseline_entries": len(report.partition.stale),
+            "files_scanned": report.files_scanned,
+            "fixed": report.fixed,
+            "ok": report.ok,
+        },
+        "findings": [f.to_dict() for f in report.new],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "stale": [
+            {"code": code, "path": path, "snippet": snippet, "count": count}
+            for (code, path, snippet), count in report.partition.stale
+        ],
+    }
+    return canonical_json(document).rstrip("\n")
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands: one ::error line per finding."""
+    lines = [
+        "::error file={path},line={line},col={col},title={code}::{msg}".format(
+            path=f.path,
+            line=f.line,
+            col=f.col,
+            code=f.code,
+            msg=_escape_github(f"{f.message} [{f.code}]"),
+        )
+        for f in report.new
+    ]
+    lines.append(
+        f"::notice title=repro.lint::{len(report.new)} new, "
+        f"{len(report.suppressed)} baselined, "
+        f"{report.files_scanned} files"
+    )
+    return "\n".join(lines)
+
+
+def _escape_github(message: str) -> str:
+    # Workflow-command data must escape %, CR and LF.
+    return (
+        message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+REPORT_FORMATS: Dict[str, object] = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def render(report: LintReport, fmt: str) -> str:
+    renderer = REPORT_FORMATS.get(fmt)
+    if renderer is None:
+        raise LintError(
+            f"unknown report format {fmt!r} "
+            f"(expected one of {', '.join(sorted(REPORT_FORMATS))})"
+        )
+    return renderer(report)  # type: ignore[operator]

@@ -1,0 +1,12 @@
+"""Built-in contract rules; importing this package registers all of them."""
+
+from repro.lint.rules import (  # noqa: F401
+    rep001_wall_clock,
+    rep002_seeded_rng,
+    rep003_canonical_json,
+    rep004_durable_writes,
+    rep005_repro_errors,
+    rep006_float_equality,
+    rep007_set_iteration,
+    rep008_ledger_discipline,
+)

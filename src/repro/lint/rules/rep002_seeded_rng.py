@@ -1,0 +1,131 @@
+"""REP002: every random source must be explicitly seeded.
+
+Reproducibility is the repo's product: the fault injector replays crash
+schedules from a seed, the Poisson job-stream generator draws in a fixed
+order from a seed, and dataset generators are seeded per dataset.  An
+unseeded ``random.Random()``, the process-global ``random.*`` functions,
+or an unseeded ``numpy`` generator silently couples results to
+interpreter start-up state.
+
+Bad::
+
+    rng = random.Random()                  # REP002: no seed
+    random.shuffle(items)                  # REP002: global RNG
+    rng = np.random.default_rng()          # REP002: no seed
+    np.random.seed(7); np.random.rand()    # REP002: legacy global state
+
+Good::
+
+    rng = random.Random(f"{seed}:transient:{pass_index}")
+    rng = np.random.default_rng(spec.seed)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, dotted_name, register
+
+# The module-global random functions that mutate/read the shared state.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+LEGACY_NUMPY_FNS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "poisson",
+        "exponential",
+        "binomial",
+    }
+)
+
+
+@register
+class SeededRngRule(Rule):
+    code = "REP002"
+    name = "seeded-rng"
+    summary = "RNGs must be constructed with an explicit seed"
+    rationale = (
+        "Unseeded or process-global randomness couples results to "
+        "interpreter start-up state, breaking byte-identical replay."
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in ("random.Random", "random.SystemRandom"):
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without an explicit seed is "
+                    "non-reproducible; pass a seed derived from the run's "
+                    "seed material",
+                )
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] in GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-global {name}() uses shared interpreter RNG "
+                    "state; construct a seeded random.Random instead",
+                )
+            return
+        if name in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws OS entropy; pass "
+                    "the run's seed explicitly",
+                )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in LEGACY_NUMPY_FNS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"legacy global {name}() mutates shared numpy RNG state; "
+                "use a seeded np.random.default_rng(seed) generator",
+            )

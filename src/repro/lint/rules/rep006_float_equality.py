@@ -1,0 +1,66 @@
+"""REP006: no ``==`` / ``!=`` against float literals in model math.
+
+The prediction model is float arithmetic end to end (``T_exec = T_disk +
+T_network + T_compute``); comparing a computed time, bandwidth, or
+calibration factor to a float literal with ``==`` is a latent
+determinism bug — it silently flips with re-association or an extra
+model term, and then a "calibrated" branch fires on one platform and
+not another.
+
+Integer-literal comparisons (``if retries == 0``) are untouched; the
+rule only fires when a comparand is a *float* literal.
+
+Bad::
+
+    if t_network == 0.0:            # REP006
+        skip_transfer()
+
+Good::
+
+    if t_network <= EPS:
+        skip_transfer()
+    if math.isclose(factor, 1.0, rel_tol=1e-9):
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "REP006"
+    name = "float-equality"
+    summary = "no ==/!= comparisons against float literals"
+    rationale = (
+        "Exact float equality flips under re-association and platform "
+        "differences; prediction math must use tolerances."
+    )
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_float_literal(operand) for operand in operands):
+            yield self.finding(
+                ctx,
+                node,
+                "==/!= against a float literal is unstable in model "
+                "math; compare with a tolerance (math.isclose or an "
+                "epsilon bound)",
+            )
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)

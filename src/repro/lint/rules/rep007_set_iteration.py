@@ -1,0 +1,89 @@
+"""REP007: no direct iteration over sets in serialization/report code.
+
+Set iteration order depends on element hashes and insertion history; two
+runs that compute the same *set* can serialize it in different orders,
+breaking byte-identical reports and journal checksums.  In modules whose
+job is producing persisted or displayed bytes (serializers, reporters,
+journals, stores), every set must be ordered — ``sorted(...)`` — before
+it is walked.
+
+The rule is scoped to those modules by path fragment; a set iterated in
+pure in-memory logic elsewhere is fine.
+
+Bad (in a report/serialize module)::
+
+    for site in {p.site for p in placements}:      # REP007
+        emit(site)
+
+Good::
+
+    for site in sorted({p.site for p in placements}):
+        emit(site)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, dotted_name, register
+
+SCOPE_FRAGMENTS = (
+    "serialize",
+    "report",
+    "reporter",
+    "journal",
+    "store",
+    "results_io",
+)
+
+
+@register
+class SetIterationRule(Rule):
+    code = "REP007"
+    name = "ordered-serialization"
+    summary = "serialization/report modules must not iterate raw sets"
+    rationale = (
+        "Set order is hash- and history-dependent; persisted or "
+        "displayed bytes must come from a sorted sequence."
+    )
+    node_types = (ast.For, ast.comprehension)
+    scope = SCOPE_FRAGMENTS
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        iters: List[ast.expr] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, ast.comprehension):
+            iters.append(node.iter)
+        for expr in iters:
+            if _is_set_expression(expr):
+                yield self.finding(
+                    ctx,
+                    # comprehension nodes carry no position; anchor on the
+                    # iterated expression, which always does.
+                    expr,
+                    "iterating a set directly yields hash-dependent "
+                    "order in serialized output; wrap it in sorted(...)",
+                )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if name in ("sorted",):
+            return False
+        # set arithmetic helpers commonly produce sets too
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False

@@ -26,6 +26,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Sequence
 
+from repro.errors import UsageError
 from repro.middleware.instrument import OpCounter
 
 __all__ = ["GeneralizedReduction"]
@@ -114,7 +115,7 @@ class GeneralizedReduction(abc.ABC):
         )
 
         if not objs:
-            raise ValueError("merge_local needs at least one object")
+            raise UsageError("merge_local needs at least one object")
         first = objs[0]
         if isinstance(first, ArrayReductionObject):
             merged = first.copy()

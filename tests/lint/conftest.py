@@ -1,0 +1,20 @@
+"""Shared fixtures for the lint test suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixtures_dir() -> pathlib.Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> pathlib.Path:
+    return REPO_ROOT

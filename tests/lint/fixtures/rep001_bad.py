@@ -1,0 +1,11 @@
+"""REP001 bad: model code reading the host clock."""
+
+import time
+from datetime import datetime
+
+
+def stamp_run(record):
+    record["started"] = time.time()
+    record["tick"] = time.monotonic()
+    record["when"] = datetime.now().isoformat()
+    return record

@@ -1,0 +1,7 @@
+"""REP001 good: time comes from the simulated clock."""
+
+
+def stamp_run(record, engine):
+    record["started"] = engine.now
+    record["tick"] = engine.now
+    return record

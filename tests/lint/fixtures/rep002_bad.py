@@ -1,0 +1,13 @@
+"""REP002 bad: unseeded and process-global randomness."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    rng = random.Random()
+    random.shuffle(values)
+    noise = np.random.default_rng()
+    legacy = np.random.rand(3)
+    return rng, noise, legacy

@@ -1,0 +1,12 @@
+"""REP002 good: every generator takes an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = random.Random(f"{seed}:jitter")
+    rng.shuffle(values)
+    noise = np.random.default_rng(seed)
+    return rng, noise

@@ -1,0 +1,9 @@
+"""REP003 bad: JSON rendered without canonical key order."""
+
+import json
+
+
+def render(payload, fh):
+    text = json.dumps(payload, indent=2)
+    json.dump(payload, fh, sort_keys=False)
+    return text

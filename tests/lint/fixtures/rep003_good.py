@@ -1,0 +1,9 @@
+"""REP003 good: canonical sorted-key JSON."""
+
+import json
+
+
+def render(payload, fh):
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    json.dump(payload, fh, sort_keys=True)
+    return text

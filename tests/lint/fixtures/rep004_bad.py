@@ -1,0 +1,9 @@
+"""REP004 bad: raw, tearable writes of persistent state."""
+
+import pathlib
+
+
+def persist(path: pathlib.Path, text: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(text)
+    path.with_suffix(".copy").write_text(text)

@@ -1,0 +1,11 @@
+"""REP004 good: persistence through the atomic durable layer."""
+
+import pathlib
+
+from repro.core.durable import atomic_write_text
+
+
+def persist(path: pathlib.Path, text: str) -> None:
+    atomic_write_text(path, text)
+    with open(path) as fh:  # read-mode open is fine
+        fh.read()

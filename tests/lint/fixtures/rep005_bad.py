@@ -1,0 +1,9 @@
+"""REP005 bad: builtin exceptions escaping the error model."""
+
+
+def check(job_id, count):
+    if not job_id:
+        raise ValueError("jobs need a non-empty id")
+    if count < 0:
+        raise RuntimeError
+    return job_id, count

@@ -1,0 +1,20 @@
+"""REP005 good: classified ReproError subclasses (and the exemptions)."""
+
+from repro.errors import ReproError
+
+
+class JobError(ReproError):
+    pass
+
+
+def check(job_id, count):
+    if not job_id:
+        raise JobError("jobs need a non-empty id")
+    try:
+        return 1 / count
+    except ZeroDivisionError:
+        raise  # bare re-raise is exempt
+
+
+def abstract_hook():
+    raise NotImplementedError("subclasses override")  # idiom is exempt

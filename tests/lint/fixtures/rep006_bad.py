@@ -1,0 +1,7 @@
+"""REP006 bad: exact equality against float literals in model math."""
+
+
+def needs_transfer(t_network, factor):
+    if t_network == 0.0:
+        return False
+    return factor != 1.0

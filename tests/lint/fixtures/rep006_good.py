@@ -1,0 +1,13 @@
+"""REP006 good: tolerance comparisons (integer equality is untouched)."""
+
+import math
+
+EPS = 1e-12
+
+
+def needs_transfer(t_network, factor, retries):
+    if t_network <= EPS:
+        return False
+    if retries == 0:  # integer comparison: fine
+        return True
+    return not math.isclose(factor, 1.0, rel_tol=1e-9)

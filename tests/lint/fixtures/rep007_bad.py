@@ -1,0 +1,9 @@
+"""REP007 bad: raw set iteration while serializing (hash-order bytes)."""
+
+
+def serialize_sites(placements):
+    lines = []
+    for site in {p.site for p in placements}:
+        lines.append(site)
+    names = [n for n in set(p.node for p in placements)]
+    return lines, names

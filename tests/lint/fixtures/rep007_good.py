@@ -1,0 +1,9 @@
+"""REP007 good: sets are sorted before they become output."""
+
+
+def serialize_sites(placements):
+    lines = []
+    for site in sorted({p.site for p in placements}):
+        lines.append(site)
+    names = [n for n in sorted(set(p.node for p in placements))]
+    return lines, names

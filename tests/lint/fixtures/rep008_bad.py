@@ -1,0 +1,7 @@
+"""REP008 bad: grabbing ledger nodes outside the broker event loop."""
+
+
+def greedy_grab(ledger, site, n, now, eta):
+    ids = ledger.pool(site).acquire(n, now, eta)
+    ledger.pool(site).release(ids)
+    return ids

@@ -1,0 +1,10 @@
+"""REP008 good: placement is requested from the broker engine."""
+
+
+def place_via_engine(broker, jobs, policy):
+    # only GridBroker.run touches the ledger, at event-queue time
+    return broker.run(jobs, policy)
+
+
+def unrelated_release(lock):
+    lock.release()  # not a ledger/pool: fine

@@ -1,0 +1,160 @@
+"""The ``repro lint`` subcommand and ``python -m repro.lint`` entry."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+
+def test_repro_lint_gate_passes_on_the_shipped_tree(repo_root):
+    code = repro_main(
+        [
+            "lint",
+            str(repo_root / "src" / "repro"),
+            "--baseline",
+            str(repo_root / "lint-baseline.json"),
+            "--root",
+            str(repo_root),
+        ]
+    )
+    assert code == 0
+
+
+def test_bad_file_fails_with_text_findings(tmp_path, fixtures_dir, capsys):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep005_bad.py", target)
+    code = lint_main([str(target), "--root", str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out
+    assert "2 new finding(s)" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, fixtures_dir, capsys):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep003_bad.py", target)
+    code = lint_main(
+        [str(target), "--root", str(tmp_path), "--format", "json"]
+    )
+    assert code == 1
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["summary"]["new"] == 2
+    assert {f["code"] for f in parsed["findings"]} == {"REP003"}
+
+
+def test_github_format_emits_error_annotations(
+    tmp_path, fixtures_dir, capsys
+):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep001_bad.py", target)
+    code = lint_main(
+        [str(target), "--root", str(tmp_path), "--format", "github"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert out.count("::error file=bad.py") == 3
+    assert "::notice title=repro.lint" in out
+
+
+def test_write_baseline_then_gate_passes(tmp_path, fixtures_dir, capsys):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep006_bad.py", target)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    assert (
+        lint_main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+
+
+def test_fix_flag_round_trip(tmp_path, fixtures_dir, capsys):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep003_bad.py", target)
+    first = lint_main([str(target), "--root", str(tmp_path), "--fix"])
+    # the sort_keys=False finding remains (not auto-rewritable)
+    assert first == 1
+    assert "1 fixed" in capsys.readouterr().out
+    assert "sort_keys=True" in target.read_text()
+
+
+def test_write_baseline_requires_baseline_path(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    code = lint_main(
+        [str(tmp_path / "ok.py"), "--root", str(tmp_path),
+         "--write-baseline"]
+    )
+    assert code == 2
+    assert "requires --baseline" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tmp_path, capsys):
+    code = lint_main([str(tmp_path / "missing.py")])
+    assert code == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_select_scopes_the_rule_set(tmp_path, fixtures_dir, capsys):
+    target = tmp_path / "bad.py"
+    shutil.copy(fixtures_dir / "rep001_bad.py", target)
+    # REP001 fires unscoped, but a REP003/REP004-only run ignores it.
+    assert lint_main([str(target), "--root", str(tmp_path)]) == 1
+    capsys.readouterr()
+    assert (
+        lint_main(
+            [str(target), "--root", str(tmp_path), "--select",
+             "REP003,REP004"]
+        )
+        == 0
+    )
+
+
+def test_select_rejects_unknown_codes(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    code = lint_main(
+        [str(tmp_path / "ok.py"), "--root", str(tmp_path), "--select",
+         "REP999"]
+    )
+    assert code == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_list_rules_prints_the_table(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in [f"REP00{i}" for i in range(1, 9)]:
+        assert code in out
+    assert "allowlist" in out
+    assert "(autofix)" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path / "ok.py"), "--root",
+                      str(tmp_path)]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Engine and registry invariants: stable codes, dispatch, parse errors."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR_CODE,
+    LintError,
+    RULES,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+
+EXPECTED_CODES = [f"REP00{i}" for i in range(1, 9)]
+
+
+def test_all_eight_rules_registered_with_stable_codes():
+    rules = all_rules()
+    assert [r.code for r in rules] == EXPECTED_CODES
+    assert sorted(RULES) == EXPECTED_CODES
+
+
+def test_rule_metadata_is_complete():
+    for rule in all_rules():
+        assert re.match(r"^REP\d{3}$", rule.code)
+        assert rule.name and rule.summary and rule.rationale
+        assert rule.node_types, f"{rule.code} declares no node interest"
+
+
+def test_codes_never_collide_with_the_parse_error_code():
+    assert PARSE_ERROR_CODE not in RULES
+
+
+def test_syntax_error_becomes_a_rep000_finding():
+    findings = lint_source("def broken(:\n", "src/repro/broken.py")
+    assert len(findings) == 1
+    assert findings[0].code == PARSE_ERROR_CODE
+    assert "does not parse" in findings[0].message
+
+
+def test_findings_are_sorted_and_deterministic(fixtures_dir):
+    source = (fixtures_dir / "rep001_bad.py").read_text()
+    first = lint_source(source, "src/repro/a.py")
+    second = lint_source(source, "src/repro/a.py")
+    assert first == second
+    assert first == sorted(first, key=lambda f: f.sort_key())
+
+
+def test_iter_python_files_deduplicates_and_sorts(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("y = 2\n")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "c.py").write_text("z = 3\n")
+    (sub / "__pycache__").mkdir()
+    (sub / "__pycache__" / "junk.py").write_text("bad(\n")
+    files = iter_python_files([tmp_path, tmp_path / "a.py"])
+    names = [f.name for f in files]
+    assert names == ["a.py", "b.py", "c.py"]
+
+
+def test_missing_path_is_a_lint_error(tmp_path):
+    with pytest.raises(LintError, match="no such file"):
+        lint_paths([tmp_path / "nope"], root=tmp_path)
+
+
+def test_lint_paths_reports_relative_posix_paths(tmp_path, fixtures_dir):
+    target = tmp_path / "src" / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((fixtures_dir / "rep005_bad.py").read_text())
+    findings = lint_paths([tmp_path], root=tmp_path)
+    assert {f.path for f in findings} == {"src/repro/mod.py"}
+
+
+def test_single_rule_subset_runs_only_that_rule(fixtures_dir):
+    from repro.lint.rules.rep001_wall_clock import WallClockRule
+
+    source = (fixtures_dir / "rep002_bad.py").read_text()
+    assert lint_source(source, "src/repro/a.py", [WallClockRule()]) == []

@@ -1,0 +1,144 @@
+"""Golden outputs for the text / JSON / GitHub reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Finding,
+    Fix,
+    LintError,
+    LintReport,
+    render,
+    render_github,
+    render_json,
+    render_text,
+)
+
+
+def make_report():
+    fixable = Finding(
+        code="REP003",
+        message="json.dumps() without sort_keys=True is not canonical",
+        path="src/repro/a.py",
+        line=3,
+        col=5,
+        snippet="json.dumps(x)",
+        fix=Fix(3, 4, 3, 17, "json.dumps(x, sort_keys=True)"),
+    )
+    plain = Finding(
+        code="REP005",
+        message="raise of builtin ValueError escapes the hierarchy",
+        path="src/repro/b.py",
+        line=9,
+        col=1,
+        snippet="raise ValueError('no')",
+    )
+    baselined = Finding(
+        code="REP006",
+        message="float equality",
+        path="src/repro/c.py",
+        line=2,
+        col=1,
+        snippet="x == 0.0",
+    )
+    baseline = Baseline.from_findings([baselined])
+    partition = baseline.partition([fixable, plain, baselined])
+    return LintReport(partition=partition, files_scanned=3)
+
+
+GOLDEN_TEXT = """\
+src/repro/a.py:3:5 REP003 [fixable] json.dumps() without sort_keys=True is not canonical
+src/repro/b.py:9:1 REP005 raise of builtin ValueError escapes the hierarchy
+2 new finding(s), 1 baselined, 3 file(s) scanned"""
+
+GOLDEN_GITHUB = """\
+::error file=src/repro/a.py,line=3,col=5,title=REP003::json.dumps() without sort_keys=True is not canonical [REP003]
+::error file=src/repro/b.py,line=9,col=1,title=REP005::raise of builtin ValueError escapes the hierarchy [REP005]
+::notice title=repro.lint::2 new, 1 baselined, 3 files"""
+
+
+def test_text_golden():
+    assert render_text(make_report()) == GOLDEN_TEXT
+
+
+def test_github_golden():
+    assert render_github(make_report()) == GOLDEN_GITHUB
+
+
+def test_json_is_canonical_and_complete():
+    output = render_json(make_report())
+    # canonical: sorted keys, so re-dumping the parse is a fixed point
+    parsed = json.loads(output)
+    assert json.dumps(parsed, indent=2, sort_keys=True) == output
+    assert parsed["summary"] == {
+        "new": 2,
+        "suppressed": 1,
+        "stale_baseline_entries": 0,
+        "files_scanned": 3,
+        "fixed": 0,
+        "ok": False,
+    }
+    codes = [f["code"] for f in parsed["findings"]]
+    assert codes == ["REP003", "REP005"]
+    assert parsed["findings"][0]["fixable"] is True
+    assert parsed["suppressed"][0]["code"] == "REP006"
+
+
+def test_stale_entries_render_in_text():
+    baseline = Baseline.from_findings(
+        [
+            Finding(
+                code="REP005",
+                message="m",
+                path="src/repro/gone.py",
+                line=1,
+                col=1,
+                snippet="raise ValueError",
+            )
+        ]
+    )
+    report = LintReport(
+        partition=baseline.partition([]), files_scanned=1
+    )
+    text = render_text(report)
+    assert "stale baseline entry: REP005" in text
+    assert report.ok  # stale entries alone never fail the gate
+
+
+def test_github_escapes_newlines():
+    finding = Finding(
+        code="REP001",
+        message="bad\nclock 100%",
+        path="src/repro/a.py",
+        line=1,
+        col=1,
+        snippet="time.time()",
+    )
+    report = LintReport(
+        partition=Baseline.empty().partition([finding]), files_scanned=1
+    )
+    out = render_github(report)
+    assert "%0A" in out and "100%25" in out
+    assert "\nclock" not in out.split("\n")[0]
+
+
+def test_render_dispatch_and_unknown_format():
+    report = make_report()
+    assert render(report, "text") == render_text(report)
+    assert render(report, "json") == render_json(report)
+    assert render(report, "github") == render_github(report)
+    with pytest.raises(LintError, match="unknown report format"):
+        render(report, "xml")
+
+
+def test_exit_code_tracks_new_findings():
+    dirty = make_report()
+    assert dirty.exit_code == 1
+    clean = LintReport(
+        partition=Baseline.empty().partition([]), files_scanned=0
+    )
+    assert clean.exit_code == 0
