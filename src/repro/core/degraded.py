@@ -40,6 +40,7 @@ from typing import Optional
 from repro.core.models import PredictedBreakdown, PredictionModel
 from repro.core.profile import Profile
 from repro.core.target import PredictionTarget
+from repro.core.units import Seconds
 from repro.errors import FaultError
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.faults.specs import (
@@ -63,18 +64,18 @@ __all__ = [
 class RecoveryBreakdown:
     """The expected recovery term, componentwise (all seconds)."""
 
-    t_retry: float = 0.0
-    t_refetch_disk: float = 0.0
-    t_refetch_network: float = 0.0
-    t_lost_work: float = 0.0
-    t_restore: float = 0.0
-    t_redistribution: float = 0.0
-    t_ckpt: float = 0.0
-    t_degraded_links: float = 0.0
-    t_slow_nodes: float = 0.0
+    t_retry: Seconds = 0.0
+    t_refetch_disk: Seconds = 0.0
+    t_refetch_network: Seconds = 0.0
+    t_lost_work: Seconds = 0.0
+    t_restore: Seconds = 0.0
+    t_redistribution: Seconds = 0.0
+    t_ckpt: Seconds = 0.0
+    t_degraded_links: Seconds = 0.0
+    t_slow_nodes: Seconds = 0.0
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """T̂_recover — the sum of every expected recovery cost."""
         return (
             self.t_retry
@@ -97,12 +98,12 @@ class DegradedPrediction:
     recovery: RecoveryBreakdown
 
     @property
-    def t_recover(self) -> float:
+    def t_recover(self) -> Seconds:
         """The expected recovery term T̂_recover."""
         return self.recovery.total
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """T̂_exec(faulted) = T̂_exec + T̂_recover."""
         return self.base.total + self.recovery.total
 

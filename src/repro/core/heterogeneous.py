@@ -26,6 +26,7 @@ from typing import Dict, Sequence, Tuple
 from repro.core.models import PredictedBreakdown, PredictionModel
 from repro.core.profile import Profile
 from repro.core.target import PredictionTarget
+from repro.core.units import Ratio
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = [
@@ -39,9 +40,9 @@ __all__ = [
 class ComponentScalingFactors:
     """Averaged componentwise speedups from cluster A to cluster B."""
 
-    sd: float  # data retrieval
-    sn: float  # data communication
-    sc: float  # data processing
+    sd: Ratio  # data retrieval
+    sn: Ratio  # data communication
+    sc: Ratio  # data processing
     per_app: Dict[str, Tuple[float, float, float]] | None = None
 
     def __post_init__(self) -> None:

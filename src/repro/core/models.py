@@ -30,6 +30,7 @@ from repro.core.predictors import (
 )
 from repro.core.profile import Profile
 from repro.core.target import PredictionTarget
+from repro.core.units import Ratio, Seconds
 from repro.simgrid.network import CommCostModel
 
 __all__ = [
@@ -45,18 +46,18 @@ __all__ = [
 class PredictedBreakdown:
     """A predicted execution time, componentwise."""
 
-    t_disk: float
-    t_network: float
-    t_compute: float
-    t_ro: float = 0.0
-    t_g: float = 0.0
+    t_disk: Seconds
+    t_network: Seconds
+    t_compute: Seconds
+    t_ro: Seconds = 0.0
+    t_g: Seconds = 0.0
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """T̂_exec = T̂_disk + T̂_network + T̂_compute."""
         return self.t_disk + self.t_network + self.t_compute
 
-    def scaled(self, sd: float, sn: float, sc: float) -> "PredictedBreakdown":
+    def scaled(self, sd: Ratio, sn: Ratio, sc: Ratio) -> "PredictedBreakdown":
         """Componentwise rescaling (used by cross-cluster prediction)."""
         ratio = sc
         return PredictedBreakdown(

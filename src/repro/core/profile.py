@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Dict
 
+from repro.core.units import Bytes, BytesPerSecond, Seconds
 from repro.middleware.scheduler import RunConfig
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.hardware import ClusterSpec
@@ -35,18 +36,18 @@ class Profile:
     compute_cluster: ClusterSpec
     data_nodes: int
     compute_nodes: int
-    bandwidth: float
-    dataset_bytes: float
-    t_disk: float
-    t_network: float
-    t_compute: float
-    t_ro: float
-    t_g: float
-    max_object_bytes: float
-    broadcast_bytes: float = 0.0
+    bandwidth: BytesPerSecond
+    dataset_bytes: Bytes
+    t_disk: Seconds
+    t_network: Seconds
+    t_compute: Seconds
+    t_ro: Seconds
+    t_g: Seconds
+    max_object_bytes: Bytes
+    broadcast_bytes: Bytes = 0.0
     gather_rounds: int = 1
     processes_per_node: int = 1
-    t_cache: float = 0.0
+    t_cache: Seconds = 0.0
     metadata: Dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
@@ -69,7 +70,7 @@ class Profile:
             raise ConfigurationError("processes_per_node must be positive")
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """Profile execution time (``t_d + t_n + t_c``)."""
         return self.t_disk + self.t_network + self.t_compute
 
@@ -84,7 +85,7 @@ class Profile:
         return self.compute_nodes * self.processes_per_node
 
     @property
-    def scalable_compute(self) -> float:
+    def scalable_compute(self) -> Seconds:
         """``T'' = t_c - T_ro - T_g`` — the parallelizable processing time."""
         return max(self.t_compute - self.t_ro - self.t_g, 0.0)
 

@@ -1,0 +1,52 @@
+"""Physical-unit markers for the prediction model's quantities.
+
+The paper's algebra — ``T_exec = T_disk + T_network + T_compute`` with
+scaling formulas like ``(ŝ/s)·(n/n̂)·(b/b̂)·t_n`` — is dimensionally
+coherent: times are seconds, dataset sizes are bytes, bandwidths are
+bytes/second, node counts are counts, and scaling factors are
+dimensionless ratios.  This module gives those dimensions names so that
+
+- dataclass fields can carry their unit in the type (``t_disk:
+  Seconds``), readable by humans, type checkers (``Annotated[float, u]``
+  is just ``float`` to mypy), and
+- the whole-program lint layer (``repro lint --flow``, rule REP104) can
+  seed its unit lattice from the annotations instead of guessing from
+  names alone.
+
+The string constants are the canonical spelling the REP104 checker
+matches on; keep them in sync with ``repro.lint.flow.units``.
+"""
+
+from __future__ import annotations
+
+from typing import Annotated
+
+__all__ = [
+    "SECONDS",
+    "BYTES",
+    "BYTES_PER_SECOND",
+    "COUNT",
+    "RATIO",
+    "Seconds",
+    "Bytes",
+    "BytesPerSecond",
+    "Count",
+    "Ratio",
+]
+
+#: Durations: every ``t_*`` component, latency, and recovery term.
+SECONDS = "s"
+#: Data volumes: dataset sizes, reduction-object sizes, chunk sizes.
+BYTES = "B"
+#: Transfer rates: link bandwidth, disk streaming rate.
+BYTES_PER_SECOND = "B/s"
+#: Cardinalities: node counts, slot counts, pass/round counts.
+COUNT = "count"
+#: Dimensionless quantities: scaling factors, speedups, fractions.
+RATIO = "ratio"
+
+Seconds = Annotated[float, SECONDS]
+Bytes = Annotated[float, BYTES]
+BytesPerSecond = Annotated[float, BYTES_PER_SECOND]
+Count = Annotated[int, COUNT]
+Ratio = Annotated[float, RATIO]

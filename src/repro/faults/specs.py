@@ -183,7 +183,7 @@ class ChunkReadError:
                         "explicit chunk failures must map chunk >= 0 to "
                         f"count >= 1, got {chunk}: {count}"
                     )
-        if self.rate == 0.0 and not self.failures:
+        if self.rate <= 0.0 and not self.failures:
             raise FaultError(
                 "a ChunkReadError needs a positive rate or explicit failures"
             )

@@ -17,6 +17,15 @@ REP007    ordered-serialization    no raw set iteration in report/serialize
 REP008    ledger-discipline        ledger mutation only in GridBroker's loop
 ========  =======================  ==========================================
 
+Directory runs add the whole-program flow family (``repro.lint.flow``):
+
+========  ==========================  =======================================
+REP101    clock-taint-to-sink         no clock/env value reaches an artifact
+REP102    rng-taint-to-sink           no unseeded draw reaches an artifact
+REP103    cross-module-error-escape   public APIs don't leak callee builtins
+REP104    dimensional-consistency     prediction-core unit coherence
+========  ==========================  =======================================
+
 Run it as ``repro lint [PATHS]`` or ``python -m repro.lint``; see
 DESIGN.md §13 for the full contract rationale and docs/lint-rules.md for
 the rule table.
@@ -34,6 +43,7 @@ from repro.lint.engine import (
 from repro.lint.errors import LintError
 from repro.lint.findings import Finding, Fix
 from repro.lint.fixes import apply_fixes
+from repro.lint.flow import FLOW_CODES, FLOW_RULES, FlowRule, analyze_paths
 from repro.lint.registry import RULES, Rule, all_rules, register
 from repro.lint.reporters import (
     REPORT_FORMATS,
@@ -47,8 +57,12 @@ from repro.lint.reporters import (
 __all__ = [
     "Baseline",
     "BaselinePartition",
+    "FLOW_CODES",
+    "FLOW_RULES",
     "Finding",
     "Fix",
+    "FlowRule",
+    "analyze_paths",
     "LintError",
     "LintReport",
     "ModuleContext",

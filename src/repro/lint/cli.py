@@ -18,15 +18,17 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.lint.baseline import Baseline
-from repro.lint.engine import lint_paths
+from repro.lint.engine import lint_paths, relative_finding_path
 from repro.lint.findings import Finding
 from repro.lint.fixes import apply_fixes
+from repro.lint.flow.ruledefs import FLOW_CODES, FLOW_RULES
 from repro.lint.registry import all_rules
 from repro.lint.reporters import REPORT_FORMATS, LintReport, render
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
 
 DEFAULT_PATHS = ("src/repro",)
+DEFAULT_FLOW_CACHE = ".repro-flow-cache.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,7 +57,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--select", default=None, metavar="CODES",
         help="comma-separated rule codes to run (default: all); e.g. "
         "REP003,REP004 for harness code where only the writer "
-        "contracts apply",
+        "contracts apply; flow codes (REP101-REP104) force the "
+        "whole-program pass on",
     )
     parser.add_argument(
         "--root", default=None, metavar="DIR",
@@ -65,6 +68,30 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule table (code, name, summary) and exit",
     )
+    flow_group = parser.add_mutually_exclusive_group()
+    flow_group.add_argument(
+        "--flow", action="store_true",
+        help="force the whole-program pass (REP101-REP104) on",
+    )
+    flow_group.add_argument(
+        "--no-flow", action="store_true",
+        help="force the whole-program pass off (it defaults to on for "
+        "directory runs, off for single-file and --changed runs)",
+    )
+    parser.add_argument(
+        "--flow-cache", default=None, metavar="FILE",
+        help="per-module summary cache for the flow pass "
+        f"(default: ROOT/{DEFAULT_FLOW_CACHE})",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only Python files changed since --base (plus "
+        "untracked ones), intersected with PATH scope",
+    )
+    parser.add_argument(
+        "--base", default="HEAD", metavar="REF",
+        help="git ref --changed diffs against (default: HEAD)",
+    )
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -73,14 +100,37 @@ def run_lint_command(args: argparse.Namespace) -> int:
         print(_rule_table())
         return 0
     root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
-    rules = _selected_rules(args.select)
-    findings = lint_paths(args.paths, root=root, rules=rules)
+    rules, flow_selected = _selected_rules(args.select)
+    paths: List[str] = list(args.paths)
+    if args.changed:
+        from repro.lint.gitdiff import changed_python_files
+
+        paths = [
+            str(p)
+            for p in changed_python_files(
+                args.base, scope=[pathlib.Path(p) for p in args.paths]
+            )
+        ]
+    findings = lint_paths(paths, root=root, rules=rules)
     fixed = 0
     if args.fix:
         applied = apply_fixes(findings, root)
         fixed = sum(applied.values())
         if fixed:
-            findings = lint_paths(args.paths, root=root, rules=rules)
+            findings = lint_paths(paths, root=root, rules=rules)
+    if _flow_enabled(args, paths, flow_selected):
+        from repro.lint.flow import analyze_paths
+
+        cache_path = args.flow_cache or str(root / DEFAULT_FLOW_CACHE)
+        flow_result = analyze_paths(paths, root=root, cache_path=cache_path)
+        flow_findings = flow_result.findings
+        if flow_selected is not None:
+            flow_findings = [
+                f for f in flow_findings if f.code in flow_selected
+            ]
+        findings = sorted(
+            findings + flow_findings, key=Finding.sort_key
+        )
     if args.write_baseline:
         if not args.baseline:
             raise ReproError("--write-baseline requires --baseline FILE")
@@ -93,9 +143,18 @@ def run_lint_command(args: argparse.Namespace) -> int:
     baseline = (
         Baseline.load(args.baseline) if args.baseline else Baseline.empty()
     )
+    scanned_paths = None
+    if args.changed:
+        # Partial scan: only files in the diff were linted, so baseline
+        # entries elsewhere must not be reported as stale.
+        scanned_paths = frozenset(
+            relative_finding_path(pathlib.Path(p), root) for p in paths
+        )
     report = LintReport(
-        partition=baseline.partition(findings),
-        files_scanned=_count_files(args.paths),
+        partition=baseline.partition(
+            findings, scanned_paths=scanned_paths
+        ),
+        files_scanned=_count_files(paths),
         fixed=fixed,
     )
     output = render(report, args.format)
@@ -104,21 +163,55 @@ def run_lint_command(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _flow_enabled(
+    args: argparse.Namespace,
+    paths: Sequence[str],
+    flow_selected: Optional[frozenset],
+) -> bool:
+    """Whether this run includes the whole-program pass.
+
+    Explicit flags win; an explicit --select decides by whether it names
+    any flow code; otherwise directory runs get the full analysis and
+    single-file / --changed runs stay fast and intraprocedural.
+    """
+    if args.no_flow:
+        return False
+    if args.flow:
+        return True
+    if flow_selected is not None:
+        return bool(flow_selected)
+    if args.changed:
+        return False
+    return any(pathlib.Path(p).is_dir() for p in paths)
+
+
 def _selected_rules(select: Optional[str]):
+    """Split a --select list into engine rule instances and flow codes.
+
+    Returns ``(engine_rules, flow_codes)`` where both are ``None`` when
+    no --select was given (meaning: everything).
+    """
     if not select:
-        return None
+        return None, None
     from repro.lint.errors import LintError
     from repro.lint.registry import RULES
 
     codes = [c.strip().upper() for c in select.split(",") if c.strip()]
     all_instances = {rule.code: rule for rule in all_rules()}
-    unknown = [c for c in codes if c not in all_instances]
+    unknown = [
+        c for c in codes if c not in all_instances and c not in FLOW_CODES
+    ]
     if unknown:
+        registered = sorted(RULES) + sorted(FLOW_CODES)
         raise LintError(
             f"unknown rule code(s) {', '.join(unknown)} in --select "
-            f"(registered: {', '.join(sorted(RULES))})"
+            f"(registered: {', '.join(registered)})"
         )
-    return [all_instances[c] for c in codes]
+    engine_rules = [
+        all_instances[c] for c in codes if c in all_instances
+    ]
+    flow_codes = frozenset(c for c in codes if c in FLOW_CODES)
+    return engine_rules, flow_codes
 
 
 def _count_files(paths: Sequence[str]) -> int:
@@ -143,6 +236,10 @@ def _rule_table() -> str:
                 "        scope: modules matching "
                 + ", ".join(rule.scope)
             )
+    for flow_rule in FLOW_RULES:
+        lines.append(f"{flow_rule.code}  {flow_rule.name} (flow)")
+        lines.append(f"        {flow_rule.summary}")
+        lines.append(f"        why: {flow_rule.rationale}")
     return "\n".join(lines)
 
 

@@ -108,7 +108,9 @@ def lint_file(
 ) -> List[Finding]:
     """Lint one file on disk, reporting paths relative to ``root``."""
     return lint_source(
-        path.read_text(encoding="utf-8"), _relpath(path, root), rules
+        path.read_text(encoding="utf-8"),
+        relative_finding_path(path, root),
+        rules,
     )
 
 
@@ -133,7 +135,10 @@ def lint_paths(
     return findings
 
 
-def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+def relative_finding_path(path: pathlib.Path, root: pathlib.Path) -> str:
+    """The path form findings and baseline identities use: ``root``-relative
+    with posix separators, falling back to the path as given when it lies
+    outside ``root``."""
     try:
         rel = path.resolve().relative_to(root.resolve())
     except ValueError:

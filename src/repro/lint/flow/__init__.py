@@ -1,0 +1,27 @@
+"""Whole-program (interprocedural) analysis layer of ``repro.lint``.
+
+The intraprocedural rules (REP001-REP008) see one file at a time and
+match surface syntax.  This package resolves imports to canonical names,
+extracts per-function dataflow summaries, condenses the project call
+graph into SCCs, and propagates taint, sink-reachability, and raise
+sets bottom-up — producing the REP101-REP104 rule family:
+
+- REP101 — wall-clock/environment taint reaching a durable sink
+- REP102 — unseeded-RNG taint reaching a durable sink
+- REP103 — public middleware/broker/campaign API leaking a builtin
+  exception raised in a callee
+- REP104 — dimensional inconsistency in the prediction-model core
+
+Entry point: :func:`repro.lint.flow.analyze_paths`.
+"""
+
+from repro.lint.flow.api import FlowResult, analyze_paths
+from repro.lint.flow.ruledefs import FLOW_CODES, FLOW_RULES, FlowRule
+
+__all__ = [
+    "FlowResult",
+    "analyze_paths",
+    "FLOW_CODES",
+    "FLOW_RULES",
+    "FlowRule",
+]

@@ -1,0 +1,94 @@
+"""Content-hash-keyed cache of per-module extraction summaries.
+
+Extraction (parse + two dataflow passes per function) dominates a flow
+run; propagation over the summaries is cheap.  The cache therefore
+stores exactly the :class:`~repro.lint.flow.extract.ModuleExtract` of
+each module, keyed by the SHA-256 of the module *source text* — any
+edit invalidates precisely that module's entry, and path moves key
+afresh under the new relpath.
+
+The file is one durable canonical-JSON document (the same
+``atomic_write_json`` the rest of the framework uses, which also keeps
+the cache itself inside the REP003 serialization contract).  A corrupt,
+missing, or version-skewed cache is never an error: flow analysis must
+give the same answer with or without it, so any read problem degrades
+to a full re-extract and the file is rewritten on save.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.core.durable import StoreError, atomic_write_json, read_json_document
+from repro.lint.flow.extract import ModuleExtract
+
+__all__ = ["SummaryCache", "source_digest", "CACHE_FORMAT_VERSION"]
+
+CACHE_FORMAT_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Per-module extract store; counts hits/misses for diagnostics."""
+
+    def __init__(self, path: Optional[pathlib.Path] = None) -> None:
+        self.path = path
+        self._modules: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Optional[pathlib.Path]) -> "SummaryCache":
+        cache = cls(path)
+        if path is None or not path.exists():
+            return cache
+        try:
+            data = read_json_document(
+                path,
+                "flow summary cache",
+                expected_version=CACHE_FORMAT_VERSION,
+            )
+        except StoreError:
+            return cache  # unreadable cache == no cache
+        modules = data.get("modules")
+        if isinstance(modules, dict):
+            cache._modules = modules
+        return cache
+
+    def get(self, relpath: str, digest: str) -> Optional[ModuleExtract]:
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            extract = ModuleExtract.from_dict(entry["extract"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return extract
+
+    def put(
+        self, relpath: str, digest: str, extract: ModuleExtract
+    ) -> None:
+        self._modules[relpath] = {
+            "digest": digest,
+            "extract": extract.to_dict(),
+        }
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self.path,
+            {
+                "format_version": CACHE_FORMAT_VERSION,
+                "modules": self._modules,
+            },
+        )

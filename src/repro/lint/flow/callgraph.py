@@ -1,0 +1,115 @@
+"""Project call graph over extracted summaries, with SCC condensation.
+
+Nodes are canonical function qualnames that have a summary (project
+functions); edges point caller → callee and only edges whose callee is
+itself a project function are kept — external calls stay in the
+summaries as atoms but do not shape the propagation order.
+
+Summaries are propagated bottom-up: callees before callers.  Mutual
+recursion makes that impossible per-function, so the graph is condensed
+into strongly connected components first (iterative Tarjan — the lint
+tree is deep enough that a recursive formulation would be fragile) and
+components are processed in reverse topological order, iterating each
+component's members to a local fixpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.flow.extract import ModuleExtract
+
+__all__ = ["CallGraph", "build_callgraph"]
+
+
+@dataclasses.dataclass
+class CallGraph:
+    """Edges between project functions plus the bottom-up SCC order."""
+
+    #: caller qualname → sorted callee qualnames (project-internal only)
+    edges: Dict[str, Tuple[str, ...]]
+    #: strongly connected components, in reverse topological order
+    #: (every component's project callees appear in earlier components
+    #: or inside itself)
+    order: Tuple[Tuple[str, ...], ...]
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        return {caller: list(callees) for caller, callees in sorted(self.edges.items())}
+
+
+def build_callgraph(extracts: Sequence[ModuleExtract]) -> CallGraph:
+    known: Set[str] = set()
+    for extract in extracts:
+        known.update(extract.functions)
+
+    edges: Dict[str, Set[str]] = {name: set() for name in sorted(known)}
+    for extract in extracts:
+        for qualname, summary in extract.functions.items():
+            for callee, _line, _caught in summary.calls:
+                if callee in known:
+                    edges[qualname].add(callee)
+            for callee, _line, _pos, _kw in summary.arg_flows:
+                if callee in known:
+                    edges[qualname].add(callee)
+
+    frozen = {caller: tuple(sorted(callees)) for caller, callees in edges.items()}
+    return CallGraph(edges=frozen, order=_condense(frozen))
+
+
+def _condense(
+    edges: Dict[str, Tuple[str, ...]],
+) -> Tuple[Tuple[str, ...], ...]:
+    """Iterative Tarjan SCC; emission order is reverse-topological.
+
+    Tarjan pops each SCC only after all components reachable from it
+    have been emitted, which is exactly the callees-first order the
+    propagation pass needs.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[Tuple[str, ...]] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        # Explicit DFS stack: (node, iterator position over callees).
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            callees = edges.get(node, ())
+            while pos < len(callees):
+                callee = callees[pos]
+                pos += 1
+                if callee not in index:
+                    work[-1] = (node, pos)
+                    work.append((callee, 0))
+                    advanced = True
+                    break
+                if callee in on_stack:
+                    lowlink[node] = min(lowlink[node], index[callee])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(tuple(sorted(component)))
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return tuple(components)

@@ -1,0 +1,163 @@
+"""Import and symbol resolution: local names to canonical dotted names.
+
+The intraprocedural rules match call sites by their *surface* dotted
+name (``time.time()``), which an alias launders trivially::
+
+    from time import time as ticks
+    ticks()          # invisible to REP001
+
+The flow layer instead resolves every name through the module's import
+table and local definitions, producing a canonical fully qualified name
+("time.time", "repro.core.durable.atomic_write_json",
+"pkg.mod.Helper.method") that sources, sinks, and call-graph edges are
+keyed on.
+
+Soundness caveats (documented in DESIGN.md §13): resolution is static
+and name-based.  Dynamic dispatch (a method call on a value of unknown
+class), ``getattr``, ``importlib``, and monkey-patching are invisible —
+calls that cannot be resolved become dangling edges that propagate
+nothing.  The analysis over-approximates reads and under-approximates
+dynamic calls; it is a linter, not a verifier.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ModuleSymbols", "module_name_for", "dotted"]
+
+#: Surface-module spellings normalized to their canonical package name.
+_MODULE_ALIASES = {"np": "numpy"}
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a project-relative POSIX path.
+
+    ``src/repro/analysis/report.py`` → ``repro.analysis.report``; a
+    leading ``src/`` component is dropped, ``__init__`` maps to the
+    package itself.
+    """
+    posix = relpath.replace("\\", "/")
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    parts = [p for p in posix.split("/") if p and p != "."]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, '' for anything dynamic."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return f"{base}.{node.attr}" if base else ""
+    return ""
+
+
+@dataclasses.dataclass
+class ModuleSymbols:
+    """One module's name-resolution table.
+
+    ``bindings`` maps a module-level local name to the canonical dotted
+    name it denotes: imported modules, imported attributes, and functions
+    or classes defined in this module.
+    """
+
+    module: str
+    is_package: bool
+    bindings: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls, tree: ast.Module, module: str, *, is_package: bool = False
+    ) -> "ModuleSymbols":
+        symbols = cls(module=module, is_package=is_package)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _MODULE_ALIASES.get(alias.name, alias.name)
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname is None:
+                        # ``import a.b`` binds ``a``; dotted uses spell
+                        # the full path, so bind the root to itself.
+                        symbols.bindings.setdefault(local, local)
+                    else:
+                        symbols.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = symbols._from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue  # star imports are a resolution caveat
+                    local = alias.asname or alias.name
+                    symbols.bindings[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbols.bindings.setdefault(
+                    node.name, f"{module}.{node.name}" if module else node.name
+                )
+            elif isinstance(node, ast.ClassDef):
+                symbols.bindings.setdefault(
+                    node.name, f"{module}.{node.name}" if module else node.name
+                )
+        return symbols
+
+    def _from_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute package a ``from X import`` pulls names out of."""
+        if node.level == 0:
+            mod = node.module or ""
+            return _MODULE_ALIASES.get(mod, mod)
+        parts = self.module.split(".") if self.module else []
+        if not self.is_package:
+            parts = parts[:-1]  # the module's own name is not a package
+        drop = node.level - 1
+        if drop > len(parts):
+            return None  # relative import escaping the analyzed tree
+        if drop:
+            parts = parts[:-drop]
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def resolve(self, name: str) -> str:
+        """Canonical dotted name for a surface dotted name.
+
+        The first segment is substituted through the binding table; the
+        rest of the chain is kept.  Unknown names resolve to themselves,
+        so external calls keep a stable (if surface-level) identity.
+        """
+        if not name:
+            return ""
+        head, _, rest = name.partition(".")
+        target = self.bindings.get(head, _MODULE_ALIASES.get(head, head))
+        resolved = f"{target}.{rest}" if rest else target
+        return _normalize(resolved)
+
+
+def _normalize(qualname: str) -> str:
+    """Fold spelling variants of well-known stdlib names together."""
+    # ``import datetime; datetime.now`` is not a real API but the intent
+    # is unambiguous; canonicalize onto the class-method spelling.
+    replacements: Tuple[Tuple[str, str], ...] = (
+        ("datetime.now", "datetime.datetime.now"),
+        ("datetime.utcnow", "datetime.datetime.utcnow"),
+        ("datetime.today", "datetime.datetime.today"),
+        ("date.today", "datetime.date.today"),
+    )
+    for surface, canonical in replacements:
+        if qualname == surface:
+            return canonical
+    if qualname.startswith("datetime.datetime.datetime."):
+        return qualname.replace(
+            "datetime.datetime.datetime.", "datetime.datetime.", 1
+        )
+    return qualname

@@ -1,0 +1,92 @@
+"""``repro lint --changed``: scope a run to git-modified Python files.
+
+The pre-commit hook and quick local loops only care about files touched
+since a base ref (default ``HEAD``): working-tree modifications, staged
+changes, and untracked files.  Renames/copies report the new path; file
+deletions are excluded (nothing to lint).
+
+Everything funnels through one ``git`` invocation helper that turns any
+failure — not a repository, unknown ref, git missing — into a
+:class:`~repro.errors.UsageError`, which the CLI surfaces as exit 2
+with the message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+from typing import List, Optional, Sequence
+
+from repro.errors import UsageError
+
+__all__ = ["changed_python_files"]
+
+
+def _git(args: Sequence[str], cwd: pathlib.Path) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:
+        raise UsageError(f"--changed requires git: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or proc.stdout.strip()
+        raise UsageError(
+            f"--changed: git {' '.join(args[:2])} failed: {detail}"
+        )
+    return proc.stdout
+
+
+def changed_python_files(
+    base: str = "HEAD",
+    *,
+    cwd: Optional[pathlib.Path] = None,
+    scope: Sequence[pathlib.Path] = (),
+) -> List[pathlib.Path]:
+    """Python files changed since ``base``, newest git state wins.
+
+    ``scope`` (when non-empty) keeps only files under one of the given
+    files/directories — so ``repro lint src/repro --changed`` ignores a
+    modified test file.  Paths are returned absolute, sorted, existing
+    files only.
+    """
+    where = cwd or pathlib.Path.cwd()
+    toplevel = pathlib.Path(
+        _git(["rev-parse", "--show-toplevel"], where).strip()
+    )
+    names = set(
+        _git(
+            [
+                "diff",
+                "--name-only",
+                "--diff-filter=ACMR",
+                base,
+                "--",
+                "*.py",
+            ],
+            toplevel,
+        ).splitlines()
+    )
+    names.update(
+        _git(
+            ["ls-files", "--others", "--exclude-standard", "--", "*.py"],
+            toplevel,
+        ).splitlines()
+    )
+
+    scope_resolved = [pathlib.Path(s).resolve() for s in scope]
+    out: List[pathlib.Path] = []
+    for name in sorted(names):
+        path = (toplevel / name).resolve()
+        if not path.is_file():
+            continue
+        if scope_resolved and not any(
+            path == s or s in path.parents for s in scope_resolved
+        ):
+            continue
+        out.append(path)
+    return out

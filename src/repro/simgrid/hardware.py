@@ -136,7 +136,7 @@ class CPUSpec:
         variation across applications the paper reports in Section 5.4.
         """
         mine = self.compute_time(ops)
-        if mine == 0.0:
+        if mine <= 0.0:
             raise ConfigurationError("cannot compute speedup for an empty op vector")
         return other.compute_time(ops) / mine
 

@@ -106,7 +106,7 @@ def fit_linear_cost(
         raise ConfigurationError("need at least two samples to fit a line")
     x = np.asarray(sizes, dtype=float)
     y = np.asarray(times, dtype=float)
-    if np.ptp(x) == 0.0:
+    if np.ptp(x) <= 0.0:
         raise ConfigurationError("samples must span at least two distinct sizes")
     design = np.stack([x, np.ones_like(x)], axis=1)
     (w, l), *_ = np.linalg.lstsq(design, y, rcond=None)

@@ -1,0 +1,15 @@
+"""BAD: an aliased wall-clock read, laundered through two helpers.
+
+``ticks`` defeats REP001's surface-name match; only symbol resolution
+plus interprocedural taint sees ``flush`` writing a clock value.
+"""
+
+from time import time as ticks
+
+
+def _now():
+    return ticks()
+
+
+def _stamp():
+    return _now()

@@ -1,0 +1,9 @@
+"""BAD: serializes the laundered clock value (REP101 fires here)."""
+
+from repro.broker.timeutil import _stamp
+from repro.core.durable import atomic_write_json
+
+
+def flush(path):
+    record = {"written_at": _stamp()}
+    atomic_write_json(path, record)

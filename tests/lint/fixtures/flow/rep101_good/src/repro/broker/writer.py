@@ -1,0 +1,12 @@
+"""GOOD: the same shape as rep101_bad, but the stamp is logical time."""
+
+from repro.core.durable import atomic_write_json
+
+
+def _stamp(step):
+    return step
+
+
+def flush(path, step):
+    record = {"written_at": _stamp(step)}
+    atomic_write_json(path, record)

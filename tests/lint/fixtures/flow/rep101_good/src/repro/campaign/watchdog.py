@@ -1,0 +1,14 @@
+"""GOOD: sanctioned wall-clock read in an allowlisted module.
+
+The campaign watchdog legitimately journals operator-facing wall
+durations; reads originating here carry no taint (mirrors the REP001
+allowlist).
+"""
+
+import time
+
+from repro.core.durable import atomic_write_json
+
+
+def journal_heartbeat(path):
+    atomic_write_json(path, {"elapsed_s": time.monotonic()})

@@ -1,0 +1,8 @@
+"""BAD: serializes values perturbed by the unseeded draw (REP102)."""
+
+from repro.core.durable import canonical_json
+from repro.middleware.noise import _jitter
+
+
+def render(values):
+    return canonical_json([v + _jitter() for v in values])

@@ -1,0 +1,8 @@
+"""BAD: an unseeded generator hidden behind a helper."""
+
+import numpy as np
+
+
+def _jitter():
+    rng = np.random.default_rng()
+    return rng.normal()

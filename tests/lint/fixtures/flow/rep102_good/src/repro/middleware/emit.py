@@ -1,0 +1,8 @@
+"""GOOD: same serialization path as rep102_bad, seeded draws only."""
+
+from repro.core.durable import canonical_json
+from repro.middleware.noise import _jitter
+
+
+def render(values, seed):
+    return canonical_json([v + _jitter(seed) for v in values])

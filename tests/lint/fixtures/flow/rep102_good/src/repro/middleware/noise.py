@@ -1,0 +1,8 @@
+"""GOOD: the generator is seeded, so draws are replayable."""
+
+import numpy as np
+
+
+def _jitter(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()

@@ -1,0 +1,11 @@
+"""BAD: public broker API leaks the helper's builtins (REP103 ×2)."""
+
+from repro.broker.codec import _decode, _lookup
+
+
+def submit(blob):
+    return _decode(blob)
+
+
+def route(table, key):
+    return _lookup(table, key)

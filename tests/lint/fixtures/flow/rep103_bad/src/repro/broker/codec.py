@@ -1,0 +1,13 @@
+"""BAD (helper): raises builtins its public callers never catch."""
+
+
+def _decode(blob):
+    if not blob:
+        raise ValueError("empty blob")
+    return blob
+
+
+def _lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

@@ -1,0 +1,21 @@
+"""GOOD: every builtin is caught at the public boundary.
+
+``route`` catches ``LookupError``, the *parent* of the raised
+``KeyError`` — the catch filter understands the builtin hierarchy.
+"""
+
+from repro.broker.codec import _decode, _lookup
+
+
+def submit(blob):
+    try:
+        return _decode(blob)
+    except ValueError:
+        return None
+
+
+def route(table, key):
+    try:
+        return _lookup(table, key)
+    except LookupError:
+        return None

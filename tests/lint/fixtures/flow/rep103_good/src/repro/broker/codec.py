@@ -1,0 +1,13 @@
+"""GOOD (helper): identical raise sites to rep103_bad."""
+
+
+def _decode(blob):
+    if not blob:
+        raise ValueError("empty blob")
+    return blob
+
+
+def _lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

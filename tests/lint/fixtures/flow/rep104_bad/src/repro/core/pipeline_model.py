@@ -1,0 +1,18 @@
+"""BAD: three dimensional bugs, one hidden behind an annotated helper."""
+
+from repro.core.units import Bytes, Seconds
+
+
+def _payload(chunks, chunk_bytes) -> Bytes:
+    return chunks * chunk_bytes
+
+
+def stage_time(base_s, chunks, chunk_bytes) -> Seconds:
+    # seconds + bytes: the helper's Bytes annotation crosses functions
+    return base_s + _payload(chunks, chunk_bytes)
+
+
+def predict(dataset_bytes, bandwidth, t_ro, t_g):
+    t_disk = dataset_bytes  # bytes assigned to a t_* name
+    overlap = t_ro * t_g  # product of two durations
+    return t_disk + overlap

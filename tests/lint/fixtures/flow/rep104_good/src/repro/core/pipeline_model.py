@@ -1,0 +1,17 @@
+"""GOOD: the same model, dimensionally coherent."""
+
+from repro.core.units import Bytes, Seconds
+
+
+def _payload(chunks, chunk_bytes) -> Bytes:
+    return chunks * chunk_bytes
+
+
+def stage_time(base_s, chunks, chunk_bytes, bandwidth) -> Seconds:
+    return base_s + _payload(chunks, chunk_bytes) / bandwidth
+
+
+def predict(dataset_bytes, bandwidth, t_ro, t_g, overlap_fraction):
+    t_disk = dataset_bytes / bandwidth
+    overlap = (t_ro + t_g) * overlap_fraction
+    return t_disk + overlap

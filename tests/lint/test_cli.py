@@ -158,3 +158,120 @@ def test_clean_file_exits_zero(tmp_path, capsys):
     assert lint_main([str(tmp_path / "ok.py"), "--root",
                       str(tmp_path)]) == 0
     assert "0 new finding(s)" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Whole-program (flow) integration
+# ---------------------------------------------------------------------------
+
+
+def _flow_tree(case, tmp_path):
+    import pathlib
+
+    src = pathlib.Path(__file__).parent / "fixtures" / "flow" / case
+    dest = tmp_path / case
+    shutil.copytree(src, dest)
+    return dest
+
+
+def test_flow_defaults_on_for_directory_runs(tmp_path, capsys):
+    tree = _flow_tree("rep101_bad", tmp_path)
+    code = lint_main([str(tree / "src"), "--root", str(tree)])
+    assert code == 1
+    assert "REP101" in capsys.readouterr().out
+
+
+def test_no_flow_suppresses_whole_program_findings(tmp_path, capsys):
+    tree = _flow_tree("rep101_bad", tmp_path)
+    code = lint_main(
+        [str(tree / "src"), "--root", str(tree), "--no-flow"]
+    )
+    assert code == 0
+
+
+def test_select_flow_code_forces_flow_and_scopes_output(
+    tmp_path, capsys
+):
+    tree = _flow_tree("rep104_bad", tmp_path)
+    code = lint_main(
+        [str(tree / "src"), "--root", str(tree), "--select", "REP104"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP104" in out
+    assert "dimensional inconsistency" in out
+
+
+def test_flow_findings_render_as_github_annotations(tmp_path, capsys):
+    tree = _flow_tree("rep102_bad", tmp_path)
+    code = lint_main(
+        [str(tree / "src"), "--root", str(tree), "--format", "github"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/repro/middleware/emit.py" in out
+    assert "REP102" in out
+
+
+def test_flow_baseline_suppresses_known_findings(tmp_path, capsys):
+    tree = _flow_tree("rep101_bad", tmp_path)
+    baseline = tree / "baseline.json"
+    assert (
+        lint_main(
+            [str(tree / "src"), "--root", str(tree), "--baseline",
+             str(baseline), "--write-baseline"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        lint_main(
+            [str(tree / "src"), "--root", str(tree), "--baseline",
+             str(baseline)]
+        )
+        == 0
+    )
+
+
+def test_list_rules_includes_flow_family(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REP101", "REP102", "REP103", "REP104"):
+        assert code in out
+    assert "(flow)" in out
+
+
+def test_changed_outside_git_is_a_usage_error(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    code = lint_main(["--changed", str(tmp_path)])
+    assert code == 2
+    assert "--changed" in capsys.readouterr().err
+
+
+def test_changed_in_fresh_repo_lints_only_changed_files(
+    tmp_path, capsys, monkeypatch
+):
+    import subprocess
+
+    monkeypatch.chdir(tmp_path)
+    subprocess.run(["git", "init", "-q"], check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-q", "--allow-empty", "-m", "seed"],
+        check=True,
+    )
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    (tmp_path / "bad.py").write_text(
+        "import json\n\n\n"
+        "def dump(x):\n"
+        "    return json.dumps(x)\n"
+    )
+    code = lint_main(["--changed", str(tmp_path), "--root",
+                      str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out
+    assert "2 file(s) scanned" in out

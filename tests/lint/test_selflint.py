@@ -1,9 +1,10 @@
 """The shipped tree honors its own contracts.
 
 These tests are the lint gate in test form: ``src/repro`` has zero
-non-baselined findings, the checked-in baseline contains exactly the
-tracked debt (8 reviewed REP006 exact-compare sites — fault factors and
-degenerate-input guards — and nothing else), and introducing any bad
+non-baselined findings — intraprocedural *and* whole-program (flow) —
+the checked-in baseline contains exactly the tracked debt (5 reviewed
+REP006 exact-compare sites, all fault-factor sentinels in
+``middleware/runtime.py``, and nothing else), and introducing any bad
 fixture into the tree would fail the gate.
 """
 
@@ -26,9 +27,14 @@ TRACKED_DEBT = {
     "REP003": 0,
     "REP004": 0,
     "REP005": 0,  # the burn-down left no bare builtin raises
-    "REP006": 8,  # reviewed exact-compare sites (fault factors, guards)
+    "REP006": 5,  # reviewed != 1.0 fault-factor sentinels (runtime.py)
     "REP007": 0,
     "REP008": 0,
+    # The flow family ships clean: no baselined whole-program findings.
+    "REP101": 0,
+    "REP102": 0,
+    "REP103": 0,
+    "REP104": 0,
 }
 
 
@@ -71,6 +77,20 @@ def test_every_bad_fixture_would_fail_the_gate(repo_root, fixtures_dir):
             f"{fixture.name} under {relpath} produced no non-baselined "
             "finding — the gate would miss it"
         )
+
+
+def test_src_repro_flow_is_clean(repo_root, tmp_path):
+    """The whole-program pass finds nothing to baseline on the tree."""
+    from repro.lint import analyze_paths
+
+    result = analyze_paths(
+        [repo_root / "src" / "repro"],
+        root=repo_root,
+        cache_path=tmp_path / "flow-cache.json",
+    )
+    assert result.findings == [], [
+        f"{f.path}:{f.line} {f.code} {f.message}" for f in result.findings
+    ]
 
 
 def test_lint_package_lints_itself(repo_root):
