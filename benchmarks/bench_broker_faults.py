@@ -1,0 +1,137 @@
+"""Chaos campaigns over the broker: resilience under seeded grid faults.
+
+Sweeps seeded fault timelines (site outages, node-pool shrinks, WAN
+degradations, transient job failures) over the same heterogeneous
+stream as ``bench_broker`` and checks the fault model's tentpole
+guarantees for *both* recovery policies:
+
+- every admitted job settles exactly once (placed, rejected, or
+  terminally failed) — chaos never loses work;
+- no reservation window overlaps a declared site outage and no node is
+  double-booked;
+- replaying an identical (seed, scenario) pair yields a byte-identical
+  report — determinism survives adversity.
+
+The per-seed outcomes and aggregate goodput land in
+``BENCH_resilience.json`` at the repository root (canonical JSON), the
+machine-readable resilience trajectory companion to
+``BENCH_broker.json``.
+
+``REPRO_CHAOS_BENCH_COUNT`` caps the stream size for CI smoke runs;
+the full 120-job stream is the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.broker import GridBroker
+from repro.core.durable import atomic_write_json, atomic_write_text
+from repro.faults.chaos import ChaosSpec, run_campaign
+from repro.workloads.streams import StreamSpec, generate_stream, stream_horizon
+
+from benchmarks.bench_broker import REPO_ROOT, hetero_grid
+from benchmarks.conftest import RESULTS_DIR, run_once
+
+CHAOS_COUNT = int(os.environ.get("REPRO_CHAOS_BENCH_COUNT", "120"))
+
+SEEDS = [11, 23, 47, 89]
+
+RECOVERIES = ["resubmit", "migrate"]
+
+
+def chaos_stream_spec() -> StreamSpec:
+    return StreamSpec(
+        count=CHAOS_COUNT,
+        seed=42,
+        mean_interarrival=0.08,
+        mix=(
+            ("kmeans", None, 2.0),
+            ("knn", None, 1.0),
+            ("vortex", None, 1.0),
+            ("em", None, 1.0),
+        ),
+        deadline_fraction=0.4,
+        deadline_slack=(1.2, 3.0),
+        priorities=(0, 1),
+    )
+
+
+def run_resilience_study():
+    broker = GridBroker(hetero_grid(), [(1, 2), (2, 4)])
+    jobs = generate_stream(chaos_stream_spec(), baselines=broker.baseline_estimate)
+    spec = ChaosSpec(horizon=stream_horizon(jobs))
+    return {
+        recovery: run_campaign(
+            broker, jobs, SEEDS, spec, recovery=recovery
+        )
+        for recovery in RECOVERIES
+    }
+
+
+def campaign_summary(report) -> dict:
+    cases = report.cases
+    return {
+        "recovery": report.recovery,
+        "policy": report.policy,
+        "ok": report.ok,
+        "seeds": len(cases),
+        "faults": sum(case.faults for case in cases),
+        "completed": sum(case.completed for case in cases),
+        "rejected": sum(case.rejected for case in cases),
+        "failed": sum(case.failed for case in cases),
+        "preemptions": sum(case.preemptions for case in cases),
+        "min_goodput": min(case.goodput for case in cases),
+        "cases": [case.to_dict() for case in cases],
+    }
+
+
+def format_campaigns(campaigns) -> str:
+    lines = [f"chaos campaigns: {CHAOS_COUNT} jobs x {len(SEEDS)} seeds"]
+    for recovery, report in campaigns.items():
+        lines.append(
+            f"  {recovery:<10} ok={report.ok}  preemptions "
+            f"{sum(c.preemptions for c in report.cases)}  failed "
+            f"{sum(c.failed for c in report.cases)}  min goodput "
+            f"{100 * min(c.goodput for c in report.cases):.1f}%"
+        )
+        for case in report.cases:
+            lines.append(
+                f"    seed {case.seed:>3}: {case.faults} fault(s), "
+                f"{case.completed} done, {case.failed} failed, "
+                f"{case.preemptions} preempted, goodput "
+                f"{100 * case.goodput:.1f}%, replay "
+                f"{'ok' if case.replay_identical else 'DIVERGED'}"
+            )
+    return "\n".join(lines)
+
+
+def test_chaos_invariants_hold(benchmark):
+    campaigns = run_once(benchmark, run_resilience_study)
+
+    text = format_campaigns(campaigns)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    atomic_write_text(RESULTS_DIR / "resilience.txt", text + "\n")
+    atomic_write_json(
+        REPO_ROOT / "BENCH_resilience.json",
+        {
+            "kind": "bench-resilience",
+            "jobs": CHAOS_COUNT,
+            "seeds": SEEDS,
+            "campaigns": {
+                recovery: campaign_summary(report)
+                for recovery, report in campaigns.items()
+            },
+        },
+    )
+
+    for recovery, report in campaigns.items():
+        assert report.ok, f"{recovery}: " + "; ".join(report.violations)
+
+    # Chaos must actually have exercised the fault path — a campaign
+    # that drew zero faults across every seed proves nothing.
+    assert any(
+        case.faults > 0 for report in campaigns.values() for case in report.cases
+    )

@@ -13,6 +13,7 @@ from repro.analysis.broker import (
     format_broker,
     format_error_trend,
     format_policy_run,
+    format_resilience,
 )
 from repro.analysis.breakdown import (
     ComponentShares,
@@ -68,6 +69,7 @@ __all__ = [
     "format_experiment",
     "format_fault_events",
     "format_policy_run",
+    "format_resilience",
     "format_summary",
     "error_summary",
     "mean",

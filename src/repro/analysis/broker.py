@@ -3,7 +3,10 @@
 One table per policy run — headline metrics, the placement schedule,
 rejections with their machine-usable codes — plus a cross-policy
 comparison table and the rolling prediction-error trend that shows the
-online calibration converging.
+online calibration converging.  Runs brokered under a grid fault
+schedule additionally render their resilience block: the fault
+timeline, per-attempt preemptions, terminal failures, and the
+goodput/recovery-overhead summary with its per-fault-kind breakdown.
 """
 
 from __future__ import annotations
@@ -15,7 +18,12 @@ from repro.analysis.ascii import horizontal_bar
 if TYPE_CHECKING:  # avoid a runtime analysis -> broker import cycle
     from repro.broker.report import BrokerReport, PolicyRun
 
-__all__ = ["format_broker", "format_policy_run", "format_error_trend"]
+__all__ = [
+    "format_broker",
+    "format_policy_run",
+    "format_error_trend",
+    "format_resilience",
+]
 
 
 def format_policy_run(run: "PolicyRun", *, schedule: bool = True) -> str:
@@ -54,6 +62,42 @@ def format_policy_run(run: "PolicyRun", *, schedule: bool = True) -> str:
         lines.append(
             f"  rejected {r.job_id} at t={r.time:.3f}s [{r.code}] {r.reason}"
         )
+    if run.faulted:
+        lines.append(format_resilience(run))
+    return "\n".join(lines)
+
+
+def format_resilience(run: "PolicyRun") -> str:
+    """Render the resilience block of a faulted policy run."""
+    lines: List[str] = [
+        (
+            f"  resilience ({run.recovery}): goodput "
+            f"{100 * run.goodput:.1f}%  wasted {run.wasted_time:.4f}s  "
+            f"recovery charges {run.recovery_charge_time:.4f}s"
+        ),
+    ]
+    counts = run.fault_counts
+    if counts:
+        summary = "  ".join(f"{kind} x{n}" for kind, n in counts.items())
+        lines.append(f"  fault events: {summary}")
+    by_cause = run.preemptions_by_cause
+    if by_cause:
+        summary = "  ".join(f"{cause} x{n}" for cause, n in by_cause.items())
+        lines.append(f"  preemptions: {summary}")
+    for e in run.fault_events:
+        detail = f" ({e.detail})" if e.detail else ""
+        lines.append(f"    t={e.time:>9.3f}s {e.kind:<18} {e.target}{detail}")
+    for p in run.preemptions:
+        lines.append(
+            f"    t={p.time:>9.3f}s preempted {p.job_id} attempt "
+            f"{p.attempt} [{p.cause}] wasted {p.wasted:.4f}s kept "
+            f"{100 * p.kept_fraction:.0f}%"
+        )
+    for f in run.failures:
+        lines.append(
+            f"    t={f.time:>9.3f}s FAILED {f.job_id} after "
+            f"{f.attempts} attempt(s) [{f.code}] {f.reason}"
+        )
     return "\n".join(lines)
 
 
@@ -85,22 +129,28 @@ def format_error_trend(run: "PolicyRun", *, buckets: int = 8) -> str:
 
 def format_broker(report: "BrokerReport", *, schedule: bool = False) -> str:
     """Render a full broker report: comparison table + per-policy runs."""
+    faulted = any(run.faulted for run in report.runs)
     header = (
         f"{'policy':<28} {'done':>5} {'rej':>4} {'makespan':>10} "
         f"{'wait':>8} {'miss%':>6} {'err%':>6}"
     )
+    if faulted:
+        header += f" {'fail':>5} {'goodput':>8}"
     lines: List[str] = [
         f"broker workload: {report.name}",
         header,
         "-" * len(header),
     ]
     for run in report.runs:
-        lines.append(
+        row = (
             f"{run.label:<28} {len(run.placements):>5} "
             f"{len(run.rejections):>4} {run.makespan:>9.4f}s "
             f"{run.mean_wait:>7.4f}s {100 * run.deadline_miss_rate:>5.1f}% "
             f"{100 * run.mean_error():>5.2f}%"
         )
+        if faulted:
+            row += f" {len(run.failures):>5} {100 * run.goodput:>7.1f}%"
+        lines.append(row)
     for run in report.runs:
         lines.append("")
         lines.append(format_policy_run(run, schedule=schedule))

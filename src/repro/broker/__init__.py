@@ -15,6 +15,7 @@ from repro.broker.events import (
     EventQueue,
     GridLedger,
     NodeWindow,
+    OutageRecord,
     SitePool,
 )
 from repro.broker.jobs import (
@@ -35,11 +36,24 @@ from repro.broker.policies import (
     RoundRobinPolicy,
     make_policy,
 )
+from repro.broker.recovery import (
+    RECOVERY_NAMES,
+    GiveUp,
+    Incident,
+    MigratePolicy,
+    RecoveryPolicy,
+    Requeue,
+    ResubmitPolicy,
+    make_recovery,
+)
 from repro.broker.report import (
     BrokerPlacement,
+    BrokerPreemption,
     BrokerRejection,
     BrokerReport,
+    GridFaultEvent,
     PolicyRun,
+    TerminalFailure,
     load_report,
 )
 
@@ -47,6 +61,7 @@ __all__ = [
     "ActualRun",
     "BrokerJob",
     "BrokerPlacement",
+    "BrokerPreemption",
     "BrokerRejection",
     "BrokerReport",
     "BrokerWorkloadDoc",
@@ -55,22 +70,33 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "GiveUp",
     "GridBroker",
+    "GridFaultEvent",
     "GridLedger",
+    "Incident",
+    "MigratePolicy",
     "MinCompletionPolicy",
     "MinCostPolicy",
     "NodeWindow",
     "OnlineCalibrator",
+    "OutageRecord",
     "POLICY_NAMES",
     "PlacementOption",
     "PlacementPolicy",
     "PolicyRun",
+    "RECOVERY_NAMES",
+    "RecoveryPolicy",
     "Rejection",
+    "Requeue",
+    "ResubmitPolicy",
     "RoundRobinPolicy",
     "SitePool",
+    "TerminalFailure",
     "load_report",
     "load_workload_document",
     "make_policy",
+    "make_recovery",
     "parse_workload_document",
     "sorted_jobs",
 ]

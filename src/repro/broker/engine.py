@@ -28,15 +28,29 @@ one-profile estimates.  The broker is a discrete-event simulation:
    Online calibration replaces the paper's measured cross-cluster
    scaling factors with factors learned from the stream itself.
 
+When :meth:`run` is handed a
+:class:`~repro.faults.grid.GridFaultSchedule`, the simulation gains grid
+weather: site outages and node-pool shrinks quiesce capacity and preempt
+the attempts running on it, WAN degradations stretch the network time of
+placements whose replica-to-compute path crosses the degraded edge, and
+transient job failures abort individual attempts mid-flight.  Every
+preempted job goes through the run's
+:class:`~repro.broker.recovery.RecoveryPolicy` — resubmit-elsewhere or
+checkpoint-aware migration, both under the bounded
+:class:`~repro.faults.retry.BrokerRetryPolicy` — until it either
+completes or is terminally failed and classified in the report.
+
 Every data structure iterates in a deterministic order, so replaying
-the same job stream yields a byte-identical :class:`BrokerReport`.
+the same job stream (and the same fault schedule) yields a
+byte-identical :class:`BrokerReport`; a fault-free run serializes
+byte-identically to a broker without the fault model.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.broker.calibration import OnlineCalibrator
 from repro.broker.events import Event, EventKind, EventQueue, GridLedger
@@ -47,13 +61,24 @@ from repro.broker.policies import (
     Rejection,
     make_policy,
 )
+from repro.broker.recovery import (
+    GiveUp,
+    Incident,
+    RecoveryPolicy,
+    Requeue,
+    make_recovery,
+)
 from repro.broker.report import (
     BrokerPlacement,
+    BrokerPreemption,
     BrokerRejection,
     BrokerReport,
+    GridFaultEvent,
     PolicyRun,
+    TerminalFailure,
 )
 from repro.core.classes import ModelClasses
+from repro.core.degraded import DegradedModePredictor
 from repro.core.models import GlobalReductionModel, PredictionModel
 from repro.core.profile import Profile
 from repro.core.selection import (
@@ -62,6 +87,14 @@ from repro.core.selection import (
     SelectionCandidate,
     SelectionOutcome,
 )
+from repro.core.target import PredictionTarget
+from repro.faults.grid import (
+    GridFaultSchedule,
+    NodePoolShrink,
+    SiteOutage,
+    WanDegradation,
+)
+from repro.faults.retry import BrokerRetryPolicy
 from repro.middleware.dataset import Dataset
 from repro.middleware.replica import ReplicaCatalog
 from repro.middleware.runtime import FreerideGRuntime
@@ -81,6 +114,7 @@ class ActualRun:
     t_disk: float
     t_network: float
     t_compute: float
+    num_passes: int = 1
 
     @property
     def total(self) -> float:
@@ -95,6 +129,7 @@ class ActualRun:
 class _Completion:
     """Payload of a completion event."""
 
+    attempt_id: int
     job: BrokerJob
     candidate: SelectionCandidate
     data_node_ids: Tuple[int, ...]
@@ -102,6 +137,83 @@ class _Completion:
     raw: object  # PredictedBreakdown
     predicted_total: float
     actual: ActualRun
+    full_attempt: bool = True
+
+
+@dataclass
+class _Running:
+    """Book-keeping of one in-flight attempt (mutable engine state)."""
+
+    attempt_id: int
+    attempt_number: int
+    job: BrokerJob
+    candidate: SelectionCandidate
+    data_node_ids: Tuple[int, ...]
+    compute_node_ids: Tuple[int, ...]
+    start: float
+    end: float
+    #: Work fraction already done when the attempt started.
+    progress_before: float
+    #: T_recover seconds paid at the head of this attempt.
+    charge: float
+    #: Effective full-run duration (WAN-stretched) of this placement.
+    full_total: float
+    num_passes: int
+
+    def uses_site(self, site: str) -> bool:
+        return site in (
+            self.candidate.replica_site, self.candidate.compute_site
+        )
+
+    def uses_node(self, site: str, nodes: Sequence[int]) -> bool:
+        victims = set(nodes)
+        if self.candidate.replica_site == site and victims.intersection(
+            self.data_node_ids
+        ):
+            return True
+        return self.candidate.compute_site == site and bool(
+            victims.intersection(self.compute_node_ids)
+        )
+
+    def progress_at(self, when: float) -> float:
+        """Total work fraction done by ``when`` (charge paid first)."""
+        executed = max(0.0, min(when, self.end) - self.start - self.charge)
+        if self.full_total <= 0.0:
+            return self.progress_before
+        return min(1.0, self.progress_before + executed / self.full_total)
+
+    def checkpoint_at(self, when: float) -> float:
+        """Progress quantized down to a completed-pass boundary."""
+        if self.num_passes <= 0:
+            return 0.0
+        done = self.progress_at(when)
+        return int(done * self.num_passes) / self.num_passes
+
+
+@dataclass
+class _FaultState:
+    """Mutable grid-weather state of one faulted :meth:`GridBroker.run`."""
+
+    schedule: GridFaultSchedule
+    recovery: RecoveryPolicy
+    #: Remaining scripted aborts per job id.
+    transient_remaining: Dict[str, int]
+    #: Currently active WAN degradations.
+    wan_active: List[WanDegradation]
+    #: Nodes removed by each NodePoolShrink (schedule index -> victims).
+    shrink_victims: Dict[int, Tuple[int, ...]]
+    #: Failed attempts per job id (drives the retry budget).
+    failed_attempts: Dict[str, int]
+    #: Work fraction each job carries into its next attempt.
+    progress: Dict[str, float]
+    #: Whether the next attempt of the job must pay T_recover.
+    charge_next: Dict[str, bool]
+    #: Jobs already settled terminally (never requeued again).
+    terminal: Set[str]
+
+    fault_events: List[GridFaultEvent]
+    preemptions: List[BrokerPreemption]
+    failures: List[TerminalFailure]
 
 
 class GridBroker:
@@ -161,6 +273,8 @@ class GridBroker:
         self._selections: Dict[str, SelectionOutcome] = {}
         self._infeasible: Dict[str, InfeasibleSelectionError] = {}
         self._exec_cache: Dict[tuple, ActualRun] = {}
+        self._recover_cache: Dict[tuple, float] = {}
+        self._path_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         #: Node ledger of the most recent :meth:`run`, for inspection.
         self.last_ledger: Optional[GridLedger] = None
 
@@ -309,9 +423,72 @@ class GridBroker:
                 t_disk=breakdown.t_disk,
                 t_network=breakdown.t_network,
                 t_compute=breakdown.t_compute,
+                num_passes=max(1, breakdown.num_passes),
             )
             self._exec_cache[key] = actual
         return actual
+
+    def _recover_charge(self, job: BrokerJob, cand: SelectionCandidate) -> float:
+        """T_recover for resuming ``job`` from checkpoints on ``cand``.
+
+        Priced through the degraded-mode predictor as a compute-node
+        restart at the head of the run: checkpoint restore plus replica
+        re-staging of the unshipped tail.  The what-if target always has
+        at least two compute nodes (a single-node crash schedule would
+        leave no survivors to price the restore against).
+        """
+        key = (
+            job.dataset_key,
+            cand.replica_site,
+            cand.compute_site,
+            cand.data_nodes,
+            cand.compute_nodes,
+        )
+        charge = self._recover_cache.get(key)
+        if charge is None:
+            config = RunConfig(
+                storage_cluster=self.topology.site(cand.replica_site).cluster,
+                compute_cluster=self.topology.site(cand.compute_site).cluster,
+                data_nodes=cand.data_nodes,
+                compute_nodes=max(2, cand.compute_nodes),
+                bandwidth=cand.bandwidth,
+            )
+            target = PredictionTarget(
+                config=config, dataset_bytes=self._dataset(job).nbytes
+            )
+            what_if = DegradedModePredictor(
+                self._model(job.workload)
+            ).predict_compute_node_crash(
+                self._profile(job), target, at_fraction=0.0
+            )
+            recovery = what_if.recovery
+            charge = (
+                recovery.t_restore
+                + recovery.t_refetch_disk
+                + recovery.t_refetch_network
+            )
+            self._recover_cache[key] = charge
+        return charge
+
+    def _wan_factor(
+        self,
+        replica_site: str,
+        compute_site: str,
+        active: Optional[Sequence[WanDegradation]],
+    ) -> float:
+        """Product of active WAN degradation factors on the pair's path."""
+        if not active or replica_site == compute_site:
+            return 1.0
+        pair = (replica_site, compute_site)
+        path = self._path_cache.get(pair)
+        if path is None:
+            path = tuple(self.topology.path(replica_site, compute_site))
+            self._path_cache[pair] = path
+        factor = 1.0
+        for spec in active:
+            if spec.crosses(path):
+                factor *= spec.factor
+        return factor
 
     # ------------------------------------------------------------------
     # The event loop
@@ -323,6 +500,9 @@ class GridBroker:
         policy: str = "min-completion",
         *,
         calibrate: bool = True,
+        faults: Optional[GridFaultSchedule] = None,
+        recovery: str = "resubmit",
+        retry: Optional[BrokerRetryPolicy] = None,
     ) -> PolicyRun:
         """Broker one job stream under one policy.
 
@@ -330,6 +510,12 @@ class GridBroker:
         the completion-ordered prediction-error series.  The per-node
         reservation windows of the run are kept on :attr:`last_ledger`
         for inspection (the property tests check them for overlap).
+
+        ``faults`` installs a grid fault schedule: the report then also
+        carries the fault timeline, preemptions, terminal failures and
+        resilience metrics, with preempted jobs routed through the named
+        ``recovery`` policy under the bounded ``retry`` budget.  Without
+        faults the report is byte-identical to a fault-free broker's.
         """
         if not jobs:
             raise ConfigurationError("no jobs to broker")
@@ -344,10 +530,39 @@ class GridBroker:
             queue.push(Event(time=job.arrival, kind=EventKind.ARRIVAL,
                              payload=job))
 
+        faulted = faults is not None and len(faults) > 0
+        state: Optional[_FaultState] = None
+        if faulted:
+            assert faults is not None
+            state = _FaultState(
+                schedule=faults,
+                recovery=make_recovery(recovery, retry),
+                transient_remaining={
+                    job_id: spec.failures
+                    for job_id, spec in faults.transient_failures.items()
+                },
+                wan_active=[],
+                shrink_victims={},
+                failed_attempts={},
+                progress={},
+                charge_next={},
+                terminal=set(),
+                fault_events=[],
+                preemptions=[],
+                failures=[],
+            )
+            self._schedule_faults(faults, queue)
+
         pending: List[Tuple[tuple, BrokerJob]] = []  # (sort key, job)
-        placements: List[BrokerPlacement] = []
+        #: Placements in placement order, keyed by attempt id so that
+        #: preempted attempts can be withdrawn without reordering.
+        placed: List[Tuple[int, BrokerPlacement]] = []
         rejections: List[BrokerRejection] = []
         errors: List[Tuple[str, float]] = []
+        running: Dict[int, _Running] = {}
+        cancelled: Set[int] = set()
+        attempt_seq = 0
+        now = 0.0
 
         def reject(job: BrokerJob, now: float, code: str, reason: str) -> None:
             rejections.append(
@@ -361,11 +576,96 @@ class GridBroker:
                 )
             )
 
+        def enqueue(job: BrokerJob) -> None:
+            entry = ((-job.priority, job.arrival, job.job_id), job)
+            bisect.insort(pending, entry)
+
+        def job_options(
+            job: BrokerJob, outcome: SelectionOutcome
+        ) -> List[PlacementOption]:
+            if state is None:
+                return self._options(job, outcome, calibrator)
+            done = state.progress.get(job.job_id, 0.0)
+            return self._options(
+                job,
+                outcome,
+                calibrator,
+                remaining=1.0 - done,
+                charge=state.charge_next.get(job.job_id, False) and done > 0,
+                wan=state.wan_active,
+            )
+
+        def settle_preemption(run_state: _Running, cause: str, at: float) -> None:
+            """Tear one attempt down and route its job through recovery."""
+            assert state is not None
+            cancelled.add(run_state.attempt_id)
+            running.pop(run_state.attempt_id, None)
+            cand = run_state.candidate
+            ledger.pool(cand.replica_site).truncate_windows(
+                run_state.job.job_id, at
+            )
+            if cand.compute_site != cand.replica_site:
+                ledger.pool(cand.compute_site).truncate_windows(
+                    run_state.job.job_id, at
+                )
+            ledger.pool(cand.replica_site).release(run_state.data_node_ids)
+            ledger.pool(cand.compute_site).release(run_state.compute_node_ids)
+
+            job = run_state.job
+            state.failed_attempts[job.job_id] = run_state.attempt_number
+            incident = Incident(
+                job=job,
+                cause=cause,
+                time=at,
+                failed_attempts=run_state.attempt_number,
+                done_before=run_state.progress_before,
+                checkpoint_fraction=run_state.checkpoint_at(at),
+            )
+            decision = state.recovery.plan(incident)
+            kept = decision.progress if isinstance(decision, Requeue) else 0.0
+            gained = max(0.0, kept - run_state.progress_before)
+            executed = at - run_state.start
+            state.preemptions.append(
+                BrokerPreemption(
+                    job_id=job.job_id,
+                    workload=job.workload,
+                    attempt=run_state.attempt_number,
+                    time=at,
+                    start=run_state.start,
+                    cause=cause,
+                    site=cand.compute_site,
+                    wasted=executed - gained * run_state.full_total,
+                    kept_fraction=kept,
+                )
+            )
+            if isinstance(decision, GiveUp):
+                state.terminal.add(job.job_id)
+                state.failures.append(
+                    TerminalFailure(
+                        job_id=job.job_id,
+                        workload=job.workload,
+                        time=at,
+                        code=decision.code,
+                        reason=decision.reason,
+                        attempts=run_state.attempt_number,
+                        deadline=job.deadline,
+                    )
+                )
+                return
+            state.progress[job.job_id] = kept
+            state.charge_next[job.job_id] = decision.charge_recovery
+            queue.push(
+                Event(time=decision.at, kind=EventKind.REQUEUE, payload=job)
+            )
+
         while queue:
             event = queue.pop()
             now = event.time
             if event.kind is EventKind.COMPLETION:
                 done: _Completion = event.payload
+                if done.attempt_id in cancelled:
+                    continue
+                running.pop(done.attempt_id, None)
                 ledger.pool(done.candidate.replica_site).release(
                     done.data_node_ids
                 )
@@ -379,7 +679,7 @@ class GridBroker:
                         / done.actual.total,
                     )
                 )
-                if calibrate:
+                if calibrate and done.full_attempt:
                     calibrator.observe(
                         done.job.workload,
                         done.candidate.replica_site,
@@ -387,8 +687,34 @@ class GridBroker:
                         done.raw,
                         done.actual.components,
                     )
+            elif event.kind is EventKind.ABORT:
+                assert state is not None
+                attempt_id = event.payload
+                run_state = running.get(attempt_id)
+                if run_state is not None and attempt_id not in cancelled:
+                    state.fault_events.append(
+                        GridFaultEvent(
+                            time=now,
+                            kind="transient-failure",
+                            target=run_state.job.job_id,
+                            detail=(
+                                f"attempt {run_state.attempt_number} aborted"
+                            ),
+                        )
+                    )
+                    settle_preemption(run_state, "transient-failure", now)
+            elif event.kind is EventKind.FAULT:
+                self._apply_fault(event.payload, now, ledger, state,
+                                  running, settle_preemption)
+            elif event.kind is EventKind.REPAIR:
+                self._apply_repair(event.payload, now, ledger, state)
+            elif event.kind is EventKind.REQUEUE:
+                assert state is not None
+                job = event.payload
+                if job.job_id not in state.terminal:
+                    enqueue(job)
             else:
-                job: BrokerJob = event.payload
+                job = event.payload
                 try:
                     outcome = self._selection(job)
                 except InfeasibleSelectionError as exc:
@@ -400,13 +726,12 @@ class GridBroker:
                         detail or str(exc),
                     )
                     continue
-                options = self._options(job, outcome, calibrator)
+                options = job_options(job, outcome)
                 refusal = policy_impl.admit(job, options, now)
                 if refusal is not None:
                     reject(job, now, refusal.code, refusal.reason)
                     continue
-                entry = ((-job.priority, job.arrival, job.job_id), job)
-                bisect.insort(pending, entry)
+                enqueue(job)
 
             # Placement: serve the queue head while it fits; no backfill.
             while pending:
@@ -414,7 +739,7 @@ class GridBroker:
                 outcome = self._selection(head)
                 feasible = [
                     option
-                    for option in self._options(head, outcome, calibrator)
+                    for option in job_options(head, outcome)
                     if ledger.fits_now(
                         option.replica_site,
                         option.compute_site,
@@ -429,25 +754,216 @@ class GridBroker:
                 if isinstance(decision, Rejection):
                     reject(head, now, decision.code, decision.reason)
                     continue
+                attempt_seq += 1
                 self._place(
-                    head, decision, now, ledger, queue, placements
+                    head, decision, now, ledger, queue, placed,
+                    attempt_seq, running, state,
+                )
+
+        # Jobs still queued when the event stream dries up can never be
+        # served (nothing is running, nothing will be repaired): settle
+        # them terminally so every admitted job is accounted for.
+        if state is not None:
+            for _, job in pending:
+                attempts = state.failed_attempts.get(job.job_id, 0)
+                state.terminal.add(job.job_id)
+                state.failures.append(
+                    TerminalFailure(
+                        job_id=job.job_id,
+                        workload=job.workload,
+                        time=now,
+                        code="stranded-no-capacity",
+                        reason=(
+                            "no feasible placement before the event stream "
+                            "ended (lost capacity was never repaired)"
+                        ),
+                        attempts=attempts,
+                        deadline=job.deadline,
+                    )
                 )
 
         self.last_ledger = ledger
+        placements = tuple(
+            placement
+            for attempt_id, placement in placed
+            if attempt_id not in cancelled
+        )
         return PolicyRun(
             policy=policy,
             calibrated=calibrate,
-            placements=tuple(placements),
+            placements=placements,
             rejections=tuple(rejections),
             error_series=tuple(errors),
             calibration_factors=calibrator.snapshot() if calibrate else {},
+            recovery=state.recovery.name if state is not None else None,
+            fault_events=tuple(state.fault_events) if state is not None else (),
+            preemptions=tuple(state.preemptions) if state is not None else (),
+            failures=tuple(state.failures) if state is not None else (),
         )
+
+    # ------------------------------------------------------------------
+    # Grid-weather delivery
+    # ------------------------------------------------------------------
+
+    def _schedule_faults(
+        self, schedule: GridFaultSchedule, queue: EventQueue
+    ) -> None:
+        """Turn the fault schedule into FAULT/REPAIR events."""
+        for index, spec in enumerate(schedule.faults):
+            if isinstance(spec, (SiteOutage, NodePoolShrink, WanDegradation)):
+                for site in self._fault_sites(spec):
+                    if site not in self.topology:
+                        raise ConfigurationError(
+                            f"grid fault targets unknown site '{site}'"
+                        )
+                queue.push(
+                    Event(
+                        time=spec.at,
+                        kind=EventKind.FAULT,
+                        payload=(index, spec),
+                    )
+                )
+                repair_at = self._repair_time(spec)
+                if repair_at is not None:
+                    queue.push(
+                        Event(
+                            time=repair_at,
+                            kind=EventKind.REPAIR,
+                            payload=(index, spec),
+                        )
+                    )
+            # TransientJobFailure is consulted at placement time.
+
+    @staticmethod
+    def _fault_sites(spec: object) -> Tuple[str, ...]:
+        if isinstance(spec, WanDegradation):
+            return (spec.site_a, spec.site_b)
+        return (spec.site,)  # type: ignore[union-attr]
+
+    @staticmethod
+    def _repair_time(spec: object) -> Optional[float]:
+        if isinstance(spec, SiteOutage):
+            return spec.repaired_at
+        if isinstance(spec, NodePoolShrink):
+            if spec.restore_after is None:
+                return None
+            return spec.at + spec.restore_after
+        if isinstance(spec, WanDegradation):
+            if spec.duration is None:
+                return None
+            return spec.at + spec.duration
+        return None
+
+    def _apply_fault(
+        self,
+        payload: Tuple[int, object],
+        now: float,
+        ledger: GridLedger,
+        state: Optional[_FaultState],
+        running: Dict[int, _Running],
+        settle_preemption,
+    ) -> None:
+        assert state is not None
+        index, spec = payload
+        if isinstance(spec, SiteOutage):
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now,
+                    kind="site-outage",
+                    target=spec.site,
+                    detail=(
+                        "permanent"
+                        if spec.repair_after is None
+                        else f"repair after {spec.repair_after}s"
+                    ),
+                )
+            )
+            victims = [
+                running[attempt_id]
+                for attempt_id in sorted(running)
+                if running[attempt_id].uses_site(spec.site)
+            ]
+            for run_state in victims:
+                settle_preemption(run_state, "site-outage", now)
+            ledger.pool(spec.site).fail(now)
+        elif isinstance(spec, NodePoolShrink):
+            removed = ledger.pool(spec.site).shrink(spec.nodes, now)
+            state.shrink_victims[index] = removed
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now,
+                    kind="pool-shrink",
+                    target=spec.site,
+                    detail=f"nodes {sorted(removed)} removed",
+                )
+            )
+            victims = [
+                running[attempt_id]
+                for attempt_id in sorted(running)
+                if running[attempt_id].uses_node(spec.site, removed)
+            ]
+            for run_state in victims:
+                settle_preemption(run_state, "pool-shrink", now)
+        elif isinstance(spec, WanDegradation):
+            state.wan_active.append(spec)
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now,
+                    kind="wan-degradation",
+                    target=f"{spec.site_a}~{spec.site_b}",
+                    detail=f"factor {spec.factor}",
+                )
+            )
+
+    def _apply_repair(
+        self,
+        payload: Tuple[int, object],
+        now: float,
+        ledger: GridLedger,
+        state: Optional[_FaultState],
+    ) -> None:
+        assert state is not None
+        index, spec = payload
+        if isinstance(spec, SiteOutage):
+            ledger.pool(spec.site).repair(now)
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now, kind="site-repair", target=spec.site
+                )
+            )
+        elif isinstance(spec, NodePoolShrink):
+            victims = state.shrink_victims.get(index, ())
+            if victims:
+                ledger.pool(spec.site).restore(victims, now)
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now,
+                    kind="pool-restore",
+                    target=spec.site,
+                    detail=f"nodes {sorted(victims)} restored",
+                )
+            )
+        elif isinstance(spec, WanDegradation):
+            state.wan_active.remove(spec)
+            state.fault_events.append(
+                GridFaultEvent(
+                    time=now,
+                    kind="wan-restoration",
+                    target=f"{spec.site_a}~{spec.site_b}",
+                )
+            )
+
+    # ------------------------------------------------------------------
 
     def _options(
         self,
         job: BrokerJob,
         outcome: SelectionOutcome,
         calibrator: OnlineCalibrator,
+        *,
+        remaining: float = 1.0,
+        charge: bool = False,
+        wan: Optional[Sequence[WanDegradation]] = None,
     ) -> List[PlacementOption]:
         return [
             PlacementOption(
@@ -458,6 +974,13 @@ class GridBroker:
                     cand.replica_site,
                     cand.compute_site,
                     cand.prediction,
+                ),
+                remaining_fraction=remaining,
+                resume_charge=(
+                    self._recover_charge(job, cand) if charge else 0.0
+                ),
+                wan_factor=self._wan_factor(
+                    cand.replica_site, cand.compute_site, wan
                 ),
             )
             for cand in outcome.candidates
@@ -470,50 +993,108 @@ class GridBroker:
         now: float,
         ledger: GridLedger,
         queue: EventQueue,
-        placements: List[BrokerPlacement],
+        placed: List[Tuple[int, BrokerPlacement]],
+        attempt_id: int,
+        running: Dict[int, _Running],
+        state: Optional[_FaultState],
     ) -> None:
         actual = self._execute(job, option.candidate)
-        start, end = now, now + actual.total
+        full_total = (
+            actual.t_disk
+            + actual.t_network * option.wan_factor
+            + actual.t_compute
+        )
+        charge = option.resume_charge
+        duration = option.remaining_fraction * full_total + charge
+        start, end = now, now + duration
         data_ids = ledger.pool(option.replica_site).acquire(
             option.data_nodes, job.job_id, start, end
         )
         compute_ids = ledger.pool(option.compute_site).acquire(
             option.compute_nodes, job.job_id, start, end
         )
-        placements.append(
-            BrokerPlacement(
-                job_id=job.job_id,
-                workload=job.workload,
-                replica_site=option.replica_site,
-                compute_site=option.compute_site,
-                data_nodes=option.data_nodes,
-                compute_nodes=option.compute_nodes,
-                data_node_ids=data_ids,
-                compute_node_ids=compute_ids,
-                arrival=job.arrival,
-                start=start,
-                end=end,
-                predicted_total=option.predicted_total,
-                raw_predicted_total=option.raw.total,
-                deadline=job.deadline,
-                priority=job.priority,
+        attempt_number = 1
+        if state is not None:
+            attempt_number = state.failed_attempts.get(job.job_id, 0) + 1
+        placed.append(
+            (
+                attempt_id,
+                BrokerPlacement(
+                    job_id=job.job_id,
+                    workload=job.workload,
+                    replica_site=option.replica_site,
+                    compute_site=option.compute_site,
+                    data_nodes=option.data_nodes,
+                    compute_nodes=option.compute_nodes,
+                    data_node_ids=data_ids,
+                    compute_node_ids=compute_ids,
+                    arrival=job.arrival,
+                    start=start,
+                    end=end,
+                    predicted_total=option.predicted_total,
+                    raw_predicted_total=option.raw.total,
+                    deadline=job.deadline,
+                    priority=job.priority,
+                    attempt=attempt_number,
+                    recovery_charge=charge,
+                ),
             )
         )
+        # remaining_fraction <= 1, charge >= 0, wan_factor >= 1 by
+        # construction: inequalities test the fault-free identity values
+        # without a float-equality compare.
+        full_attempt = option.remaining_fraction >= 1.0 and charge <= 0.0
+        effective = actual
+        if option.wan_factor > 1.0:
+            effective = ActualRun(
+                t_disk=actual.t_disk,
+                t_network=actual.t_network * option.wan_factor,
+                t_compute=actual.t_compute,
+                num_passes=actual.num_passes,
+            )
         queue.push(
             Event(
                 time=end,
                 kind=EventKind.COMPLETION,
                 payload=_Completion(
+                    attempt_id=attempt_id,
                     job=job,
                     candidate=option.candidate,
                     data_node_ids=data_ids,
                     compute_node_ids=compute_ids,
                     raw=option.raw,
                     predicted_total=option.predicted_total,
-                    actual=actual,
+                    actual=effective,
+                    full_attempt=full_attempt,
                 ),
             )
         )
+        if state is not None:
+            running[attempt_id] = _Running(
+                attempt_id=attempt_id,
+                attempt_number=attempt_number,
+                job=job,
+                candidate=option.candidate,
+                data_node_ids=data_ids,
+                compute_node_ids=compute_ids,
+                start=start,
+                end=end,
+                progress_before=1.0 - option.remaining_fraction,
+                charge=charge,
+                full_total=full_total,
+                num_passes=actual.num_passes,
+            )
+            doomed = state.transient_remaining.get(job.job_id, 0)
+            if doomed > 0:
+                state.transient_remaining[job.job_id] = doomed - 1
+                spec = state.schedule.transient_failures[job.job_id]
+                queue.push(
+                    Event(
+                        time=start + spec.at_fraction * duration,
+                        kind=EventKind.ABORT,
+                        payload=attempt_id,
+                    )
+                )
 
     # ------------------------------------------------------------------
 
@@ -524,15 +1105,26 @@ class GridBroker:
         policies: Sequence[str] = POLICY_NAMES,
         *,
         include_uncalibrated: bool = True,
+        faults: Optional[GridFaultSchedule] = None,
+        recovery: str = "resubmit",
+        retry: Optional[BrokerRetryPolicy] = None,
     ) -> BrokerReport:
         """Run every policy over the same stream; one report.
 
         ``include_uncalibrated`` adds a calibration-off twin of the first
-        policy, the control for the calibration-accuracy claim.
+        policy, the control for the calibration-accuracy claim.  A
+        ``faults`` schedule applies identically to every run.
         """
-        runs = [self.run(jobs, policy) for policy in policies]
+        runs = [
+            self.run(jobs, policy, faults=faults, recovery=recovery,
+                     retry=retry)
+            for policy in policies
+        ]
         if include_uncalibrated and policies:
-            runs.append(self.run(jobs, policies[0], calibrate=False))
+            runs.append(
+                self.run(jobs, policies[0], calibrate=False, faults=faults,
+                         recovery=recovery, retry=retry)
+            )
         return BrokerReport(name=name, runs=tuple(runs))
 
     def resolve_jobs(self, doc: BrokerWorkloadDoc) -> List[BrokerJob]:

@@ -6,14 +6,22 @@ the bare :math:`\\hat T_{exec}` of a one-shot selection.  Two pieces make
 that accounting exact and auditable:
 
 - :class:`EventQueue` — a deterministic time-ordered queue of job
-  arrivals and completions.  At equal timestamps completions drain
-  before arrivals, so nodes freed at instant ``t`` are available to a
-  job arriving at ``t``; remaining ties break on insertion order.
+  arrivals, completions, and (when a grid fault schedule is installed)
+  fault/repair/requeue occurrences.  At equal timestamps completions
+  drain before anything else — nodes freed at instant ``t`` are
+  available to whatever happens at ``t`` — faults land before repairs,
+  repairs before requeues, and plain arrivals come last so an arriving
+  job sees post-fault capacity; remaining ties break on insertion order.
 - :class:`SitePool` / :class:`GridLedger` — per-site free-node tracking
   with an append-only history of :class:`NodeWindow` reservations.  A
   placement acquires *specific node indices* (always the lowest free
   ones, for determinism) over a closed time window; the recorded
-  windows are what the property tests check for per-node overlap.
+  windows are what the property tests check for per-node overlap.  A
+  pool can be quiesced by grid faults: a site outage marks the whole
+  pool down, a node-pool shrink removes the highest-indexed nodes, and
+  every such capacity loss is recorded as an :class:`OutageRecord` so
+  the chaos invariants can check that no reservation window overlaps a
+  declared outage.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.topology import GridTopology
@@ -32,6 +40,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "NodeWindow",
+    "OutageRecord",
     "SitePool",
     "GridLedger",
 ]
@@ -41,7 +50,11 @@ class EventKind(enum.IntEnum):
     """Event ordering classes; lower values drain first at equal times."""
 
     COMPLETION = 0
-    ARRIVAL = 1
+    ABORT = 1
+    FAULT = 2
+    REPAIR = 3
+    REQUEUE = 4
+    ARRIVAL = 5
 
 
 @dataclass(frozen=True)
@@ -97,6 +110,30 @@ class NodeWindow:
         return self.start < other.end and other.start < self.end
 
 
+@dataclass(frozen=True)
+class OutageRecord:
+    """Declared lost capacity: a site (or some of its nodes) down from
+    ``start`` until ``end`` (``None`` = never repaired in the run).
+
+    ``nodes`` of ``None`` means the whole site; otherwise the specific
+    node indices removed by a pool shrink.
+    """
+
+    site: str
+    start: float
+    end: Optional[float] = None
+    nodes: Optional[Tuple[int, ...]] = None
+
+    def covers(self, window: NodeWindow) -> bool:
+        """Whether a reservation window overlaps this outage interval."""
+        if window.site != self.site:
+            return False
+        if self.nodes is not None and window.node not in self.nodes:
+            return False
+        end = self.end if self.end is not None else float("inf")
+        return window.start < end and self.start < window.end
+
+
 class SitePool:
     """Free-node bookkeeping for one site, with a reservation history.
 
@@ -104,7 +141,14 @@ class SitePool:
     deterministic (lowest free indices first) and records one
     :class:`NodeWindow` per node immediately — the end time is known at
     placement because the simulated execution time is.  Release happens
-    later, when the broker pops the matching completion event.
+    later, when the broker pops the matching completion event — or
+    early, when a grid fault preempts the job (the broker then truncates
+    the job's windows to the preemption instant).
+
+    Grid faults quiesce a pool in two ways: :meth:`fail` marks the whole
+    site down (``free_count`` reports zero until :meth:`repair`), and
+    :meth:`shrink` removes specific high-indexed nodes until
+    :meth:`restore`.  Both record :class:`OutageRecord` entries.
     """
 
     def __init__(self, name: str, num_nodes: int) -> None:
@@ -113,11 +157,14 @@ class SitePool:
         self.name = name
         self.num_nodes = num_nodes
         self._free = list(range(num_nodes))  # kept sorted
+        self._removed: set = set()  # shrunk out of service
+        self.down = False
         self.windows: List[NodeWindow] = []
+        self.outages: List[OutageRecord] = []
 
     @property
     def free_count(self) -> int:
-        return len(self._free)
+        return 0 if self.down else len(self._free)
 
     def acquire(
         self, count: int, job_id: str, start: float, end: float
@@ -127,6 +174,10 @@ class SitePool:
             raise ConfigurationError("must acquire at least one node")
         if end <= start:
             raise ConfigurationError("reservation must have positive length")
+        if self.down:
+            raise ConfigurationError(
+                f"site '{self.name}' is down; cannot acquire nodes"
+            )
         if count > len(self._free):
             raise ConfigurationError(
                 f"site '{self.name}' has {len(self._free)} free node(s); "
@@ -147,13 +198,118 @@ class SitePool:
         return taken
 
     def release(self, nodes: Tuple[int, ...]) -> None:
-        """Return previously acquired nodes to the free pool."""
+        """Return previously acquired nodes to the free pool.
+
+        A released node that was shrunk away while the job held it goes
+        out of service instead of back to the free list.
+        """
         for node in nodes:
             if node in self._free or not 0 <= node < self.num_nodes:
                 raise ConfigurationError(
                     f"site '{self.name}': node {node} is not reserved"
                 )
-        self._free = sorted(self._free + list(nodes))
+        returned = [n for n in nodes if n not in self._removed]
+        self._free = sorted(self._free + returned)
+
+    # ------------------------------------------------------------------
+    # Grid-fault quiescing
+    # ------------------------------------------------------------------
+
+    def truncate_windows(self, job_id: str, at: float) -> None:
+        """Cut a preempted job's open reservation windows short at ``at``.
+
+        Windows that had not started by ``at`` are dropped entirely, so
+        the recorded history never claims a node during a declared
+        outage.
+        """
+        rewritten: List[NodeWindow] = []
+        for window in self.windows:
+            if window.job_id != job_id or window.end <= at:
+                rewritten.append(window)
+            elif window.start < at:
+                rewritten.append(
+                    NodeWindow(
+                        site=window.site,
+                        node=window.node,
+                        start=window.start,
+                        end=at,
+                        job_id=window.job_id,
+                    )
+                )
+            # else: the window never materialized; drop it
+        self.windows = rewritten
+
+    def fail(self, at: float) -> None:
+        """Mark the whole site down from ``at`` (idempotent)."""
+        if self.down:
+            return
+        self.down = True
+        self.outages.append(OutageRecord(site=self.name, start=at))
+
+    def repair(self, at: float) -> None:
+        """Bring a failed site back at ``at``."""
+        if not self.down:
+            raise ConfigurationError(
+                f"site '{self.name}' is not down; nothing to repair"
+            )
+        self.down = False
+        # Close the open whole-site record specifically: a shrink during
+        # the outage appends its own (nodes=...) record after ours.
+        for index in range(len(self.outages) - 1, -1, -1):
+            record = self.outages[index]
+            if record.end is None and record.nodes is None:
+                self.outages[index] = OutageRecord(
+                    site=self.name, start=record.start, end=at
+                )
+                break
+
+    def shrink(self, count: int, at: float) -> Tuple[int, ...]:
+        """Remove the ``count`` highest not-yet-removed nodes at ``at``.
+
+        Returns the removed node indices; the broker preempts any
+        running job holding one of them.  Shrinking more nodes than the
+        site still has removes what is left.
+        """
+        if count <= 0:
+            raise ConfigurationError("must shrink by at least one node")
+        victims = tuple(
+            node
+            for node in range(self.num_nodes - 1, -1, -1)
+            if node not in self._removed
+        )[:count]
+        if not victims:
+            return ()
+        self._removed.update(victims)
+        self._free = [n for n in self._free if n not in self._removed]
+        self.outages.append(
+            OutageRecord(
+                site=self.name, start=at, nodes=tuple(sorted(victims))
+            )
+        )
+        return victims
+
+    def restore(self, nodes: Tuple[int, ...], at: float) -> None:
+        """Return previously shrunk nodes to service at ``at``."""
+        restored = set(nodes)
+        missing = restored - self._removed
+        if missing:
+            raise ConfigurationError(
+                f"site '{self.name}': nodes {sorted(missing)} were not "
+                "shrunk; cannot restore them"
+            )
+        self._removed -= restored
+        self._free = sorted(self._free + list(restored))
+        for index, record in enumerate(self.outages):
+            if record.end is None and record.nodes is not None and set(
+                record.nodes
+            ) == restored:
+                self.outages[index] = OutageRecord(
+                    site=record.site,
+                    start=record.start,
+                    end=at,
+                    nodes=record.nodes,
+                )
+                break
 
 
 class GridLedger:
@@ -202,3 +358,10 @@ class GridLedger:
         for name in sorted(self._pools):
             windows.extend(self._pools[name].windows)
         return windows
+
+    def all_outages(self) -> List[OutageRecord]:
+        """Every declared capacity loss, in declaration order per site."""
+        outages: List[OutageRecord] = []
+        for name in sorted(self._pools):
+            outages.extend(self._pools[name].outages)
+        return outages

@@ -45,11 +45,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PlacementOption:
-    """One feasible placement with raw and calibrated predictions."""
+    """One feasible placement with raw and calibrated predictions.
+
+    Under a grid fault schedule the option additionally carries the
+    resume state of the job (``remaining_fraction`` of the work left
+    after checkpoint-aware migration, plus the ``resume_charge``
+    :math:`T_{recover}` seconds the candidate would pay to restore) and
+    the ``wan_factor`` currently stretching the candidate's
+    replica-to-compute network path.  All three default to the
+    fault-free identity, so fault-free predictions are unchanged.
+    """
 
     candidate: SelectionCandidate
     raw: PredictedBreakdown
     calibrated: PredictedBreakdown
+    remaining_fraction: float = 1.0
+    resume_charge: float = 0.0
+    wan_factor: float = 1.0
 
     @property
     def replica_site(self) -> str:
@@ -69,13 +81,31 @@ class PlacementOption:
 
     @property
     def predicted_total(self) -> float:
-        """Calibrated predicted execution time."""
-        return self.calibrated.total
+        """Calibrated predicted execution time of this attempt.
+
+        For a resumed job only the remaining fraction of the work is
+        predicted, plus the recovery charge; an active WAN degradation
+        stretches the network component.  Fault-free this is exactly
+        ``calibrated.total``.
+        """
+        # remaining_fraction <= 1, resume_charge >= 0 and wan_factor >= 1
+        # by construction, so these inequalities test for the exact
+        # fault-free identity values without a float-equality compare.
+        if (
+            self.remaining_fraction >= 1.0
+            and self.resume_charge <= 0.0
+            and self.wan_factor <= 1.0
+        ):
+            return self.calibrated.total
+        stretched = self.calibrated.total + self.calibrated.t_network * (
+            self.wan_factor - 1.0
+        )
+        return self.remaining_fraction * stretched + self.resume_charge
 
     @property
     def node_hours(self) -> float:
         """Predicted cost: machines reserved x predicted time."""
-        return (self.data_nodes + self.compute_nodes) * self.calibrated.total
+        return (self.data_nodes + self.compute_nodes) * self.predicted_total
 
     @property
     def sort_label(self) -> tuple:

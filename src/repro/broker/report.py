@@ -6,6 +6,14 @@ any job was rejected, the headline metrics (makespan, mean queue wait,
 deadline-miss rate) and the rolling prediction-error series in
 completion order — the curve that shows online calibration converging.
 
+Runs under a grid fault schedule additionally carry the fault timeline
+(:class:`GridFaultEvent`), every torn-down attempt
+(:class:`BrokerPreemption`), jobs whose retry budget ran out
+(:class:`TerminalFailure`), and resilience metrics — goodput, recovery
+overhead, per-fault-kind breakdowns.  Fault-free runs serialize exactly
+as they did before the fault model existed: the resilience keys are
+omitted, so pre-fault reports stay byte-identical.
+
 Serialization goes through :func:`repro.core.durable.canonical_json`,
 so replaying the same seeded workload produces a byte-identical report
 file (asserted by ``benchmarks/bench_broker.py``).
@@ -23,6 +31,9 @@ from repro.simgrid.errors import ConfigurationError
 __all__ = [
     "BrokerPlacement",
     "BrokerRejection",
+    "BrokerPreemption",
+    "GridFaultEvent",
+    "TerminalFailure",
     "PolicyRun",
     "BrokerReport",
     "load_report",
@@ -33,7 +44,12 @@ _FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class BrokerPlacement:
-    """One completed job: where, when, and how well it was predicted."""
+    """One completed job: where, when, and how well it was predicted.
+
+    ``attempt`` counts placement attempts (1 = never preempted);
+    ``recovery_charge`` is the :math:`T_{recover}` seconds folded into
+    this attempt's execution by checkpoint-aware migration.
+    """
 
     job_id: str
     workload: str
@@ -50,6 +66,8 @@ class BrokerPlacement:
     raw_predicted_total: float
     deadline: Optional[float] = None
     priority: int = 0
+    attempt: int = 1
+    recovery_charge: float = 0.0
 
     @property
     def wait(self) -> float:
@@ -90,6 +108,49 @@ class BrokerRejection:
 
 
 @dataclass(frozen=True)
+class GridFaultEvent:
+    """One grid fault becoming active or healing, on the broker clock."""
+
+    time: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BrokerPreemption:
+    """One execution attempt torn down by a grid fault.
+
+    ``wasted`` is the simulated time the attempt spent that the next
+    attempt cannot reuse; ``kept_fraction`` is the share of the job's
+    passes whose checkpoints survived (0 under resubmit recovery).
+    """
+
+    job_id: str
+    workload: str
+    attempt: int
+    time: float
+    start: float
+    cause: str
+    site: str
+    wasted: float
+    kept_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class TerminalFailure:
+    """One admitted job the broker could not finish."""
+
+    job_id: str
+    workload: str
+    time: float
+    code: str
+    reason: str
+    attempts: int
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class PolicyRun:
     """Everything one policy did to one job stream."""
 
@@ -104,6 +165,11 @@ class PolicyRun:
     calibration_factors: Dict[str, Dict[str, float]] = field(
         default_factory=dict
     )
+    #: Recovery policy name when a grid fault schedule was installed.
+    recovery: Optional[str] = None
+    fault_events: Tuple[GridFaultEvent, ...] = ()
+    preemptions: Tuple[BrokerPreemption, ...] = ()
+    failures: Tuple[TerminalFailure, ...] = ()
 
     @property
     def label(self) -> str:
@@ -111,8 +177,13 @@ class PolicyRun:
         return f"{self.policy}{suffix}"
 
     @property
+    def faulted(self) -> bool:
+        """Whether this run executed under a grid fault schedule."""
+        return self.recovery is not None
+
+    @property
     def jobs(self) -> int:
-        return len(self.placements) + len(self.rejections)
+        return len(self.placements) + len(self.rejections) + len(self.failures)
 
     @property
     def makespan(self) -> float:
@@ -129,16 +200,18 @@ class PolicyRun:
     def deadline_miss_rate(self) -> float:
         """Share of deadline jobs not served by their deadline.
 
-        A *rejected* job with a deadline counts as missed — otherwise a
-        policy could zero its miss rate by refusing every hard job.
+        A *rejected* or *terminally failed* job with a deadline counts
+        as missed — otherwise a policy could zero its miss rate by
+        refusing or abandoning every hard job.
         """
         with_deadline = [p for p in self.placements if p.deadline is not None]
-        rejected = [r for r in self.rejections if r.deadline is not None]
-        total = len(with_deadline) + len(rejected)
+        unserved = [r for r in self.rejections if r.deadline is not None]
+        unserved += [f for f in self.failures if f.deadline is not None]
+        total = len(with_deadline) + len(unserved)
         if total == 0:
             return 0.0
         missed = sum(1 for p in with_deadline if p.missed_deadline)
-        return (missed + len(rejected)) / total
+        return (missed + len(unserved)) / total
 
     def mean_error(self, last: Optional[int] = None) -> float:
         """Mean relative prediction error, optionally of the last N jobs."""
@@ -148,6 +221,58 @@ class PolicyRun:
         if not series:
             return 0.0
         return sum(series) / len(series)
+
+    # ------------------------------------------------------------------
+    # Resilience metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def wasted_time(self) -> float:
+        """Simulated node time lost to torn-down attempts."""
+        return sum(p.wasted for p in self.preemptions)
+
+    @property
+    def recovery_charge_time(self) -> float:
+        """Total :math:`T_{recover}` charged by migrations."""
+        return sum(p.recovery_charge for p in self.placements)
+
+    @property
+    def recovery_overhead_time(self) -> float:
+        """Wasted attempt time plus migration recovery charges."""
+        return self.wasted_time + self.recovery_charge_time
+
+    @property
+    def goodput(self) -> float:
+        """Useful execution time over total execution time spent.
+
+        Useful time is the final attempts' execution minus recovery
+        charges; the denominator adds the time wasted in torn-down
+        attempts.  1.0 on a fault-free run; lower means the grid burned
+        capacity on work it had to redo.
+        """
+        useful = sum(
+            p.actual_total - p.recovery_charge for p in self.placements
+        )
+        spent = useful + self.recovery_overhead_time
+        if spent <= 0.0:
+            return 1.0
+        return useful / spent
+
+    @property
+    def preemptions_by_cause(self) -> Dict[str, int]:
+        """Preemption counts keyed by fault kind, sorted by key."""
+        counts: Dict[str, int] = {}
+        for p in self.preemptions:
+            counts[p.cause] = counts.get(p.cause, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Fault-event counts keyed by event kind, sorted by key."""
+        counts: Dict[str, int] = {}
+        for e in self.fault_events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 @dataclass(frozen=True)
@@ -206,30 +331,38 @@ def load_report(path: str | pathlib.Path) -> BrokerReport:
 # ----------------------------------------------------------------------
 
 
+def _placement_to_dict(p: BrokerPlacement) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "job_id": p.job_id,
+        "workload": p.workload,
+        "replica_site": p.replica_site,
+        "compute_site": p.compute_site,
+        "data_nodes": p.data_nodes,
+        "compute_nodes": p.compute_nodes,
+        "data_node_ids": list(p.data_node_ids),
+        "compute_node_ids": list(p.compute_node_ids),
+        "arrival": p.arrival,
+        "start": p.start,
+        "end": p.end,
+        "predicted_total": p.predicted_total,
+        "raw_predicted_total": p.raw_predicted_total,
+        "deadline": p.deadline,
+        "priority": p.priority,
+    }
+    # Fault-free reports stay byte-identical: emit the resilience
+    # fields only when they deviate from the fault-free defaults.
+    if p.attempt != 1:
+        entry["attempt"] = p.attempt
+    if p.recovery_charge:
+        entry["recovery_charge"] = p.recovery_charge
+    return entry
+
+
 def _run_to_dict(run: PolicyRun) -> Dict[str, Any]:
-    return {
+    doc: Dict[str, Any] = {
         "policy": run.policy,
         "calibrated": run.calibrated,
-        "placements": [
-            {
-                "job_id": p.job_id,
-                "workload": p.workload,
-                "replica_site": p.replica_site,
-                "compute_site": p.compute_site,
-                "data_nodes": p.data_nodes,
-                "compute_nodes": p.compute_nodes,
-                "data_node_ids": list(p.data_node_ids),
-                "compute_node_ids": list(p.compute_node_ids),
-                "arrival": p.arrival,
-                "start": p.start,
-                "end": p.end,
-                "predicted_total": p.predicted_total,
-                "raw_predicted_total": p.raw_predicted_total,
-                "deadline": p.deadline,
-                "priority": p.priority,
-            }
-            for p in run.placements
-        ],
+        "placements": [_placement_to_dict(p) for p in run.placements],
         "rejections": [
             {
                 "job_id": r.job_id,
@@ -253,6 +386,54 @@ def _run_to_dict(run: PolicyRun) -> Dict[str, Any]:
             "mean_error": run.mean_error(),
         },
     }
+    if run.faulted:
+        doc["recovery"] = run.recovery
+        doc["fault_events"] = [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "target": e.target,
+                "detail": e.detail,
+            }
+            for e in run.fault_events
+        ]
+        doc["preemptions"] = [
+            {
+                "job_id": p.job_id,
+                "workload": p.workload,
+                "attempt": p.attempt,
+                "time": p.time,
+                "start": p.start,
+                "cause": p.cause,
+                "site": p.site,
+                "wasted": p.wasted,
+                "kept_fraction": p.kept_fraction,
+            }
+            for p in run.preemptions
+        ]
+        doc["failures"] = [
+            {
+                "job_id": f.job_id,
+                "workload": f.workload,
+                "time": f.time,
+                "code": f.code,
+                "reason": f.reason,
+                "attempts": f.attempts,
+                "deadline": f.deadline,
+            }
+            for f in run.failures
+        ]
+        doc["metrics"]["failed"] = len(run.failures)
+        doc["metrics"]["resilience"] = {
+            "goodput": run.goodput,
+            "wasted_time": run.wasted_time,
+            "recovery_charge_time": run.recovery_charge_time,
+            "recovery_overhead_time": run.recovery_overhead_time,
+            "preemptions": len(run.preemptions),
+            "preemptions_by_cause": run.preemptions_by_cause,
+            "fault_counts": run.fault_counts,
+        }
+    return doc
 
 
 def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
@@ -275,6 +456,8 @@ def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
                 float(p["deadline"]) if p.get("deadline") is not None else None
             ),
             priority=int(p.get("priority", 0)),
+            attempt=int(p.get("attempt", 1)),
+            recovery_charge=float(p.get("recovery_charge", 0.0)),
         )
         for p in doc["placements"]
     ]
@@ -291,6 +474,44 @@ def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
         )
         for r in doc["rejections"]
     )
+    fault_events = tuple(
+        GridFaultEvent(
+            time=float(e["time"]),
+            kind=str(e["kind"]),
+            target=str(e["target"]),
+            detail=str(e.get("detail", "")),
+        )
+        for e in doc.get("fault_events", [])
+    )
+    preemptions = tuple(
+        BrokerPreemption(
+            job_id=str(p["job_id"]),
+            workload=str(p["workload"]),
+            attempt=int(p["attempt"]),
+            time=float(p["time"]),
+            start=float(p["start"]),
+            cause=str(p["cause"]),
+            site=str(p["site"]),
+            wasted=float(p["wasted"]),
+            kept_fraction=float(p.get("kept_fraction", 0.0)),
+        )
+        for p in doc.get("preemptions", [])
+    )
+    failures = tuple(
+        TerminalFailure(
+            job_id=str(f["job_id"]),
+            workload=str(f["workload"]),
+            time=float(f["time"]),
+            code=str(f["code"]),
+            reason=str(f["reason"]),
+            attempts=int(f["attempts"]),
+            deadline=(
+                float(f["deadline"]) if f.get("deadline") is not None else None
+            ),
+        )
+        for f in doc.get("failures", [])
+    )
+    recovery = doc.get("recovery")
     return PolicyRun(
         policy=str(doc["policy"]),
         calibrated=bool(doc["calibrated"]),
@@ -303,4 +524,8 @@ def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
             str(comp): {str(k): float(v) for k, v in factors.items()}
             for comp, factors in doc.get("calibration_factors", {}).items()
         },
+        recovery=None if recovery is None else str(recovery),
+        fault_events=fault_events,
+        preemptions=preemptions,
+        failures=failures,
     )

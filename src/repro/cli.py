@@ -302,16 +302,31 @@ def _cmd_campaign(args) -> int:
 def _cmd_broker(args) -> int:
     from repro.analysis import format_broker
     from repro.broker import POLICY_NAMES, GridBroker, load_workload_document
+    from repro.faults import BrokerRetryPolicy, load_grid_scenario
 
     doc = load_workload_document(args.workload)
     broker = GridBroker.from_document(doc, alpha=args.alpha)
     jobs = broker.resolve_jobs(doc)
     policies = args.policy or list(POLICY_NAMES)
+    faults = None
+    recovery = args.recovery or "resubmit"
+    retry = None
+    if args.faults:
+        scenario = load_grid_scenario(args.faults)
+        faults = scenario.schedule
+        retry = scenario.retry
+        if args.recovery is None and scenario.recovery is not None:
+            recovery = scenario.recovery
+    if args.retry_attempts is not None:
+        retry = BrokerRetryPolicy.with_attempts(args.retry_attempts)
     report = broker.compare(
         doc.name,
         jobs,
         policies,
         include_uncalibrated=not args.no_calibration_baseline,
+        faults=faults,
+        recovery=recovery,
+        retry=retry,
     )
     print(format_broker(report, schedule=args.schedule))
     if args.report:
@@ -491,6 +506,23 @@ def build_parser() -> argparse.ArgumentParser:
     broker_p.add_argument(
         "--alpha", type=float, default=0.3,
         help="calibration learning rate in (0, 1] (default 0.3)",
+    )
+    broker_p.add_argument(
+        "--faults", default=None, metavar="SCENARIO",
+        help="grid fault scenario JSON (site outages, pool shrinks, WAN "
+        "degradations, transient job failures) applied to every run",
+    )
+    broker_p.add_argument(
+        "--recovery", default=None, metavar="NAME",
+        choices=["resubmit", "migrate"],
+        help="recovery policy for preempted jobs: resubmit (fresh "
+        "attempt elsewhere) or migrate (checkpoint-aware, charges "
+        "T_recover); default: the scenario's, else resubmit",
+    )
+    broker_p.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="override the broker retry budget (attempts per job before "
+        "a terminal failure)",
     )
     broker_p.set_defaults(func=_cmd_broker)
 

@@ -3,33 +3,59 @@
 The paper's premise is resource selection on *shared, unreliable* grid
 resources; this package supplies the unreliable part.  It provides:
 
-- :mod:`repro.faults.specs`    — seeded, schedulable fault specs
-  (:class:`DataNodeCrash`, :class:`ComputeNodeCrash`,
+- :mod:`repro.faults.specs`    — seeded, schedulable *execution-scoped*
+  fault specs (:class:`DataNodeCrash`, :class:`ComputeNodeCrash`,
   :class:`LinkDegradation`, :class:`SlowNode`, transient
   :class:`ChunkReadError`) collected into a :class:`FaultSchedule`.
+- :mod:`repro.faults.grid`     — *grid-scoped* fault specs the broker
+  consumes (:class:`SiteOutage`, :class:`NodePoolShrink`,
+  :class:`WanDegradation`, :class:`TransientJobFailure`) collected into
+  a :class:`GridFaultSchedule`.
 - :mod:`repro.faults.retry`    — the :class:`RetryPolicy` (attempt
-  budget, capped exponential backoff, per-chunk timeout).
+  budget, capped exponential backoff, per-chunk timeout) and the
+  job-granularity :class:`BrokerRetryPolicy` built on it.
 - :mod:`repro.faults.injector` — the deterministic :class:`FaultInjector`
   and replica-failover selection.
 - :mod:`repro.faults.scenario` — JSON scenario files for the
-  ``repro run --faults`` CLI flag.
+  ``repro run --faults`` and ``repro broker --faults`` CLI flags, with
+  scope-aware kind validation.
+- :mod:`repro.faults.chaos`    — seeded randomized grid-fault timelines
+  and the invariant checker behind the chaos campaigns (imported
+  directly, not re-exported here, because it drives the broker).
 - :mod:`repro.faults.verify`   — bitwise faulted-vs-fault-free result
   comparison.
 
-The recovery semantics themselves live in
-:class:`repro.middleware.runtime.FreerideGRuntime`; the expected-cost
-model is :class:`repro.core.degraded.DegradedModePredictor`.
+The execution-level recovery semantics live in
+:class:`repro.middleware.runtime.FreerideGRuntime`; grid-level recovery
+lives in :mod:`repro.broker.recovery`; the expected-cost model is
+:class:`repro.core.degraded.DegradedModePredictor`.
 """
 
 from repro.errors import FaultError, RecoveryExhaustedError
+from repro.faults.grid import (
+    GridFaultSchedule,
+    GridFaultSpec,
+    NodePoolShrink,
+    SiteOutage,
+    TransientJobFailure,
+    WanDegradation,
+)
 from repro.faults.injector import FaultInjector, select_failover_replica
 from repro.faults.retry import (
+    DEFAULT_BROKER_RETRY_POLICY,
     DEFAULT_RETRY_POLICY,
     WATCHDOG_RETRY_POLICY,
+    BrokerRetryPolicy,
     RetryPolicy,
 )
 from repro.faults.scenario import (
+    EXECUTION_FAULT_KINDS,
+    GRID_FAULT_KINDS,
+    GridFaultScenario,
+    grid_scenario_from_dict,
+    grid_schedule_from_dict,
     injector_from_dict,
+    load_grid_scenario,
     load_scenario,
     schedule_from_dict,
 )
@@ -49,10 +75,18 @@ __all__ = [
     "RecoveryExhaustedError",
     "FaultInjector",
     "select_failover_replica",
+    "DEFAULT_BROKER_RETRY_POLICY",
     "DEFAULT_RETRY_POLICY",
     "WATCHDOG_RETRY_POLICY",
+    "BrokerRetryPolicy",
     "RetryPolicy",
+    "EXECUTION_FAULT_KINDS",
+    "GRID_FAULT_KINDS",
+    "GridFaultScenario",
+    "grid_scenario_from_dict",
+    "grid_schedule_from_dict",
     "injector_from_dict",
+    "load_grid_scenario",
     "load_scenario",
     "schedule_from_dict",
     "ChunkReadError",
@@ -60,7 +94,13 @@ __all__ = [
     "DataNodeCrash",
     "FaultSchedule",
     "FaultSpec",
+    "GridFaultSchedule",
+    "GridFaultSpec",
     "LinkDegradation",
+    "NodePoolShrink",
+    "SiteOutage",
     "SlowNode",
+    "TransientJobFailure",
+    "WanDegradation",
     "results_equal",
 ]

@@ -1,0 +1,349 @@
+"""Seeded chaos campaigns over the grid broker.
+
+The tentpole guarantee of the grid fault model is *determinism under
+adversity*: whatever weather hits the grid, every admitted job settles
+exactly once, no reservation window overlaps a declared outage, and the
+whole faulted run replays byte-identically from its ``(seed, scenario)``
+pair.  This module turns that guarantee into an executable harness:
+
+- :func:`chaos_timeline` draws a randomized-but-seeded
+  :class:`~repro.faults.grid.GridFaultSchedule` against a concrete
+  topology and job stream.  Every generated fault is *survivable by
+  construction* — outages repair, shrunk pools restore, transient
+  failures stay inside the default retry budget — so the stream can in
+  principle finish (individual jobs may still strand or exhaust their
+  budget; the invariants cover that).
+- :func:`verify_run` checks one finished
+  :class:`~repro.broker.report.PolicyRun` (plus the broker's node
+  ledger) against the invariant suite and returns human-readable
+  violations — an empty list is a pass.
+- :func:`run_campaign` sweeps many seeds: for each it generates a
+  timeline, brokers the stream under it, verifies the invariants, and
+  re-runs the identical (seed, scenario) pair asserting a byte-identical
+  report.  The result is a :class:`ChaosReport` the resilience benchmark
+  serializes.
+
+Imports deliberately flow ``faults.chaos -> broker``, which is why this
+module is *not* re-exported from :mod:`repro.faults` (the broker itself
+imports ``repro.faults``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.broker.engine import GridBroker
+from repro.broker.events import GridLedger
+from repro.broker.report import PolicyRun
+from repro.core.durable import canonical_json
+from repro.faults.grid import (
+    GridFaultSchedule,
+    GridFaultSpec,
+    NodePoolShrink,
+    SiteOutage,
+    TransientJobFailure,
+    WanDegradation,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.simgrid.topology import GridTopology
+
+__all__ = [
+    "ChaosSpec",
+    "chaos_timeline",
+    "verify_run",
+    "ChaosCase",
+    "ChaosReport",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Shape of one randomized timeline (all counts are maxima).
+
+    Fault times are drawn uniformly over ``[0, horizon)``; repair and
+    restore delays over ``[horizon/20, horizon/2)`` so lost capacity
+    returns while the stream is still draining.
+    """
+
+    horizon: float
+    max_outages: int = 2
+    max_shrinks: int = 2
+    max_wan: int = 2
+    max_transients: int = 2
+    max_transient_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ConfigurationError("chaos horizon must be positive")
+        for name in (
+            "max_outages", "max_shrinks", "max_wan", "max_transients",
+            "max_transient_failures",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+def chaos_timeline(
+    seed: int,
+    spec: ChaosSpec,
+    topology: GridTopology,
+    job_ids: Sequence[str],
+) -> GridFaultSchedule:
+    """Draw one survivable grid-fault timeline for ``seed``.
+
+    The draw order is fixed (outages, shrinks, WAN degradations,
+    transients) — like the stream generator's, it is part of the replay
+    format.  At most one outage per site and one transient spec per job
+    are drawn, matching :class:`GridFaultSchedule` validation.
+    """
+    rng = random.Random(seed)
+    sites = sorted(site.name for site in topology.sites())
+    edges = sorted(
+        tuple(sorted((a, b))) for a, b in topology.links()
+    )
+    faults: List[GridFaultSpec] = []
+
+    def delay() -> float:
+        return rng.uniform(spec.horizon / 20.0, spec.horizon / 2.0)
+
+    outage_sites = rng.sample(
+        sites, min(rng.randint(0, spec.max_outages), len(sites))
+    )
+    for site in outage_sites:
+        faults.append(
+            SiteOutage(
+                site=site,
+                at=rng.uniform(0.0, spec.horizon),
+                repair_after=delay(),
+            )
+        )
+    for _ in range(rng.randint(0, spec.max_shrinks)):
+        site = rng.choice(sites)
+        nodes = max(1, topology.site(site).cluster.num_nodes // 4)
+        faults.append(
+            NodePoolShrink(
+                site=site,
+                at=rng.uniform(0.0, spec.horizon),
+                nodes=rng.randint(1, nodes),
+                restore_after=delay(),
+            )
+        )
+    if edges:
+        for _ in range(rng.randint(0, spec.max_wan)):
+            site_a, site_b = rng.choice(edges)
+            faults.append(
+                WanDegradation(
+                    site_a=site_a,
+                    site_b=site_b,
+                    factor=rng.uniform(1.5, 4.0),
+                    at=rng.uniform(0.0, spec.horizon),
+                    duration=delay(),
+                )
+            )
+    if job_ids and spec.max_transients:
+        targets = rng.sample(
+            sorted(job_ids),
+            min(rng.randint(0, spec.max_transients), len(job_ids)),
+        )
+        for job_id in targets:
+            faults.append(
+                TransientJobFailure(
+                    job_id=job_id,
+                    failures=rng.randint(1, spec.max_transient_failures),
+                    at_fraction=rng.uniform(0.0, 0.95),
+                )
+            )
+    return GridFaultSchedule(faults)
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+def verify_run(
+    run: PolicyRun,
+    job_ids: Sequence[str],
+    ledger: Optional[GridLedger],
+) -> List[str]:
+    """Check one finished run against the chaos invariant suite.
+
+    Returns human-readable violations (empty = pass):
+
+    1. **Settled exactly once** — every job of the stream appears exactly
+       once across placements, rejections and terminal failures.
+    2. **No double-booking** — per (site, node), reservation windows
+       never overlap.
+    3. **No window inside an outage** — no reservation window overlaps a
+       declared :class:`~repro.broker.events.OutageRecord`.
+    4. **Books balance** — goodput is in ``(0, 1]`` and wasted time is
+       never negative.
+    """
+    violations: List[str] = []
+
+    settled: Dict[str, int] = {job_id: 0 for job_id in job_ids}
+    for placement in run.placements:
+        settled[placement.job_id] = settled.get(placement.job_id, 0) + 1
+    for rejection in run.rejections:
+        settled[rejection.job_id] = settled.get(rejection.job_id, 0) + 1
+    for failure in run.failures:
+        settled[failure.job_id] = settled.get(failure.job_id, 0) + 1
+    for job_id in sorted(settled):
+        count = settled[job_id]
+        if count != 1:
+            violations.append(
+                f"job '{job_id}' settled {count} time(s); expected exactly 1"
+            )
+
+    if ledger is not None:
+        windows = ledger.all_windows()
+        by_node: Dict[Tuple[str, int], list] = {}
+        for window in windows:
+            by_node.setdefault((window.site, window.node), []).append(window)
+        for key in sorted(by_node):
+            stack = sorted(by_node[key], key=lambda w: (w.start, w.end))
+            for earlier, later in zip(stack, stack[1:]):
+                if earlier.overlaps(later):
+                    violations.append(
+                        f"windows overlap on {key[0]}/node{key[1]}: "
+                        f"{earlier.job_id}[{earlier.start:.4f},"
+                        f"{earlier.end:.4f}) vs {later.job_id}"
+                        f"[{later.start:.4f},{later.end:.4f})"
+                    )
+        for outage in ledger.all_outages():
+            for window in windows:
+                if outage.covers(window):
+                    violations.append(
+                        f"window {window.job_id}[{window.start:.4f},"
+                        f"{window.end:.4f}) on {window.site}/node"
+                        f"{window.node} overlaps outage starting at "
+                        f"{outage.start:.4f}"
+                    )
+
+    if not 0.0 < run.goodput <= 1.0:
+        violations.append(f"goodput {run.goodput} outside (0, 1]")
+    if run.wasted_time < 0.0:
+        violations.append(f"negative wasted time {run.wasted_time}")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """Outcome of one (seed, timeline) chaos case."""
+
+    seed: int
+    faults: int
+    completed: int
+    rejected: int
+    failed: int
+    preemptions: int
+    goodput: float
+    replay_identical: bool
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_identical and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": self.faults,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "preemptions": self.preemptions,
+            "goodput": self.goodput,
+            "replay_identical": self.replay_identical,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """One campaign: per-seed cases plus the aggregate verdict."""
+
+    policy: str
+    recovery: str
+    cases: Tuple[ChaosCase, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for case in self.cases:
+            out.extend(
+                f"seed {case.seed}: {violation}"
+                for violation in case.violations
+            )
+            if not case.replay_identical:
+                out.append(f"seed {case.seed}: replay diverged")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "chaos-report",
+            "policy": self.policy,
+            "recovery": self.recovery,
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+def _run_bytes(run: PolicyRun) -> bytes:
+    from repro.broker.report import _run_to_dict
+
+    return canonical_json(_run_to_dict(run)).encode("utf-8")
+
+
+def run_campaign(
+    broker: GridBroker,
+    jobs: Sequence,
+    seeds: Sequence[int],
+    spec: ChaosSpec,
+    *,
+    policy: str = "min-completion",
+    recovery: str = "resubmit",
+) -> ChaosReport:
+    """Sweep seeded fault timelines over one job stream.
+
+    Each seed draws a timeline, brokers the stream under it, verifies
+    the invariant suite, then replays the identical (seed, scenario)
+    pair and compares the serialized reports byte for byte.  The broker
+    instance is reused — its memoized executions are deterministic, so
+    reuse only makes the campaign faster, never different.
+    """
+    if not seeds:
+        raise ConfigurationError("chaos campaign needs at least one seed")
+    job_ids = [job.job_id for job in jobs]
+    cases: List[ChaosCase] = []
+    for seed in seeds:
+        schedule = chaos_timeline(seed, spec, broker.topology, job_ids)
+        run = broker.run(jobs, policy, faults=schedule, recovery=recovery)
+        violations = verify_run(run, job_ids, broker.last_ledger)
+        replay = broker.run(jobs, policy, faults=schedule, recovery=recovery)
+        cases.append(
+            ChaosCase(
+                seed=seed,
+                faults=len(schedule),
+                completed=len(run.placements),
+                rejected=len(run.rejections),
+                failed=len(run.failures),
+                preemptions=len(run.preemptions),
+                goodput=run.goodput,
+                replay_identical=_run_bytes(run) == _run_bytes(replay),
+                violations=tuple(violations),
+            )
+        )
+    return ChaosReport(policy=policy, recovery=recovery, cases=tuple(cases))

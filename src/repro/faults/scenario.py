@@ -1,6 +1,9 @@
-"""Fault-scenario files: JSON in, :class:`FaultInjector` out.
+"""Fault-scenario files: JSON in, schedules/injectors out.
 
-A scenario file drives ``repro run --faults scenario.json``::
+Two scenario scopes share this module:
+
+**Execution scope** drives ``repro run --faults scenario.json`` — faults
+inside one middleware execution::
 
     {
       "seed": 42,
@@ -19,20 +22,55 @@ A scenario file drives ``repro run --faults scenario.json``::
       ]
     }
 
-Every key except ``faults`` is optional.  Unknown fault types or keys
-raise :class:`~repro.errors.FaultError` rather than being ignored — a
-typo in a scenario must not silently produce a fault-free run.
+**Grid scope** drives ``repro broker --faults scenario.json`` — grid
+weather delivered through the broker's event queue::
+
+    {
+      "recovery": "migrate",
+      "retry": {"max_attempts": 3, "base_backoff_s": 0.02},
+      "grid_faults": [
+        {"type": "site-outage", "site": "hpc-1", "at": 2.0,
+         "repair_after": 4.0},
+        {"type": "node-pool-shrink", "site": "hpc-2", "at": 1.0,
+         "nodes": 8, "restore_after": 6.0},
+        {"type": "wan-degradation", "a": "repo-a", "b": "hpc-1",
+         "factor": 2.0, "at": 0.0, "duration": 5.0},
+        {"type": "transient-job-failure", "job": "job0007-kmeans",
+         "failures": 1, "at_fraction": 0.5}
+      ]
+    }
+
+Every key except the fault list is optional.  An unknown fault kind — or
+a kind used in the wrong scope — raises
+:class:`~repro.simgrid.errors.ConfigurationError` naming the valid kinds
+of both scopes; malformed fields of a *known* kind raise
+:class:`~repro.errors.FaultError`.  A typo in a scenario must not
+silently produce a fault-free run.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Mapping, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.errors import FaultError
+from repro.faults.grid import (
+    GridFaultSchedule,
+    GridFaultSpec,
+    NodePoolShrink,
+    SiteOutage,
+    TransientJobFailure,
+    WanDegradation,
+)
 from repro.faults.injector import FaultInjector
-from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.faults.retry import (
+    DEFAULT_BROKER_RETRY_POLICY,
+    DEFAULT_RETRY_POLICY,
+    BrokerRetryPolicy,
+    RetryPolicy,
+)
 from repro.faults.specs import (
     ChunkReadError,
     ComputeNodeCrash,
@@ -42,8 +80,62 @@ from repro.faults.specs import (
     LinkDegradation,
     SlowNode,
 )
+from repro.simgrid.errors import ConfigurationError
 
-__all__ = ["schedule_from_dict", "injector_from_dict", "load_scenario"]
+__all__ = [
+    "EXECUTION_FAULT_KINDS",
+    "GRID_FAULT_KINDS",
+    "schedule_from_dict",
+    "injector_from_dict",
+    "load_scenario",
+    "grid_fault_from_dict",
+    "grid_schedule_from_dict",
+    "GridFaultScenario",
+    "grid_scenario_from_dict",
+    "load_grid_scenario",
+]
+
+#: Execution-scoped fault kinds (``repro run --faults``), canonical order.
+EXECUTION_FAULT_KINDS = (
+    "data-node-crash",
+    "compute-node-crash",
+    "link-degradation",
+    "slow-node",
+    "chunk-read-error",
+)
+
+#: Grid-scoped fault kinds (``repro broker --faults``), canonical order.
+GRID_FAULT_KINDS = (
+    "site-outage",
+    "node-pool-shrink",
+    "wan-degradation",
+    "transient-job-failure",
+)
+
+
+def _unknown_kind(kind: Any, scope: str) -> ConfigurationError:
+    """The error for a fault kind that fits neither scope."""
+    return ConfigurationError(
+        f"unknown fault type {kind!r}; {scope} scenarios accept "
+        f"{', '.join(EXECUTION_FAULT_KINDS if scope == 'execution' else GRID_FAULT_KINDS)} "
+        f"(the other scope's kinds are "
+        f"{', '.join(GRID_FAULT_KINDS if scope == 'execution' else EXECUTION_FAULT_KINDS)})"
+    )
+
+
+def _scope_mismatch(kind: str, found_in: str) -> ConfigurationError:
+    """The error for a valid kind appearing in the wrong scope."""
+    if found_in == "execution":
+        return ConfigurationError(
+            f"'{kind}' is a grid-scoped fault and belongs in a broker "
+            f"fault scenario ('grid_faults' list, `repro broker --faults`); "
+            f"execution scenarios accept {', '.join(EXECUTION_FAULT_KINDS)}"
+        )
+    return ConfigurationError(
+        f"'{kind}' is an execution-scoped fault and belongs in a "
+        f"`repro run --faults` scenario ('faults' list); grid scenarios "
+        f"accept {', '.join(GRID_FAULT_KINDS)}"
+    )
 
 
 def _take(data: Mapping[str, Any], kind: str, keys: Dict[str, Any]) -> Dict[str, Any]:
@@ -122,14 +214,68 @@ def _fault_from_dict(data: Mapping[str, Any]) -> FaultSpec:
             data_node=None if args["data_node"] is None else int(args["data_node"]),
             failures=failures,
         )
-    raise FaultError(
-        f"unknown fault type {kind!r}; expected one of data-node-crash, "
-        "compute-node-crash, link-degradation, slow-node, chunk-read-error"
-    )
+    if kind in GRID_FAULT_KINDS:
+        raise _scope_mismatch(str(kind), "execution")
+    raise _unknown_kind(kind, "execution")
+
+
+def grid_fault_from_dict(data: Mapping[str, Any]) -> GridFaultSpec:
+    """Parse one grid-scoped fault spec mapping."""
+    kind = data.get("type")
+    if kind == "site-outage":
+        args = _take(data, kind, {"site": ..., "at": ..., "repair_after": None})
+        return SiteOutage(
+            site=str(args["site"]),
+            at=float(args["at"]),
+            repair_after=(
+                None if args["repair_after"] is None
+                else float(args["repair_after"])
+            ),
+        )
+    if kind == "node-pool-shrink":
+        args = _take(
+            data, kind,
+            {"site": ..., "at": ..., "nodes": ..., "restore_after": None},
+        )
+        return NodePoolShrink(
+            site=str(args["site"]),
+            at=float(args["at"]),
+            nodes=int(args["nodes"]),
+            restore_after=(
+                None if args["restore_after"] is None
+                else float(args["restore_after"])
+            ),
+        )
+    if kind == "wan-degradation":
+        args = _take(
+            data, kind,
+            {"a": ..., "b": ..., "factor": ..., "at": 0.0, "duration": None},
+        )
+        return WanDegradation(
+            site_a=str(args["a"]),
+            site_b=str(args["b"]),
+            factor=float(args["factor"]),
+            at=float(args["at"]),
+            duration=(
+                None if args["duration"] is None else float(args["duration"])
+            ),
+        )
+    if kind == "transient-job-failure":
+        args = _take(
+            data, kind, {"job": ..., "failures": 1, "at_fraction": 0.5}
+        )
+        return TransientJobFailure(
+            job_id=str(args["job"]),
+            failures=int(args["failures"]),
+            at_fraction=float(args["at_fraction"]),
+        )
+    if kind in EXECUTION_FAULT_KINDS:
+        raise _scope_mismatch(str(kind), "grid")
+    raise _unknown_kind(kind, "grid")
 
 
 def schedule_from_dict(data: Mapping[str, Any]) -> FaultSchedule:
-    """Build a :class:`FaultSchedule` from a decoded scenario mapping."""
+    """Build an execution-scoped :class:`FaultSchedule` from a mapping."""
     faults_raw = data.get("faults", [])
     if not isinstance(faults_raw, list):
         raise FaultError("'faults' must be a list of fault specs")
@@ -138,6 +284,14 @@ def schedule_from_dict(data: Mapping[str, Any]) -> FaultSchedule:
     if checkpoints is not None and not isinstance(checkpoints, bool):
         raise FaultError("'checkpoints' must be a boolean when present")
     return FaultSchedule(faults=faults, checkpoints=checkpoints)
+
+
+def grid_schedule_from_dict(data: Mapping[str, Any]) -> GridFaultSchedule:
+    """Build a :class:`GridFaultSchedule` from a decoded scenario mapping."""
+    faults_raw = data.get("grid_faults", data.get("faults", []))
+    if not isinstance(faults_raw, list):
+        raise FaultError("'grid_faults' must be a list of fault specs")
+    return GridFaultSchedule([grid_fault_from_dict(f) for f in faults_raw])
 
 
 def injector_from_dict(data: Mapping[str, Any]) -> FaultInjector:
@@ -162,8 +316,38 @@ def injector_from_dict(data: Mapping[str, Any]) -> FaultInjector:
     )
 
 
-def load_scenario(path: Union[str, pathlib.Path]) -> FaultInjector:
-    """Load a fault-scenario JSON file into an injector."""
+@dataclass(frozen=True)
+class GridFaultScenario:
+    """A parsed grid fault scenario: schedule + recovery configuration.
+
+    ``recovery`` is ``None`` when the scenario leaves the recovery
+    policy to the caller (the CLI's ``--recovery`` flag wins over the
+    file either way).
+    """
+
+    schedule: GridFaultSchedule
+    retry: BrokerRetryPolicy = DEFAULT_BROKER_RETRY_POLICY
+    recovery: Optional[str] = None
+
+
+def grid_scenario_from_dict(data: Mapping[str, Any]) -> GridFaultScenario:
+    """Build a :class:`GridFaultScenario` from a decoded mapping."""
+    schedule = grid_schedule_from_dict(data)
+    retry_raw = data.get("retry")
+    if retry_raw is None:
+        retry = DEFAULT_BROKER_RETRY_POLICY
+    else:
+        try:
+            retry = BrokerRetryPolicy(backoff=RetryPolicy(**retry_raw))
+        except TypeError as exc:
+            raise FaultError(f"bad retry: {exc}") from exc
+    recovery = data.get("recovery")
+    if recovery is not None:
+        recovery = str(recovery)
+    return GridFaultScenario(schedule=schedule, retry=retry, recovery=recovery)
+
+
+def _load_json_object(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
     p = pathlib.Path(path)
     try:
         data = json.loads(p.read_text())
@@ -173,4 +357,14 @@ def load_scenario(path: Union[str, pathlib.Path]) -> FaultInjector:
         raise FaultError(f"fault scenario {p} is not valid JSON: {exc}") from exc
     if not isinstance(data, dict):
         raise FaultError(f"fault scenario {p} must contain a JSON object")
-    return injector_from_dict(data)
+    return data
+
+
+def load_scenario(path: Union[str, pathlib.Path]) -> FaultInjector:
+    """Load an execution-scoped fault-scenario JSON file into an injector."""
+    return injector_from_dict(_load_json_object(path))
+
+
+def load_grid_scenario(path: Union[str, pathlib.Path]) -> GridFaultScenario:
+    """Load a grid-scoped fault-scenario JSON file."""
+    return grid_scenario_from_dict(_load_json_object(path))

@@ -196,7 +196,7 @@ class FreerideGRuntime:
             faults.link_factor(node, pass_index)
             for node in range(len(per_node_sizes))
         ]
-        degraded = any(f != 1.0 for f in link_factors)
+        degraded = any(f > 1.0 for f in link_factors)
         streams = data_server.node_stream_times(link_factors if degraded else None)
         t_network = max(streams)
         if degraded:
@@ -207,7 +207,7 @@ class FreerideGRuntime:
                     "factors": {
                         node: factor
                         for node, factor in enumerate(link_factors)
-                        if factor != 1.0
+                        if factor > 1.0
                     },
                 }
             )
@@ -259,7 +259,7 @@ class FreerideGRuntime:
                 total = sum(role_totals[r] for r in roles)
                 cache = sum(role_caches[r] for r in roles)
             factor = slow_factors.get(executor, 1.0)
-            if factor != 1.0:
+            if factor > 1.0:
                 total *= factor
             times.append(total)
             caches.append(cache)
@@ -462,13 +462,13 @@ class FreerideGRuntime:
                 slow = {
                     e: faults.slow_factor(e, pass_index) for e in executor_roles
                 }
-                if any(f != 1.0 for f in slow.values()):
+                if any(f > 1.0 for f in slow.values()):
                     events.append(
                         {
                             "kind": "slow-nodes",
                             "pass": pass_index,
                             "factors": {
-                                e: f for e, f in slow.items() if f != 1.0
+                                e: f for e, f in slow.items() if f > 1.0
                             },
                         }
                     )

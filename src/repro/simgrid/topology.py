@@ -94,6 +94,10 @@ class GridTopology:
         """All compute sites."""
         return list(self.sites(SiteKind.COMPUTE))
 
+    def links(self) -> list[tuple[str, str]]:
+        """All direct links as sorted (a, b) tuples, sorted."""
+        return sorted(tuple(sorted(edge)) for edge in self._graph.edges)
+
     def path(self, a: str, b: str) -> list[str]:
         """Minimum-hop path between two sites."""
         self._require(a)

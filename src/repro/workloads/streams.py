@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.simgrid.errors import ConfigurationError
 
-__all__ = ["StreamSpec", "generate_stream"]
+__all__ = ["StreamSpec", "generate_stream", "stream_horizon"]
 
 #: ``baselines`` may be a callable ``(workload, size) -> seconds`` or a
 #: mapping keyed like :attr:`BrokerJob.dataset_key`.
@@ -142,6 +142,19 @@ def _baseline_for(
     if value <= 0:
         raise ConfigurationError(f"baseline for '{key}' must be positive")
     return value
+
+
+def stream_horizon(jobs) -> float:
+    """A fault-injection horizon covering a job stream's arrival span.
+
+    The chaos timeline generator draws fault times over ``[0, horizon)``;
+    one-and-a-half times the last arrival (with a 1-second floor for
+    bursty short streams) keeps grid weather landing where jobs are
+    actually contending rather than long after the stream drains.
+    """
+    if not jobs:
+        raise ConfigurationError("cannot size a horizon for an empty stream")
+    return max(1.0, 1.5 * max(job.arrival for job in jobs))
 
 
 def generate_stream(spec: StreamSpec, baselines: Baselines = None) -> List:

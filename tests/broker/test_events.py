@@ -92,6 +92,33 @@ class TestSitePool:
         with pytest.raises(ConfigurationError):
             pool.acquire(1, "j1", 1.0, 1.0)
 
+    def test_fail_and_repair_bracket_an_outage_record(self):
+        pool = SitePool("site", 4)
+        pool.fail(1.0)
+        assert pool.down
+        pool.repair(2.5)
+        assert not pool.down
+        (outage,) = pool.outages
+        assert (outage.start, outage.end, outage.nodes) == (1.0, 2.5, None)
+        with pytest.raises(ConfigurationError):
+            pool.repair(3.0)
+
+    def test_repair_closes_the_site_record_not_a_later_shrink(self):
+        # A shrink during an outage appends its own record *after* the
+        # open whole-site one; repair must close the site record and
+        # leave the shrink record (and its node list) intact.
+        pool = SitePool("site", 4)
+        pool.fail(1.0)
+        victims = pool.shrink(2, 1.2)
+        assert victims == (3, 2)
+        pool.restore(victims, 1.4)
+        pool.repair(2.0)
+        site_record, shrink_record = pool.outages
+        assert (site_record.start, site_record.end) == (1.0, 2.0)
+        assert site_record.nodes is None
+        assert (shrink_record.start, shrink_record.end) == (1.2, 1.4)
+        assert shrink_record.nodes == (2, 3)
+
 
 class TestNodeWindow:
     def test_overlap_same_node(self):

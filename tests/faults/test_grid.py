@@ -1,0 +1,188 @@
+"""Grid-scoped fault specs and the grid scenario parser."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    DEFAULT_BROKER_RETRY_POLICY,
+    GridFaultSchedule,
+    NodePoolShrink,
+    SiteOutage,
+    TransientJobFailure,
+    WanDegradation,
+    grid_scenario_from_dict,
+    grid_schedule_from_dict,
+    load_grid_scenario,
+)
+from repro.faults.scenario import grid_fault_from_dict
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestSpecValidation:
+    def test_outage_requires_site_and_sane_times(self):
+        with pytest.raises(FaultError):
+            SiteOutage(site="", at=1.0)
+        with pytest.raises(FaultError):
+            SiteOutage(site="hpc-1", at=-0.5)
+        with pytest.raises(FaultError):
+            SiteOutage(site="hpc-1", at=1.0, repair_after=0.0)
+        assert SiteOutage(site="hpc-1", at=1.0, repair_after=2.0).repaired_at == 3.0
+        assert SiteOutage(site="hpc-1", at=1.0).repaired_at is None
+
+    def test_shrink_requires_at_least_one_node(self):
+        with pytest.raises(FaultError):
+            NodePoolShrink(site="hpc-1", at=0.0, nodes=0)
+        with pytest.raises(FaultError):
+            NodePoolShrink(site="hpc-1", at=0.0, nodes=2, restore_after=-1.0)
+
+    def test_wan_degradation_endpoints_and_factor(self):
+        with pytest.raises(FaultError):
+            WanDegradation(site_a="a", site_b="a", factor=2.0)
+        with pytest.raises(FaultError):
+            WanDegradation(site_a="a", site_b="b", factor=0.5)
+        with pytest.raises(FaultError):
+            WanDegradation(site_a="a", site_b="b", factor=2.0, duration=0.0)
+
+    def test_wan_crosses_is_undirected(self):
+        wan = WanDegradation(site_a="hpc-1", site_b="repo-a", factor=2.0)
+        assert wan.crosses(["repo-a", "hpc-1"])
+        assert wan.crosses(["x", "hpc-1", "repo-a", "y"])
+        assert not wan.crosses(["repo-a", "mid", "hpc-1"])
+
+    def test_transient_failure_fraction_range(self):
+        with pytest.raises(FaultError):
+            TransientJobFailure(job_id="j1", at_fraction=1.0)
+        with pytest.raises(FaultError):
+            TransientJobFailure(job_id="j1", failures=0)
+        with pytest.raises(FaultError):
+            TransientJobFailure(job_id="")
+
+
+class TestScheduleValidation:
+    def test_rejects_non_spec_values(self):
+        with pytest.raises(FaultError, match="not a grid fault spec"):
+            GridFaultSchedule([object()])
+
+    def test_rejects_overlapping_outages_on_one_site(self):
+        with pytest.raises(FaultError, match="overlapping outages"):
+            GridFaultSchedule([
+                SiteOutage(site="hpc-1", at=0.0, repair_after=5.0),
+                SiteOutage(site="hpc-1", at=2.0, repair_after=1.0),
+            ])
+
+    def test_permanent_outage_blocks_any_later_outage(self):
+        with pytest.raises(FaultError, match="overlapping outages"):
+            GridFaultSchedule([
+                SiteOutage(site="hpc-1", at=0.0),
+                SiteOutage(site="hpc-1", at=10.0, repair_after=1.0),
+            ])
+
+    def test_sequential_outages_and_other_sites_allowed(self):
+        schedule = GridFaultSchedule([
+            SiteOutage(site="hpc-1", at=0.0, repair_after=1.0),
+            SiteOutage(site="hpc-1", at=1.0, repair_after=1.0),
+            SiteOutage(site="hpc-2", at=0.5, repair_after=1.0),
+        ])
+        assert len(schedule) == 3
+        assert len(schedule.of_type(SiteOutage)) == 3
+
+    def test_one_transient_spec_per_job(self):
+        with pytest.raises(FaultError, match="multiple transient-failure"):
+            GridFaultSchedule([
+                TransientJobFailure(job_id="j1"),
+                TransientJobFailure(job_id="j1", failures=2),
+            ])
+        schedule = GridFaultSchedule([
+            TransientJobFailure(job_id="j1"),
+            TransientJobFailure(job_id="j2"),
+        ])
+        assert set(schedule.transient_failures) == {"j1", "j2"}
+
+
+class TestScenarioParsing:
+    def test_each_kind_parses_with_defaults(self):
+        schedule = grid_schedule_from_dict({
+            "grid_faults": [
+                {"type": "site-outage", "site": "hpc-1", "at": 2.0},
+                {"type": "node-pool-shrink", "site": "hpc-2", "at": 1.0,
+                 "nodes": 8},
+                {"type": "wan-degradation", "a": "repo-a", "b": "hpc-1",
+                 "factor": 2.0},
+                {"type": "transient-job-failure", "job": "j1"},
+            ]
+        })
+        assert len(schedule) == 4
+        outage = schedule.of_type(SiteOutage)[0]
+        assert outage.repair_after is None
+        assert schedule.transient_failures["j1"].failures == 1
+
+    def test_unknown_kind_names_both_scopes(self):
+        with pytest.raises(ConfigurationError) as exc:
+            grid_fault_from_dict({"type": "meteor-strike"})
+        message = str(exc.value)
+        assert "site-outage" in message
+        assert "data-node-crash" in message
+
+    def test_execution_kind_in_grid_scope_is_a_scope_mismatch(self):
+        with pytest.raises(ConfigurationError, match="execution-scoped"):
+            grid_fault_from_dict(
+                {"type": "data-node-crash", "pass": 0, "data_node": 1}
+            )
+
+    def test_unknown_keys_of_known_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown key"):
+            grid_fault_from_dict(
+                {"type": "site-outage", "site": "hpc-1", "at": 0.0,
+                 "sight": "typo"}
+            )
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(FaultError, match="requires key"):
+            grid_fault_from_dict({"type": "site-outage", "site": "hpc-1"})
+
+    def test_faults_must_be_a_list(self):
+        with pytest.raises(FaultError, match="must be a list"):
+            grid_schedule_from_dict({"grid_faults": {"type": "site-outage"}})
+
+    def test_scenario_retry_and_recovery(self):
+        scenario = grid_scenario_from_dict({
+            "recovery": "migrate",
+            "retry": {"max_attempts": 5, "base_backoff_s": 0.01},
+            "grid_faults": [],
+        })
+        assert scenario.recovery == "migrate"
+        assert scenario.retry.max_attempts == 5
+        default = grid_scenario_from_dict({"grid_faults": []})
+        assert default.recovery is None
+        assert default.retry is DEFAULT_BROKER_RETRY_POLICY
+
+    def test_bad_retry_keys_rejected(self):
+        with pytest.raises(FaultError, match="bad retry"):
+            grid_scenario_from_dict({"retry": {"max_tries": 5}})
+
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "recovery": "resubmit",
+            "grid_faults": [
+                {"type": "site-outage", "site": "hpc-1", "at": 2.0,
+                 "repair_after": 4.0},
+            ],
+        }, sort_keys=True))
+        scenario = load_grid_scenario(path)
+        assert scenario.recovery == "resubmit"
+        assert len(scenario.schedule) == 1
+
+    def test_load_rejects_missing_and_malformed_files(self, tmp_path):
+        with pytest.raises(FaultError, match="not found"):
+            load_grid_scenario(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultError, match="not valid JSON"):
+            load_grid_scenario(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[]")
+        with pytest.raises(FaultError, match="JSON object"):
+            load_grid_scenario(array)

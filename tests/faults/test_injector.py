@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import FaultError, RecoveryExhaustedError, ReproError
+from repro.simgrid.errors import ConfigurationError
 from repro.faults import (
     ChunkReadError,
     ComputeNodeCrash,
@@ -173,13 +174,21 @@ class TestScenarioParsing:
         assert schedule.of_type(ComputeNodeCrash)[0].at_fraction == 0.25
 
     def test_unknown_type_and_keys_rejected(self):
-        with pytest.raises(FaultError):
+        with pytest.raises(ConfigurationError, match="data-node-crash"):
             schedule_from_dict({"faults": [{"type": "meteor-strike"}]})
         with pytest.raises(FaultError):
             schedule_from_dict({
                 "faults": [{"type": "data-node-crash", "pass": 0,
                             "data_node": 0, "typo": 1}]
             })
+
+    def test_grid_kind_in_execution_scope_names_both_scopes(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            schedule_from_dict({"faults": [{"type": "site-outage",
+                                            "site": "hpc-1", "at": 5.0}]})
+        message = str(excinfo.value)
+        assert "grid-scoped" in message
+        assert "data-node-crash" in message  # names the valid kinds
 
     def test_injector_from_dict_wires_policy_and_replicas(self):
         injector = injector_from_dict({

@@ -2,9 +2,9 @@
 
 These tests are the lint gate in test form: ``src/repro`` has zero
 non-baselined findings — intraprocedural *and* whole-program (flow) —
-the checked-in baseline contains exactly the tracked debt (5 reviewed
-REP006 exact-compare sites, all fault-factor sentinels in
-``middleware/runtime.py``, and nothing else), and introducing any bad
+the checked-in baseline is empty — the REP006 exact-compare debt was
+burned down to zero by rewriting the fault-factor sentinels in
+``middleware/runtime.py`` as inequalities — and introducing any bad
 fixture into the tree would fail the gate.
 """
 
@@ -27,7 +27,7 @@ TRACKED_DEBT = {
     "REP003": 0,
     "REP004": 0,
     "REP005": 0,  # the burn-down left no bare builtin raises
-    "REP006": 5,  # reviewed != 1.0 fault-factor sentinels (runtime.py)
+    "REP006": 0,  # the != 1.0 sentinels were rewritten as inequalities
     "REP007": 0,
     "REP008": 0,
     # The flow family ships clean: no baselined whole-program findings.
