@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Prediction-as-a-service: deadlines, breakers, graceful degradation.
+
+The paper's predictor answers one question at a time; a grid broker
+needs it as a shared, long-running *service* that stays predictable
+when the world is not.  This example drives :mod:`repro.service`
+through its whole resilience envelope on simulated time:
+
+1. happy path — fresh predictions, a what-if sweep, campaign status;
+2. a crashing backend — the per-(app, cluster) circuit breaker opens
+   and requests degrade to fingerprint-keyed last-known-good answers
+   marked ``stale: true``;
+3. overload — token-bucket admission sheds with 429 + Retry-After
+   instead of queueing into deadline misses;
+4. a seeded chaos campaign checking the invariants: every accepted
+   request settles exactly once, latency respects the deadline, and
+   each (seed, spec) pair replays byte-identically.
+
+The same service is reachable over real HTTP::
+
+    repro serve --port 8080
+    curl -X POST http://127.0.0.1:8080/v1/predict \
+         -d '{"params": {"profile": "kmeans", "data_nodes": 2,
+              "compute_nodes": 4}}'
+
+Run:  python examples/service_requests.py
+"""
+
+from repro.analysis import format_service_chaos, format_service_metrics
+from repro.faults.chaos import ServiceChaosSpec, run_service_campaign
+from repro.service import (
+    BackendFaultSpec,
+    PredictionService,
+    ResilienceConfig,
+    ServiceBackend,
+    ServiceFaultInjector,
+    ServiceRequest,
+    demo_profiles,
+    generate_requests,
+    serve_sequence,
+)
+
+
+def show(response) -> None:
+    flags = []
+    if response.body.get("stale"):
+        flags.append(f"stale, age {response.body['stale_age_s']:.3f}s")
+    if response.retry_after_s is not None:
+        flags.append(f"retry after {response.retry_after_s:.4f}s")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    total = response.body.get("total")
+    recommended = response.body.get("recommended")
+    if total is not None:
+        shown = f"total {total:.2f}s"
+    elif recommended is not None:
+        shown = f"recommended {recommended}"
+    else:
+        shown = response.outcome
+    print(
+        f"  {response.request_id:<12} {response.status} "
+        f"{response.outcome:<14} {shown}{suffix}"
+    )
+
+
+def main() -> None:
+    profiles = demo_profiles()
+
+    print("== happy path: fresh answers on simulated time ==")
+    service = PredictionService(profiles)
+    for request in [
+        ServiceRequest("demo-predict", "predict",
+                       {"profile": "kmeans", "data_nodes": 2,
+                        "compute_nodes": 4}),
+        ServiceRequest("demo-whatif", "what-if",
+                       {"profile": "apriori",
+                        "pairs": [[1, 1], [1, 4], [2, 8]]}),
+    ]:
+        show(service.handle(request))
+
+    print("\n== crashing backend: the breaker opens, answers go stale ==")
+    flaky = PredictionService(profiles)
+    warm = ServiceRequest("warm-up", "predict",
+                          {"profile": "kmeans", "data_nodes": 1,
+                           "compute_nodes": 1})
+    show(flaky.handle(warm))  # a healthy answer seeds the cache
+    flaky.backend = ServiceBackend(
+        injector=ServiceFaultInjector(
+            7, BackendFaultSpec(crash_probability=1.0)
+        )
+    )
+    for index in range(4):
+        show(flaky.handle(ServiceRequest(
+            f"crash-{index}", "predict",
+            {"profile": "kmeans", "data_nodes": 1, "compute_nodes": 1},
+        )))
+    states = flaky.metrics()["breakers"]["states"]
+    print(f"  breaker states: {states}")
+
+    print("\n== overload: admission sheds instead of queueing ==")
+    config = ResilienceConfig(admission_rate=200.0, admission_burst=16.0)
+    loaded = PredictionService(profiles, config=config)
+    requests = generate_requests(3, 120, 2000.0, profiles)
+    serve_sequence(loaded, requests)
+    print(format_service_metrics(loaded.metrics()))
+
+    print("\n== seeded chaos campaign ==")
+    spec = ServiceChaosSpec(requests=120, rate_hz=600.0)
+    report = run_service_campaign(seeds=range(3), spec=spec)
+    print(format_service_chaos(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,8 @@
   (model ordering, error trends) over experiment results.
 - :mod:`repro.analysis.broker` — policy comparison tables and the
   calibration error trend for broker reports.
+- :mod:`repro.analysis.service` — prediction-service metrics rollups
+  and service chaos campaign tables.
 """
 
 from repro.analysis.ascii import error_bar_chart, horizontal_bar
@@ -40,6 +42,10 @@ from repro.analysis.results_io import (
     result_to_dict,
     save_result,
 )
+from repro.analysis.service import (
+    format_service_chaos,
+    format_service_metrics,
+)
 from repro.analysis.stats import (
     error_summary,
     mean,
@@ -70,6 +76,8 @@ __all__ = [
     "format_fault_events",
     "format_policy_run",
     "format_resilience",
+    "format_service_chaos",
+    "format_service_metrics",
     "format_summary",
     "error_summary",
     "mean",

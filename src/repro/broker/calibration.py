@@ -26,13 +26,21 @@ stream, which is exactly what the broker benchmark asserts.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
+from repro.core.durable import (
+    atomic_write_json,
+    check_format_version,
+    read_json_document,
+)
 from repro.core.models import PredictedBreakdown
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = ["CorrectionFactor", "OnlineCalibrator"]
+
+_FORMAT_VERSION = 1
 
 #: Components the calibrator corrects, in reporting order.
 COMPONENTS = ("disk", "network", "compute")
@@ -175,3 +183,79 @@ class OnlineCalibrator:
     @property
     def total_observations(self) -> int:
         return sum(f.observations for f in self._factors.values())
+
+    # ------------------------------------------------------------------
+    # Persistence (service warm restarts)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical-JSON-ready snapshot of the full calibration state.
+
+        Unlike :meth:`snapshot` (a reporting view), this preserves the
+        observation counts, so a reloaded calibrator resumes learning
+        exactly where the saved one stopped.
+        """
+        return {
+            "format_version": _FORMAT_VERSION,
+            "alpha": self.alpha,
+            "clamp": list(self.clamp),
+            "factors": [
+                {
+                    "component": key.component,
+                    "app": key.app,
+                    "resource": key.resource,
+                    "value": self._factors[key].value,
+                    "observations": self._factors[key].observations,
+                }
+                for key in sorted(
+                    self._factors,
+                    key=lambda k: (k.component, k.app, k.resource),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OnlineCalibrator":
+        """Rebuild a calibrator from :meth:`to_dict` output."""
+        check_format_version(data, "calibration state", _FORMAT_VERSION)
+        try:
+            clamp = data["clamp"]
+            calibrator = cls(
+                alpha=float(data["alpha"]),
+                clamp=(float(clamp[0]), float(clamp[1])),
+            )
+            for entry in data["factors"]:
+                component = str(entry["component"])
+                if component not in COMPONENTS:
+                    raise ConfigurationError(
+                        f"unknown calibration component '{component}'"
+                    )
+                key = _Key(component, str(entry["app"]), str(entry["resource"]))
+                calibrator._factors[key] = CorrectionFactor(
+                    value=float(entry["value"]),
+                    observations=int(entry["observations"]),
+                )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ConfigurationError(
+                f"malformed calibration state: {exc}"
+            ) from exc
+        return calibrator
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Durably persist the calibration state as canonical JSON."""
+        return atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "OnlineCalibrator":
+        """Load previously saved calibration state.
+
+        Lets a restarted prediction service warm-start with everything
+        the previous process learned instead of re-converging from 1.0
+        factors over live traffic.
+        """
+        data = read_json_document(
+            path,
+            "calibration state",
+            remedy="delete the file; calibration re-learns from traffic",
+        )
+        return cls.from_dict(data)

@@ -18,6 +18,9 @@ Subcommands
 - ``repro lint [PATHS]`` — the AST-based contract checker enforcing the
   repo's determinism/durability/error-model invariants (see DESIGN.md
   §13); exits non-zero on any non-baselined finding.
+- ``repro serve`` — prediction-as-a-service: a seeded simulated smoke
+  run by default, the service chaos campaign with ``--chaos``, or a
+  real stdlib HTTP server with ``--port`` (see DESIGN.md §15).
 
 All times are in the simulator's model units (see DESIGN.md).
 """
@@ -335,6 +338,74 @@ def _cmd_broker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.analysis import format_service_chaos, format_service_metrics
+    from repro.service import (
+        MonotonicClock,
+        PredictionService,
+        ResilienceConfig,
+        ServiceBackend,
+        ServiceCostModel,
+        VirtualClock,
+        demo_profiles,
+        generate_requests,
+        serve_sequence,
+    )
+
+    if args.chaos:
+        from repro.faults.chaos import ServiceChaosSpec, run_service_campaign
+
+        spec = ServiceChaosSpec(requests=args.requests, rate_hz=args.rate)
+        report = run_service_campaign(
+            seeds=range(args.seed, args.seed + args.cases), spec=spec
+        )
+        print(format_service_chaos(report))
+        return 0 if report.ok else 1
+
+    profiles = demo_profiles()
+    config = ResilienceConfig(admission_rate=args.rate, admission_burst=64.0)
+    if args.port is not None:
+        from repro.service import make_server
+
+        service = PredictionService(
+            profiles,
+            clock=MonotonicClock(),
+            config=config,
+            backend=ServiceBackend(ServiceCostModel()),
+        )
+        server = make_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"serving on http://{host}:{port}/v1/  (Ctrl-C to stop)")
+        try:
+            server.serve_forever(poll_interval=0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+        print()
+        print(format_service_metrics(service.metrics()))
+        return 0
+
+    service = PredictionService(
+        profiles,
+        clock=VirtualClock(),
+        config=config,
+        backend=ServiceBackend(ServiceCostModel()),
+        campaign_journals={"demo": "service-demo.journal"},
+    )
+    requests = generate_requests(
+        args.seed, args.requests, args.rate, profiles
+    )
+    responses = serve_sequence(service, requests)
+    print(
+        f"smoke: served {len(responses)} seeded request(s) "
+        f"(seed {args.seed}, {args.rate:g} req/s offered)"
+    )
+    print(format_service_metrics(service.metrics()))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_lint_command
 
@@ -555,6 +626,40 @@ def build_parser() -> argparse.ArgumentParser:
     whatif_p.add_argument("--bandwidth", type=float, default=DEFAULT_BANDWIDTH)
     whatif_p.add_argument("--tolerance", type=float, default=0.05)
     whatif_p.set_defaults(func=_cmd_whatif)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="prediction-as-a-service: seeded smoke run (default), "
+        "chaos campaign (--chaos), or a real HTTP server (--port)",
+    )
+    serve_p.add_argument(
+        "--requests", type=int, default=200,
+        help="requests per run (smoke/chaos; default 200)",
+    )
+    serve_p.add_argument(
+        "--rate", type=float, default=600.0,
+        help="offered load in requests/s (default 600)",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=1,
+        help="workload seed (and first chaos seed; default 1)",
+    )
+    serve_p.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded service chaos campaign and verify the "
+        "settle-exactly-once / latency / replay invariants",
+    )
+    serve_p.add_argument(
+        "--cases", type=int, default=3,
+        help="chaos seeds to run, starting at --seed (default 3)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="serve real HTTP on PORT (0 = pick a free port) instead "
+        "of a simulated run",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.set_defaults(func=_cmd_serve)
 
     return parser
 

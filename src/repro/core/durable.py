@@ -42,6 +42,7 @@ __all__ = [
     "canonical_json",
     "content_digest",
     "read_json_document",
+    "quarantine_corrupt",
 ]
 
 
@@ -176,6 +177,34 @@ def check_format_version(
         "likely written by a newer version of the framework — upgrade, "
         "or regenerate the file with this version"
     )
+
+
+def quarantine_corrupt(path: str | pathlib.Path) -> pathlib.Path:
+    """Move a corrupt document aside as ``<path>.corrupt-<hash>``.
+
+    Directory-scan load paths (e.g. a profile store warming a service)
+    must not hard-fail the whole scan because one file is truncated:
+    the corrupt file is renamed — preserving the evidence for the
+    operator — and the scan continues.  The suffix is the first 8 hex
+    digits of the SHA-256 of the file's current bytes, so repeated
+    scans of the same corruption are idempotent (the rename target is
+    stable) and two different corruptions never collide.
+
+    Returns the quarantine path.  The original ``path`` no longer
+    exists afterwards.
+    """
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CorruptStoreError(
+            f"cannot quarantine '{path}': {exc}"
+        ) from exc
+    digest = hashlib.sha256(raw).hexdigest()[:8]
+    target = path.with_name(f"{path.name}.corrupt-{digest}")
+    os.replace(path, target)
+    _fsync_directory(path.parent)
+    return target
 
 
 def _fsync_directory(directory: pathlib.Path) -> None:

@@ -9,11 +9,14 @@ This module provides a JSON round-trip for
 from __future__ import annotations
 
 import pathlib
+import warnings
 from typing import Any, Dict, List
 
 from repro.core.durable import (
+    CorruptStoreError,
     atomic_write_json,
     check_format_version,
+    quarantine_corrupt,
     read_json_document,
 )
 from repro.core.profile import Profile
@@ -135,6 +138,31 @@ class ProfileStore:
     def names(self) -> List[str]:
         """All stored profile names, sorted."""
         return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def scan(self) -> Dict[str, Profile]:
+        """Load every readable profile; quarantine the corrupt ones.
+
+        A directory scan (a service warm-starting its profile set) must
+        not die because one file is truncated: each corrupt profile is
+        moved aside to ``<name>.json.corrupt-<hash>`` (see
+        :func:`~repro.core.durable.quarantine_corrupt`) with a clear
+        warning, and the scan continues with the rest.  Quarantined
+        files no longer match the store's ``*.json`` glob, so later
+        scans are clean.
+        """
+        profiles: Dict[str, Profile] = {}
+        for name in self.names():
+            path = self._path(name)
+            try:
+                profiles[name] = load_profile(path)
+            except CorruptStoreError as exc:
+                quarantined = quarantine_corrupt(path)
+                warnings.warn(
+                    f"profile '{name}' is corrupt and was quarantined to "
+                    f"'{quarantined}' (scan continues): {exc}",
+                    stacklevel=2,
+                )
+        return profiles
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and self._path(name).exists()

@@ -23,9 +23,16 @@ pair.  This module turns that guarantee into an executable harness:
   report.  The result is a :class:`ChaosReport` the resilience benchmark
   serializes.
 
-Imports deliberately flow ``faults.chaos -> broker``, which is why this
-module is *not* re-exported from :mod:`repro.faults` (the broker itself
-imports ``repro.faults``).
+The same guarantee extends to the prediction service: a seeded request
+workload against a seeded faulty backend must answer every request
+exactly once, honor every deadline up to ε, and replay byte-identically
+from its ``(seed, scenario)`` pair.  :class:`ServiceChaosSpec`,
+:func:`verify_service_log` and :func:`run_service_campaign` are the
+service-layer half of the harness.
+
+Imports deliberately flow ``faults.chaos -> broker / service``, which is
+why this module is *not* re-exported from :mod:`repro.faults` (broker
+and service themselves import ``repro.faults``).
 """
 
 from __future__ import annotations
@@ -56,6 +63,11 @@ __all__ = [
     "ChaosCase",
     "ChaosReport",
     "run_campaign",
+    "ServiceChaosSpec",
+    "verify_service_log",
+    "ServiceChaosCase",
+    "ServiceChaosReport",
+    "run_service_campaign",
 ]
 
 
@@ -347,3 +359,326 @@ def run_campaign(
             )
         )
     return ChaosReport(policy=policy, recovery=recovery, cases=tuple(cases))
+
+
+# ----------------------------------------------------------------------
+# Service-layer chaos
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceChaosSpec:
+    """One service chaos scenario: workload shape + backend weather.
+
+    The workload seed and the fault seed are both derived from the
+    case seed (``seed`` and ``seed + 1``), so a case is fully described
+    by ``(seed, spec)`` — the replay key.
+    """
+
+    requests: int = 300
+    rate_hz: float = 600.0
+    slow_probability: float = 0.15
+    crash_probability: float = 0.10
+    corrupt_probability: float = 0.05
+    tight_deadline_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError("service chaos needs >= 1 request")
+        if self.rate_hz <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+
+
+def _service_breaker_violations(service: Any) -> List[str]:
+    """Re-derive breaker state-machine legality from the transition log.
+
+    The breaker enforces its edges at runtime; the harness audits the
+    *recorded* history independently — every walk must start CLOSED,
+    chain contiguously (no lost transitions), use only legal edges, and
+    move forward in time.
+    """
+    from repro.service.resilience import BreakerState
+
+    legal = {
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        (BreakerState.HALF_OPEN, BreakerState.OPEN),
+    }
+    violations: List[str] = []
+    bank = service.breakers
+    for key in sorted(bank._breakers):
+        breaker = bank._breakers[key]
+        label = f"{key[0]} @ {key[1]}"
+        state = BreakerState.CLOSED
+        last_at = float("-inf")
+        for transition in breaker.transitions:
+            if transition.source is not state:
+                violations.append(
+                    f"breaker {label}: transition log lost an edge — "
+                    f"expected source {state.value}, recorded "
+                    f"{transition.source.value}"
+                )
+            if (transition.source, transition.target) not in legal:
+                violations.append(
+                    f"breaker {label}: illegal edge "
+                    f"{transition.source.value} -> {transition.target.value}"
+                )
+            if transition.at_s < last_at:
+                violations.append(
+                    f"breaker {label}: transitions out of order at "
+                    f"t={transition.at_s:.6f}"
+                )
+            state = transition.target
+            last_at = transition.at_s
+        if breaker.state is not state:
+            violations.append(
+                f"breaker {label}: live state {breaker.state.value} does "
+                f"not match replayed transition log ({state.value})"
+            )
+    return violations
+
+
+def verify_service_log(service: Any, requests: Sequence[Any]) -> List[str]:
+    """Check a served scenario against the service invariant suite.
+
+    Returns human-readable violations (empty = pass):
+
+    1. **Settled exactly once** — every submitted request id appears
+       exactly once in the request log; nothing extra, nothing missing.
+    2. **Shedding is loud** — every shed request carries HTTP 429 (the
+       adapter adds the ``Retry-After``); admission books balance
+       (admitted + shed = submitted).
+    3. **Deadlines hold** — each settled latency is at most the
+       request's declared deadline (or the config default) + ε.
+    4. **Status/outcome coherence** — stale serves are 200s flagged
+       ``stale``; fresh serves never are.
+    5. **Breaker history is lossless** — the recorded transition log
+       replays to the live state using only legal edges.
+    """
+    violations: List[str] = []
+    config = service.config
+    by_id = {request.request_id: request for request in requests}
+    seen: Dict[str, int] = {}
+    for record in service.log.records:
+        seen[record.request_id] = seen.get(record.request_id, 0) + 1
+    for request_id in sorted(by_id):
+        count = seen.pop(request_id, 0)
+        if count != 1:
+            violations.append(
+                f"request '{request_id}' settled {count} time(s); "
+                "expected exactly 1"
+            )
+    for request_id in sorted(seen):
+        violations.append(
+            f"request '{request_id}' settled but was never submitted"
+        )
+
+    epsilon = config.deadline_epsilon_s
+    for record in service.log.records:
+        request = by_id.get(record.request_id)
+        if request is None:
+            continue
+        if record.settled_s < record.arrival_s:
+            violations.append(
+                f"request '{record.request_id}' settled before it arrived"
+            )
+        deadline = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else config.default_deadline_s
+        )
+        if record.latency_s > deadline + epsilon:
+            violations.append(
+                f"request '{record.request_id}' latency "
+                f"{record.latency_s:.6f}s exceeds deadline "
+                f"{deadline:.6f}s + eps {epsilon:.6f}s"
+            )
+        if record.outcome == "shed" and record.status != 429:
+            violations.append(
+                f"shed request '{record.request_id}' answered with "
+                f"{record.status}, not 429"
+            )
+        if record.outcome == "stale" and not (
+            record.status == 200 and record.stale
+        ):
+            violations.append(
+                f"stale serve '{record.request_id}' must be a 200 "
+                "flagged stale"
+            )
+        if record.outcome == "ok" and record.stale:
+            violations.append(
+                f"fresh serve '{record.request_id}' is flagged stale"
+            )
+
+    submitted = len(requests)
+    booked = service.bucket.admitted + service.bucket.shed
+    duplicates = submitted - len(by_id)
+    if booked + duplicates != submitted:
+        violations.append(
+            f"admission books do not balance: {service.bucket.admitted} "
+            f"admitted + {service.bucket.shed} shed != {submitted} "
+            "submitted"
+        )
+
+    violations.extend(_service_breaker_violations(service))
+    return violations
+
+
+@dataclass(frozen=True)
+class ServiceChaosCase:
+    """Outcome of one (seed, spec) service chaos case."""
+
+    seed: int
+    requests: int
+    served: int
+    shed: int
+    stale_served: int
+    breaker_opens: int
+    injected: Tuple[Tuple[str, int], ...]
+    replay_identical: bool
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_identical and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "served": self.served,
+            "shed": self.shed,
+            "stale_served": self.stale_served,
+            "breaker_opens": self.breaker_opens,
+            "injected": {kind: count for kind, count in self.injected},
+            "replay_identical": self.replay_identical,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceChaosReport:
+    """One service campaign: per-seed cases plus the aggregate verdict."""
+
+    spec: ServiceChaosSpec
+    cases: Tuple[ServiceChaosCase, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for case in self.cases:
+            out.extend(
+                f"seed {case.seed}: {violation}"
+                for violation in case.violations
+            )
+            if not case.replay_identical:
+                out.append(f"seed {case.seed}: replay diverged")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "service-chaos-report",
+            "spec": {
+                "requests": self.spec.requests,
+                "rate_hz": self.spec.rate_hz,
+                "slow_probability": self.spec.slow_probability,
+                "crash_probability": self.spec.crash_probability,
+                "corrupt_probability": self.spec.corrupt_probability,
+                "tight_deadline_fraction": (
+                    self.spec.tight_deadline_fraction
+                ),
+            },
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+def _serve_case(seed: int, spec: ServiceChaosSpec) -> Any:
+    """Build and drive one fresh service for a (seed, spec) case."""
+    from repro.service.app import PredictionService, serve_sequence
+    from repro.service.backends import (
+        BackendFaultSpec,
+        ServiceBackend,
+        ServiceFaultInjector,
+    )
+    from repro.service.workload import demo_profiles, generate_requests
+
+    profiles = demo_profiles()
+    injector = ServiceFaultInjector(
+        seed + 1,
+        BackendFaultSpec(
+            slow_probability=spec.slow_probability,
+            crash_probability=spec.crash_probability,
+            corrupt_probability=spec.corrupt_probability,
+        ),
+    )
+    service = PredictionService(
+        profiles,
+        backend=ServiceBackend(injector=injector),
+        campaign_journals={"demo": "service-chaos-demo.journal"},
+    )
+    requests = generate_requests(
+        seed,
+        spec.requests,
+        spec.rate_hz,
+        sorted(profiles),
+        tight_deadline_fraction=spec.tight_deadline_fraction,
+    )
+    serve_sequence(service, requests)
+    return service, requests
+
+
+def _service_log_bytes(service: Any) -> bytes:
+    return canonical_json(service.log.to_dict()).encode("utf-8")
+
+
+def run_service_campaign(
+    seeds: Sequence[int],
+    spec: Optional[ServiceChaosSpec] = None,
+) -> ServiceChaosReport:
+    """Sweep seeds through the service chaos suite.
+
+    Each seed generates a workload and a backend fault stream, serves
+    the scenario on a fresh virtual-clock service, verifies the
+    invariant suite, then serves the identical (seed, spec) pair on a
+    second fresh service and compares the canonical request logs byte
+    for byte.
+    """
+    if not seeds:
+        raise ConfigurationError(
+            "service chaos campaign needs at least one seed"
+        )
+    spec = spec if spec is not None else ServiceChaosSpec()
+    cases: List[ServiceChaosCase] = []
+    for seed in seeds:
+        service, requests = _serve_case(seed, spec)
+        violations = verify_service_log(service, requests)
+        replay_service, _ = _serve_case(seed, spec)
+        summary = service.log.summary()
+        injected = (
+            service.backend.injector.injected
+            if service.backend.injector is not None
+            else {}
+        )
+        cases.append(
+            ServiceChaosCase(
+                seed=seed,
+                requests=len(requests),
+                served=summary["served"],
+                shed=summary["shed"],
+                stale_served=summary["stale_served"],
+                breaker_opens=service.breakers.total_opens(),
+                injected=tuple(sorted(injected.items())),
+                replay_identical=(
+                    _service_log_bytes(service)
+                    == _service_log_bytes(replay_service)
+                ),
+                violations=tuple(violations),
+            )
+        )
+    return ServiceChaosReport(spec=spec, cases=tuple(cases))

@@ -210,6 +210,7 @@ SOURCE_ALLOWLIST: Tuple[str, ...] = (
     "campaign/watchdog.py",
     "campaign/runner.py",
     "workloads/suite.py",
+    "service/clock.py",
 )
 
 #: Modules whose public (non-underscore) functions and methods form the

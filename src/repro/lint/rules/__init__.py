@@ -9,4 +9,5 @@ from repro.lint.rules import (  # noqa: F401
     rep006_float_equality,
     rep007_set_iteration,
     rep008_ledger_discipline,
+    rep009_unbounded_waits,
 )

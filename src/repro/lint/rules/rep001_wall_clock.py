@@ -57,13 +57,15 @@ class WallClockRule(Rule):
     )
     node_types = (ast.Call,)
     # Sanctioned wall-clock readers: the watchdog (real deadlines on real
-    # processes) and the two harness drivers that report operator-facing
-    # wall durations (campaign attempt timing, suite experiment timing).
-    # Simulated results never depend on these reads.
+    # processes), the two harness drivers that report operator-facing
+    # wall durations (campaign attempt timing, suite experiment timing),
+    # and the service clock abstraction (MonotonicClock drives real HTTP
+    # serving; simulated results only ever see VirtualClock).
     allowlist = (
         "campaign/watchdog.py",
         "campaign/runner.py",
         "workloads/suite.py",
+        "service/clock.py",
     )
 
     def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:

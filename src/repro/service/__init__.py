@@ -1,0 +1,96 @@
+"""Resilient prediction-as-a-service over the prediction core.
+
+The paper frames prediction as an offline modeling exercise; a grid
+broker that consults predictions for every placement needs it as a
+long-running shared *service* that stays predictable when the world is
+not — overload, slow backends, crashing backends, corrupt responses.
+This package is that service, resilience-first (DESIGN.md §15):
+
+- :mod:`repro.service.app` — the four endpoints behind one pipeline:
+  admission → deadline budget → bulkhead → circuit breaker → graceful
+  degradation.
+- :mod:`repro.service.resilience` — the pipeline's primitives.
+- :mod:`repro.service.backends` — modeled backend costs + seeded fault
+  injection (the chaos door).
+- :mod:`repro.service.clock` — virtual vs. monotonic time.
+- :mod:`repro.service.workload` — seeded request scenarios.
+- :mod:`repro.service.http` — ASGI / stdlib HTTP shells.
+"""
+
+from repro.service.app import (
+    ENDPOINTS,
+    PredictionService,
+    RequestLog,
+    RequestRecord,
+    ServiceRequest,
+    ServiceResponse,
+    serve_sequence,
+)
+from repro.service.backends import (
+    BackendFaultSpec,
+    ServiceBackend,
+    ServiceCostModel,
+    ServiceFaultInjector,
+)
+from repro.service.clock import MonotonicClock, ServiceClock, VirtualClock
+from repro.service.http import ServiceGateway, asgi_app, make_server
+from repro.service.errors import (
+    AdmissionError,
+    BackendCrashError,
+    BackendError,
+    BulkheadFullError,
+    CircuitOpenError,
+    CorruptResponseError,
+    DeadlineExceededError,
+    ServiceError,
+)
+from repro.service.resilience import (
+    Bulkhead,
+    BulkheadConfig,
+    BreakerBank,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineBudget,
+    ResilienceConfig,
+    TokenBucket,
+)
+from repro.service.workload import RequestMix, demo_profiles, generate_requests
+
+__all__ = [
+    "ENDPOINTS",
+    "PredictionService",
+    "RequestLog",
+    "RequestRecord",
+    "ServiceRequest",
+    "ServiceResponse",
+    "serve_sequence",
+    "BackendFaultSpec",
+    "ServiceBackend",
+    "ServiceCostModel",
+    "ServiceFaultInjector",
+    "MonotonicClock",
+    "ServiceClock",
+    "VirtualClock",
+    "ServiceGateway",
+    "asgi_app",
+    "make_server",
+    "AdmissionError",
+    "BackendCrashError",
+    "BackendError",
+    "BulkheadFullError",
+    "CircuitOpenError",
+    "CorruptResponseError",
+    "DeadlineExceededError",
+    "ServiceError",
+    "Bulkhead",
+    "BulkheadConfig",
+    "BreakerBank",
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "ResilienceConfig",
+    "TokenBucket",
+    "RequestMix",
+    "demo_profiles",
+    "generate_requests",
+]

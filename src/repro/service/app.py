@@ -1,0 +1,909 @@
+"""The prediction service: four endpoints behind one resilience pipeline.
+
+:class:`PredictionService` exposes the existing prediction core as a
+long-running shared service — ``predict``, ``what-if``,
+``broker-submit``, and ``campaign-status`` — and wraps *every* request
+in the same pipeline (DESIGN.md §15)::
+
+    admission (token bucket, 429 + Retry-After)
+      → deadline budget (absolute, shrink-only propagation)
+        → bulkhead (per-endpoint worker pool, 503 when full)
+          → circuit breaker (per (app, cluster), around evaluation)
+            → backend evaluation (bounded retries within the budget)
+              → graceful degradation (last-known-good, marked stale)
+
+The service's contract, checked by the chaos harness
+(:mod:`repro.faults.chaos`):
+
+- every request is answered and *settled exactly once* in the request
+  log — shed requests get a 429 with a deterministic ``Retry-After``,
+  never a silent drop;
+- a settled request's modeled latency never exceeds its declared
+  deadline + ε;
+- the entire request log replays byte-identically for the same
+  ``(seed, scenario)`` pair under a :class:`VirtualClock`.
+
+The service itself is single-threaded and deterministic; the HTTP
+adapter (:mod:`repro.service.http`) serializes real concurrent
+connections in front of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.broker.calibration import OnlineCalibrator
+from repro.core import GlobalReductionModel, ModelClasses
+from repro.core.fingerprint import prediction_fingerprint
+from repro.core.models import PredictedBreakdown, PredictionModel
+from repro.core.predcache import PredictionCache
+from repro.core.profile import Profile
+from repro.core.target import PredictionTarget
+from repro.errors import InternalError
+from repro.service.backends import ServiceBackend, breakdown_to_dict
+from repro.service.clock import ServiceClock, VirtualClock
+from repro.service.errors import (
+    AdmissionError,
+    BackendError,
+    BulkheadFullError,
+    CircuitOpenError,
+)
+from repro.service.resilience import (
+    BreakerBank,
+    Bulkhead,
+    DeadlineBudget,
+    ResilienceConfig,
+    TokenBucket,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.clusters import (
+    DEFAULT_BANDWIDTH,
+    opteron_infiniband_cluster,
+    pentium_myrinet_cluster,
+)
+from repro.workloads.configs import make_run_config
+from repro.workloads.registry import WORKLOADS
+
+__all__ = [
+    "ENDPOINTS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "RequestRecord",
+    "RequestLog",
+    "PredictionService",
+    "serve_sequence",
+]
+
+#: The service's endpoint classes, each with its own bulkhead.
+ENDPOINTS = ("predict", "what-if", "broker-submit", "campaign-status")
+
+_LOG_FORMAT_VERSION = 1
+
+_SERVICE_CLUSTERS = {
+    "pentium-myrinet": pentium_myrinet_cluster,
+    "opteron-infiniband": opteron_infiniband_cluster,
+}
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One inbound request.
+
+    ``arrival_s`` defaults to the service clock's now; the chaos
+    harness sets it explicitly so a scenario is a pure data artifact.
+    ``deadline_s`` is the request's *budget* (seconds from arrival);
+    ``None`` uses the config default.
+    """
+
+    request_id: str
+    endpoint: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    arrival_s: Optional[float] = None
+    deadline_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The answer to one request, with its settlement bookkeeping."""
+
+    request_id: str
+    endpoint: str
+    status: int
+    outcome: str
+    body: Dict[str, Any]
+    arrival_s: float
+    settled_s: float
+    stale: bool = False
+    retries: int = 0
+    retry_after_s: Optional[float] = None
+
+    @property
+    def latency_s(self) -> float:
+        return self.settled_s - self.arrival_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "outcome": self.outcome,
+            "body": self.body,
+            "arrival_s": self.arrival_s,
+            "settled_s": self.settled_s,
+            "stale": self.stale,
+            "retries": self.retries,
+        }
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = self.retry_after_s
+        return out
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The log's view of one settled request."""
+
+    request_id: str
+    endpoint: str
+    arrival_s: float
+    settled_s: float
+    status: int
+    outcome: str
+    stale: bool
+    retries: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.settled_s - self.arrival_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "arrival_s": self.arrival_s,
+            "settled_s": self.settled_s,
+            "latency_s": self.latency_s,
+            "status": self.status,
+            "outcome": self.outcome,
+            "stale": self.stale,
+            "retries": self.retries,
+        }
+
+
+class RequestLog:
+    """Append-only settlement ledger; the replay-compared artifact.
+
+    Exactly-once is enforced structurally: settling the same request id
+    twice raises :class:`~repro.errors.InternalError` — a service bug,
+    not a client error.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self._settled_ids: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, request_id: object) -> bool:
+        return request_id in self._settled_ids
+
+    def settle(self, record: RequestRecord) -> None:
+        if record.request_id in self._settled_ids:
+            raise InternalError(
+                f"request '{record.request_id}' settled twice — the "
+                "exactly-once invariant is broken"
+            )
+        self._settled_ids.add(record.request_id)
+        self.records.append(record)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": _LOG_FORMAT_VERSION,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic numeric rollup (the benchmark's raw material)."""
+        by_outcome: Dict[str, int] = {}
+        by_status: Dict[str, int] = {}
+        for record in self.records:
+            by_outcome[record.outcome] = by_outcome.get(record.outcome, 0) + 1
+            key = str(record.status)
+            by_status[key] = by_status.get(key, 0) + 1
+        latencies = sorted(record.latency_s for record in self.records)
+        total = len(self.records)
+        served = by_outcome.get("ok", 0) + by_outcome.get("stale", 0)
+        return {
+            "requests": total,
+            "by_outcome": {k: by_outcome[k] for k in sorted(by_outcome)},
+            "by_status": {k: by_status[k] for k in sorted(by_status)},
+            "served": served,
+            "shed": by_outcome.get("shed", 0),
+            "stale_served": by_outcome.get("stale", 0),
+            "shed_rate": (by_outcome.get("shed", 0) / total) if total else 0.0,
+            "stale_rate": (
+                by_outcome.get("stale", 0) / total
+            ) if total else 0.0,
+            "p50_latency_s": _percentile(latencies, 0.50),
+            "p99_latency_s": _percentile(latencies, 0.99),
+            "max_latency_s": latencies[-1] if latencies else 0.0,
+        }
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class PredictionService:
+    """Prediction-as-a-service over the existing core (see module doc).
+
+    Parameters
+    ----------
+    profiles:
+        Named reference profiles the ``predict`` / ``what-if``
+        endpoints resolve against (e.g. a
+        :meth:`~repro.core.store.ProfileStore.scan` result).
+    clock:
+        Time source; defaults to a fresh deterministic
+        :class:`~repro.service.clock.VirtualClock`.
+    config:
+        Resilience pipeline knobs.
+    backend:
+        The evaluation door — pass one with a seeded fault injector to
+        run a chaos scenario.
+    broker:
+        Optional :class:`~repro.broker.engine.GridBroker` behind
+        ``broker-submit``; without one the endpoint answers 501.
+    campaign_journals:
+        ``name -> journal path`` map behind ``campaign-status``.
+    calibrator:
+        Optional online calibration state; corrections are applied to
+        predictions and the state can be persisted for warm restarts
+        (:meth:`save_calibration`).
+    cache:
+        Last-known-good prediction store for graceful degradation.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, Profile],
+        *,
+        clock: Optional[ServiceClock] = None,
+        config: Optional[ResilienceConfig] = None,
+        backend: Optional[ServiceBackend] = None,
+        broker: Optional[Any] = None,
+        campaign_journals: Optional[Mapping[str, str]] = None,
+        calibrator: Optional[OnlineCalibrator] = None,
+        cache: Optional[PredictionCache] = None,
+    ) -> None:
+        self.profiles = dict(profiles)
+        self.clock = clock if clock is not None else VirtualClock()
+        self.config = config if config is not None else ResilienceConfig()
+        if self.config.degraded_cost_s > self.config.deadline_epsilon_s:
+            raise ConfigurationError(
+                "degraded_cost_s must be <= deadline_epsilon_s, or the "
+                "latency invariant cannot hold for abandoned requests"
+            )
+        self.backend = backend if backend is not None else ServiceBackend()
+        self.broker = broker
+        self.campaign_journals = dict(campaign_journals or {})
+        self.calibrator = calibrator
+        self.cache = cache if cache is not None else PredictionCache()
+        self.log = RequestLog()
+        self.bucket = TokenBucket(
+            self.config.admission_rate, self.config.admission_burst
+        )
+        self.bulkheads: Dict[str, Bulkhead] = {
+            endpoint: Bulkhead(self.config.bulkhead_config(endpoint))
+            for endpoint in ENDPOINTS
+        }
+        self.breakers = BreakerBank(
+            self.config.breaker_failure_threshold,
+            self.config.breaker_cooldown,
+        )
+        self._models: Dict[str, PredictionModel] = {}
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _model_for(self, app: str) -> PredictionModel:
+        model = self._models.get(app)
+        if model is None:
+            spec = WORKLOADS.get(app)
+            if spec is not None:
+                classes = ModelClasses.parse(
+                    spec.natural_object_class, spec.natural_global_class
+                )
+            else:
+                classes = ModelClasses.parse("constant", "linear-constant")
+            model = GlobalReductionModel(classes)
+            self._models[app] = model
+        return model
+
+    def _settle(
+        self,
+        request: ServiceRequest,
+        arrival: float,
+        settled: float,
+        status: int,
+        outcome: str,
+        body: Dict[str, Any],
+        *,
+        stale: bool = False,
+        retries: int = 0,
+        retry_after_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        self.log.settle(
+            RequestRecord(
+                request_id=request.request_id,
+                endpoint=request.endpoint,
+                arrival_s=arrival,
+                settled_s=settled,
+                status=status,
+                outcome=outcome,
+                stale=stale,
+                retries=retries,
+            )
+        )
+        return ServiceResponse(
+            request_id=request.request_id,
+            endpoint=request.endpoint,
+            status=status,
+            outcome=outcome,
+            body=body,
+            arrival_s=arrival,
+            settled_s=settled,
+            stale=stale,
+            retries=retries,
+            retry_after_s=retry_after_s,
+        )
+
+    def _reject(
+        self,
+        request: ServiceRequest,
+        arrival: float,
+        message: str,
+        status: int = 400,
+        outcome: str = "rejected",
+    ) -> ServiceResponse:
+        return self._settle(
+            request,
+            arrival,
+            arrival + self.config.degraded_cost_s,
+            status,
+            outcome,
+            {"error": message},
+        )
+
+    def _degrade(
+        self,
+        request: ServiceRequest,
+        arrival: float,
+        fingerprint: Optional[str],
+        reason: str,
+        refusal_status: int,
+        message: str,
+        *,
+        at_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> ServiceResponse:
+        """Serve last-known-good if we have it; otherwise refuse loudly."""
+        settled = (at_s if at_s is not None else arrival)
+        settled += self.config.degraded_cost_s
+        entry = self.cache.get(fingerprint) if fingerprint else None
+        if entry is not None:
+            age = entry.age_s(settled)
+            max_age = self.config.max_stale_age_s
+            if max_age is not None and age > max_age:
+                entry = None
+        if entry is not None:
+            body = dict(entry.payload)
+            body["stale"] = True
+            body["stale_age_s"] = entry.age_s(settled)
+            body["degraded_reason"] = reason
+            return self._settle(
+                request, arrival, settled, 200, "stale", body,
+                stale=True, retries=retries,
+            )
+        return self._settle(
+            request,
+            arrival,
+            settled,
+            refusal_status,
+            reason,
+            {"error": message, "degraded_reason": reason},
+            retries=retries,
+        )
+
+    def _evaluate(
+        self,
+        request: ServiceRequest,
+        arrival: float,
+        budget: DeadlineBudget,
+        fingerprint: Optional[str],
+        estimated_cost_s: float,
+        call: Any,
+        *,
+        breaker_key: Optional[Tuple[str, str]] = None,
+        cacheable: bool = True,
+    ) -> ServiceResponse:
+        """The bulkhead → breaker → retry → degrade tail of the pipeline.
+
+        ``call`` performs one backend attempt and returns
+        ``(payload, cost_s)``; failures raise
+        :class:`~repro.service.errors.BackendError` with the attempt's
+        cost attached.
+        """
+        bulkhead = self.bulkheads[request.endpoint]
+        try:
+            start = bulkhead.reserve(arrival)
+        except BulkheadFullError as exc:
+            return self._degrade(
+                request, arrival, fingerprint, "bulkhead-full", 503, str(exc)
+            )
+        # Refuse before burning a worker when even a clean attempt
+        # cannot finish inside the budget (queue wait included).
+        if not budget.allows(start, estimated_cost_s):
+            return self._degrade(
+                request, arrival, fingerprint, "deadline", 504,
+                f"deadline budget of {budget.deadline_s - arrival:.6f}s "
+                "cannot be met",
+            )
+        breaker = (
+            self.breakers.breaker(*breaker_key) if breaker_key else None
+        )
+        if breaker is not None:
+            try:
+                breaker.allow(arrival)
+            except CircuitOpenError as exc:
+                return self._degrade(
+                    request, arrival, fingerprint, "breaker-open", 503,
+                    str(exc),
+                )
+
+        retry = self.config.retry
+        spent = 0.0
+        retries = 0
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                payload, cost = call()
+            except BackendError as exc:
+                spent += exc.cost_s
+                failed_at = min(start + spent, budget.deadline_s)
+                if breaker is not None:
+                    breaker.record_failure(failed_at)
+                backoff = retry.backoff_s(attempt)
+                can_retry = (
+                    attempt < retry.max_attempts
+                    and (breaker is None or breaker_allows(breaker, failed_at))
+                    and budget.allows(
+                        start, spent + backoff + estimated_cost_s
+                    )
+                )
+                if can_retry:
+                    spent += backoff
+                    retries += 1
+                    continue
+                bulkhead.commit(min(start + spent, budget.deadline_s))
+                return self._degrade(
+                    request, arrival, fingerprint, "backend-error", 500,
+                    f"backend failed after {attempt} attempt(s): {exc}",
+                    at_s=min(start + spent, budget.deadline_s),
+                    retries=retries,
+                )
+            spent += cost
+            end = start + spent
+            if end > budget.deadline_s:
+                # The work finished, but past the deadline: the call is
+                # abandoned at the deadline (the client is gone).  The
+                # worker time until the deadline is still charged, and
+                # the breaker counts the timeout as a failure.
+                bulkhead.commit(budget.deadline_s)
+                if breaker is not None:
+                    breaker.record_failure(budget.deadline_s)
+                return self._degrade(
+                    request, arrival, fingerprint, "deadline", 504,
+                    "backend exceeded the deadline budget",
+                    at_s=budget.deadline_s,
+                    retries=retries,
+                )
+            bulkhead.commit(end)
+            if breaker is not None:
+                breaker.record_success(end)
+            if cacheable and fingerprint:
+                self.cache.put(fingerprint, payload, end)
+            body = dict(payload) if isinstance(payload, dict) else {
+                "results": payload
+            }
+            body["stale"] = False
+            return self._settle(
+                request, arrival, end, 200, "ok", body, retries=retries
+            )
+        raise InternalError("retry loop exited without settling")
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+
+    def _resolve_profile(self, params: Mapping[str, Any]) -> Profile:
+        name = params.get("profile")
+        if not isinstance(name, str) or name not in self.profiles:
+            known = ", ".join(sorted(self.profiles)) or "(none)"
+            raise ConfigurationError(
+                f"unknown profile {name!r}; known profiles: {known}"
+            )
+        return self.profiles[name]
+
+    def _resolve_target(
+        self, profile: Profile, params: Mapping[str, Any]
+    ) -> PredictionTarget:
+        try:
+            data_nodes = int(params["data_nodes"])
+            compute_nodes = int(params["compute_nodes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"predict needs integer data_nodes and compute_nodes: {exc}"
+            ) from exc
+        cluster_name = str(params.get("cluster", "pentium-myrinet"))
+        make_cluster = _SERVICE_CLUSTERS.get(cluster_name)
+        if make_cluster is None:
+            raise ConfigurationError(
+                f"unknown cluster '{cluster_name}'; known: "
+                f"{sorted(_SERVICE_CLUSTERS)}"
+            )
+        bandwidth = float(params.get("bandwidth", DEFAULT_BANDWIDTH))
+        dataset_bytes = float(
+            params.get("dataset_bytes", profile.dataset_bytes)
+        )
+        config = make_run_config(
+            data_nodes,
+            compute_nodes,
+            storage_cluster=make_cluster(),
+            bandwidth=bandwidth,
+        ).with_processes_per_node(int(params.get("processes_per_node", 1)))
+        return PredictionTarget(config=config, dataset_bytes=dataset_bytes)
+
+    def _apply_calibration(
+        self, app: str, cluster: str, payload: Dict[str, float]
+    ) -> Dict[str, float]:
+        if self.calibrator is None:
+            return dict(payload, calibrated=False)
+        raw = PredictedBreakdown(
+            t_disk=payload["t_disk"],
+            t_network=payload["t_network"],
+            t_compute=payload["t_compute"],
+            t_ro=payload["t_ro"],
+            t_g=payload["t_g"],
+        )
+        corrected = self.calibrator.correct(app, cluster, cluster, raw)
+        return dict(breakdown_to_dict(corrected), calibrated=True)
+
+    def _handle_predict(
+        self, request: ServiceRequest, arrival: float, budget: DeadlineBudget
+    ) -> ServiceResponse:
+        try:
+            profile = self._resolve_profile(request.params)
+            target = self._resolve_target(profile, request.params)
+        except ConfigurationError as exc:
+            return self._reject(request, arrival, str(exc))
+        model = self._model_for(profile.app)
+        fingerprint = prediction_fingerprint(profile, target, model.label)
+        cluster = target.config.compute_cluster.name
+
+        def call() -> Tuple[Dict[str, Any], float]:
+            payload, cost = self.backend.predict(model, profile, target)
+            payload = self._apply_calibration(profile.app, cluster, payload)
+            payload["fingerprint"] = fingerprint
+            payload["app"] = profile.app
+            payload["target"] = target.label
+            return payload, cost
+
+        return self._evaluate(
+            request,
+            arrival,
+            budget,
+            fingerprint,
+            self.backend.cost_model.predict_s,
+            call,
+            breaker_key=(profile.app, cluster),
+        )
+
+    def _handle_whatif(
+        self, request: ServiceRequest, arrival: float, budget: DeadlineBudget
+    ) -> ServiceResponse:
+        try:
+            profile = self._resolve_profile(request.params)
+            pairs_raw = request.params.get("pairs")
+            if not isinstance(pairs_raw, (list, tuple)) or not pairs_raw:
+                raise ConfigurationError(
+                    "what-if needs a non-empty 'pairs' list of "
+                    "[data_nodes, compute_nodes]"
+                )
+            pairs = [(int(n), int(c)) for n, c in pairs_raw]
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            return self._reject(request, arrival, str(exc))
+        model = self._model_for(profile.app)
+        cluster_name = str(request.params.get("cluster", "pentium-myrinet"))
+        make_cluster = _SERVICE_CLUSTERS.get(cluster_name)
+        if make_cluster is None:
+            return self._reject(
+                request, arrival, f"unknown cluster '{cluster_name}'"
+            )
+        bandwidth = float(request.params.get("bandwidth", DEFAULT_BANDWIDTH))
+        template = make_run_config(
+            1, 1, storage_cluster=make_cluster(), bandwidth=bandwidth
+        )
+        target = PredictionTarget(
+            config=template, dataset_bytes=profile.dataset_bytes
+        )
+        fingerprint = prediction_fingerprint(
+            profile,
+            target,
+            model.label,
+            extra=(("endpoint", "what-if"), ("pairs", [list(p) for p in pairs])),
+        )
+        cluster = template.compute_cluster.name
+
+        def call() -> Tuple[Dict[str, Any], float]:
+            forecasts, cost = self.backend.whatif(
+                model, profile, template, pairs
+            )
+            best = min(forecasts, key=lambda f: f["predicted_total"])
+            payload: Dict[str, Any] = {
+                "app": profile.app,
+                "forecasts": forecasts,
+                "recommended": best["label"],
+                "fingerprint": fingerprint,
+            }
+            return payload, cost
+
+        return self._evaluate(
+            request,
+            arrival,
+            budget,
+            fingerprint,
+            self.backend.cost_model.whatif_pair_s * len(pairs),
+            call,
+            breaker_key=(profile.app, cluster),
+        )
+
+    def _handle_broker_submit(
+        self, request: ServiceRequest, arrival: float, budget: DeadlineBudget
+    ) -> ServiceResponse:
+        if self.broker is None:
+            return self._reject(
+                request, arrival,
+                "no broker is configured behind this service",
+                status=501, outcome="unconfigured",
+            )
+        jobs_raw = request.params.get("jobs")
+        if not isinstance(jobs_raw, (list, tuple)) or not jobs_raw:
+            return self._reject(
+                request, arrival,
+                "broker-submit needs a non-empty 'jobs' list",
+            )
+        policy = str(request.params.get("policy", "min-completion"))
+        try:
+            from repro.broker.jobs import BrokerJob
+
+            jobs = [
+                BrokerJob(
+                    job_id=str(job["job_id"]),
+                    workload=str(job["workload"]),
+                    size=job.get("size"),
+                    arrival=float(job.get("arrival", 0.0)),
+                )
+                for job in jobs_raw
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            return self._reject(
+                request, arrival, f"malformed job list: {exc}"
+            )
+
+        def call() -> Tuple[Dict[str, Any], float]:
+            return self.backend.broker_submit(self.broker, jobs, policy)
+
+        return self._evaluate(
+            request,
+            arrival,
+            budget,
+            None,  # a submission is a mutation: never served stale
+            self.backend.cost_model.broker_job_s * len(jobs),
+            call,
+            cacheable=False,
+        )
+
+    def _handle_campaign_status(
+        self, request: ServiceRequest, arrival: float, budget: DeadlineBudget
+    ) -> ServiceResponse:
+        name = request.params.get("campaign")
+        if not isinstance(name, str) or name not in self.campaign_journals:
+            known = ", ".join(sorted(self.campaign_journals)) or "(none)"
+            return self._reject(
+                request, arrival,
+                f"unknown campaign {name!r}; known campaigns: {known}",
+            )
+        journal_path = self.campaign_journals[name]
+        from repro.core.durable import content_digest
+
+        fingerprint = content_digest(
+            {"endpoint": "campaign-status", "campaign": name}
+        )
+
+        def call() -> Tuple[Dict[str, Any], float]:
+            payload, cost = self.backend.campaign_status(journal_path)
+            payload = dict(payload)
+            payload["campaign"] = name
+            return payload, cost
+
+        return self._evaluate(
+            request,
+            arrival,
+            budget,
+            fingerprint,
+            self.backend.cost_model.status_s,
+            call,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def handle(self, request: ServiceRequest) -> ServiceResponse:
+        """Run one request through the full resilience pipeline."""
+        arrival = (
+            request.arrival_s
+            if request.arrival_s is not None
+            else self.clock.now()
+        )
+        if request.request_id in self.log:
+            # Answered without re-settling: the log stays exactly-once.
+            return ServiceResponse(
+                request_id=request.request_id,
+                endpoint=request.endpoint,
+                status=409,
+                outcome="duplicate",
+                body={"error": f"request id '{request.request_id}' was "
+                      "already settled"},
+                arrival_s=arrival,
+                settled_s=arrival + self.config.degraded_cost_s,
+            )
+        if request.endpoint not in ENDPOINTS:
+            return self._reject(
+                request, arrival,
+                f"unknown endpoint '{request.endpoint}'; known: "
+                f"{', '.join(ENDPOINTS)}",
+                status=404,
+            )
+        try:
+            self.bucket.admit(arrival)
+        except AdmissionError as exc:
+            return self._settle(
+                request,
+                arrival,
+                arrival + self.config.degraded_cost_s,
+                429,
+                "shed",
+                {
+                    "error": "service over capacity; request shed",
+                    "retry_after_s": exc.retry_after_s,
+                },
+                retry_after_s=exc.retry_after_s,
+            )
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        try:
+            budget = DeadlineBudget.begin(arrival, deadline_s)
+        except ConfigurationError as exc:
+            return self._reject(request, arrival, str(exc))
+        handler = {
+            "predict": self._handle_predict,
+            "what-if": self._handle_whatif,
+            "broker-submit": self._handle_broker_submit,
+            "campaign-status": self._handle_campaign_status,
+        }[request.endpoint]
+        return handler(request, arrival, budget)
+
+    # ------------------------------------------------------------------
+    # Calibration persistence (warm restarts)
+    # ------------------------------------------------------------------
+
+    def observe_actual(
+        self,
+        app: str,
+        cluster: str,
+        raw: PredictedBreakdown,
+        actual: Tuple[float, float, float],
+    ) -> None:
+        """Feed one observed execution into the calibration state."""
+        if self.calibrator is None:
+            raise ConfigurationError(
+                "service has no calibrator to feed observations into"
+            )
+        self.calibrator.observe(app, cluster, cluster, raw, actual)
+
+    def save_calibration(self, path: str) -> None:
+        """Persist the calibration state for the next process."""
+        if self.calibrator is None:
+            raise ConfigurationError("service has no calibrator to save")
+        self.calibrator.save(path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """One deterministic dict of everything a dashboard would want."""
+        out = self.log.summary()
+        out["admission"] = {
+            "admitted": self.bucket.admitted,
+            "shed": self.bucket.shed,
+        }
+        out["bulkheads"] = {
+            endpoint: {
+                "refused": self.bulkheads[endpoint].refused,
+                "peak_queue": self.bulkheads[endpoint].peak_queue,
+            }
+            for endpoint in sorted(self.bulkheads)
+        }
+        out["breakers"] = {
+            "opens": self.breakers.total_opens(),
+            "states": self.breakers.snapshot(),
+        }
+        out["cache"] = {
+            "entries": len(self.cache),
+            "stores": self.cache.stores,
+            "evictions": self.cache.evictions,
+        }
+        if self.backend.injector is not None:
+            out["injected_faults"] = dict(self.backend.injector.injected)
+        return out
+
+
+def breaker_allows(breaker: Any, now: float) -> bool:
+    """Non-raising probe of :meth:`CircuitBreaker.allow` for retry loops.
+
+    A retry must not proceed when its own failures just opened the
+    circuit — but the *probe* admission of ``allow`` must not be
+    consumed either (the retry would steal the half-open slot and the
+    state machine would record a phantom transition).  Only a CLOSED
+    breaker lets a retry through.
+    """
+    from repro.service.resilience import BreakerState
+
+    return breaker.state is BreakerState.CLOSED
+
+
+def serve_sequence(
+    service: PredictionService, requests: Sequence[ServiceRequest]
+) -> List[ServiceResponse]:
+    """Drive a scenario: requests in arrival order on a virtual clock.
+
+    Each request's ``arrival_s`` must be set and non-decreasing; the
+    service clock is advanced to it before handling, so admission
+    refill, breaker cool-downs, and cache ages all see scenario time.
+    """
+    clock = service.clock
+    if not isinstance(clock, VirtualClock):
+        raise ConfigurationError(
+            "serve_sequence needs a service on a VirtualClock"
+        )
+    responses: List[ServiceResponse] = []
+    for request in requests:
+        if request.arrival_s is None:
+            raise ConfigurationError(
+                f"request '{request.request_id}' has no arrival_s; "
+                "scenario requests must carry explicit arrival times"
+            )
+        clock.advance_to(request.arrival_s)
+        responses.append(service.handle(request))
+    return responses

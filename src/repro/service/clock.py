@@ -1,0 +1,74 @@
+"""The service's time source.
+
+Every resilience decision — token-bucket refill, breaker cool-down,
+deadline budgets, cache age — reads time from a :class:`ServiceClock`
+owned by the service, never from the host directly:
+
+- :class:`VirtualClock` is the deterministic instance the chaos harness
+  and every test drive; it only moves when the driver advances it, so a
+  ``(seed, scenario)`` replay of a recorded request log is byte-identical.
+- :class:`MonotonicClock` is the real-serving instance behind the HTTP
+  adapter.  It is the *only* sanctioned wall-clock reader in the service
+  layer (this module is on the REP001 allowlist); simulated results
+  never depend on it.
+
+Execution latency is *modeled* in both modes: the service charges each
+request the deterministic cost of its backend work (plus queueing, retry
+backoff, and injected fault delays), which is what the latency invariant
+("settled latency stays under the declared deadline + ε") is checked
+against.  Nothing in the service ever sleeps — waiting is accounted, not
+performed.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = ["ServiceClock", "VirtualClock", "MonotonicClock"]
+
+
+class ServiceClock(abc.ABC):
+    """Monotonic seconds; the zero point is arbitrary but fixed."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+
+class VirtualClock(ServiceClock):
+    """Deterministic clock advanced explicitly by the driver."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ConfigurationError("virtual clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when_s: float) -> float:
+        """Jump to an absolute time at or after the current one."""
+        if when_s < self._now:
+            raise ConfigurationError(
+                f"virtual clock cannot rewind from {self._now} to {when_s}"
+            )
+        self._now = when_s
+        return self._now
+
+
+class MonotonicClock(ServiceClock):
+    """Real serving: the host's monotonic clock, rebased to start at 0."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch

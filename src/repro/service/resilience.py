@@ -1,0 +1,491 @@
+"""Resilience primitives: admission → deadline → bulkhead → breaker.
+
+The service wraps every request in this pipeline (DESIGN.md §15):
+
+1. :class:`TokenBucket` — admission control.  Over any window the
+   service accepts at most ``burst + rate·window`` requests; the rest
+   are *shed* with a deterministic ``Retry-After`` hint (HTTP 429).
+   Shedding early is the cheapest possible failure: no worker time, no
+   backend call, no queue growth.
+2. :class:`DeadlineBudget` — the request's absolute deadline.  Budgets
+   are propagated *down* the stack (handler → backend retries) via
+   :meth:`DeadlineBudget.child`, which can only shrink the remaining
+   time — a lower layer can never out-wait its caller.
+3. :class:`Bulkhead` — a bounded worker pool per endpoint class with a
+   bounded FIFO wait queue, modeled in simulated time.  One slow
+   endpoint (broker submissions) can exhaust only its own pool; predict
+   traffic keeps flowing.  A full pool+queue refuses (HTTP 503) instead
+   of queueing unboundedly — the REP009 contract at the architecture
+   level.
+4. :class:`CircuitBreaker` — per-(app, cluster) failure isolation
+   around predictor evaluation.  Repeated backend failures open the
+   circuit; while open, requests go straight to degraded mode (cached
+   prediction marked stale) without burning a worker on a doomed call.
+   After a cool-down (reusing :class:`~repro.faults.retry.RetryPolicy`
+   backoff, escalating with consecutive opens) one half-open probe is
+   admitted; success closes the circuit, failure re-opens it.
+
+Everything is deterministic given request arrival times: no threads, no
+sleeps, no host clock — so the chaos harness can replay a scenario and
+demand a byte-identical request log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.retry import RetryPolicy
+from repro.service.errors import (
+    AdmissionError,
+    BulkheadFullError,
+    CircuitOpenError,
+    DeadlineExceededError,
+)
+from repro.simgrid.errors import ConfigurationError
+
+__all__ = [
+    "DeadlineBudget",
+    "TokenBucket",
+    "BulkheadConfig",
+    "Bulkhead",
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "BreakerBank",
+    "ResilienceConfig",
+]
+
+
+# ----------------------------------------------------------------------
+# Deadline budgets
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """An absolute deadline carried through the request's layers.
+
+    The budget is immutable; handing work to a lower layer derives a
+    *child* budget whose deadline is never later than the parent's —
+    the monotone-shrink property the hypothesis suite fuzzes.
+    """
+
+    start_s: float
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_s < self.start_s:
+            raise ConfigurationError(
+                "deadline budget cannot end before it starts"
+            )
+
+    @classmethod
+    def begin(cls, now: float, budget_s: float) -> "DeadlineBudget":
+        """A fresh budget of ``budget_s`` seconds starting at ``now``."""
+        if budget_s <= 0:
+            raise ConfigurationError("deadline budget must be positive")
+        return cls(start_s=now, deadline_s=now + budget_s)
+
+    def remaining_s(self, now: float) -> float:
+        """Seconds left before the deadline (never negative)."""
+        return max(0.0, self.deadline_s - now)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline_s
+
+    def allows(self, now: float, cost_s: float) -> bool:
+        """Whether ``cost_s`` more seconds of work still fit."""
+        return now + cost_s <= self.deadline_s
+
+    def child(
+        self, now: float, max_share_s: Optional[float] = None
+    ) -> "DeadlineBudget":
+        """A sub-budget for a lower layer, starting at ``now``.
+
+        The child's deadline is the parent's, optionally capped at
+        ``now + max_share_s`` — it can only shrink, never extend.  A
+        child requested after the parent expired is an error: the
+        caller should have degraded already.
+        """
+        if self.expired(now):
+            raise DeadlineExceededError(
+                f"cannot derive a sub-budget at t={now:.6f}: parent "
+                f"deadline {self.deadline_s:.6f} already passed"
+            )
+        deadline = self.deadline_s
+        if max_share_s is not None:
+            if max_share_s <= 0:
+                raise ConfigurationError("budget share must be positive")
+            deadline = min(deadline, now + max_share_s)
+        return DeadlineBudget(start_s=now, deadline_s=deadline)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    Starts full.  :meth:`admit` refills lazily from the elapsed time,
+    then either takes one token or raises :class:`AdmissionError` with
+    the exact time until the next token — the 429 ``Retry-After``.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("admission rate must be positive")
+        if burst < 1:
+            raise ConfigurationError("admission burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._updated_at = 0.0
+        self.admitted = 0
+        self.shed = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated_at:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated_at) * self.rate
+            )
+            self._updated_at = now
+
+    def admit(self, now: float) -> None:
+        """Take one token or shed with a deterministic retry hint."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.admitted += 1
+            return
+        self.shed += 1
+        retry_after = (1.0 - self._tokens) / self.rate
+        raise AdmissionError(
+            f"admission rate exceeded at t={now:.6f}; retry in "
+            f"{retry_after:.6f}s",
+            retry_after_s=retry_after,
+        )
+
+
+# ----------------------------------------------------------------------
+# Bulkheads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BulkheadConfig:
+    """Size of one endpoint class's isolated worker pool."""
+
+    workers: int = 4
+    queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("bulkhead needs at least one worker")
+        if self.queue_depth < 0:
+            raise ConfigurationError("bulkhead queue depth must be >= 0")
+
+
+class Bulkhead:
+    """A bounded worker pool in simulated time.
+
+    The pool tracks the *end times* of all admitted work.  A new request
+    at ``now`` starts immediately if a worker is free, otherwise queues
+    FIFO behind the in-flight work; when pool + queue are full it is
+    refused outright.  :meth:`reserve` answers "when would this start?"
+    without committing, so the caller can first check the request's
+    deadline; :meth:`commit` then books the work.
+    """
+
+    def __init__(self, config: BulkheadConfig) -> None:
+        self.config = config
+        self._ends: List[float] = []
+        self.refused = 0
+        self.peak_queue = 0
+
+    def _prune(self, now: float) -> None:
+        self._ends = [end for end in self._ends if end > now]
+
+    def queued(self, now: float) -> int:
+        """Requests admitted but not yet started at ``now``."""
+        self._prune(now)
+        return max(0, len(self._ends) - self.config.workers)
+
+    def reserve(self, now: float) -> float:
+        """Earliest start time for new work arriving at ``now``.
+
+        Raises :class:`BulkheadFullError` when the pool and its queue
+        are both full — the refusal that keeps one endpoint class from
+        starving the others.
+        """
+        self._prune(now)
+        waiting = len(self._ends) - self.config.workers
+        if waiting >= self.config.queue_depth:
+            self.refused += 1
+            raise BulkheadFullError(
+                f"bulkhead full at t={now:.6f}: {self.config.workers} "
+                f"worker(s) busy and {waiting} request(s) queued "
+                f"(depth {self.config.queue_depth})"
+            )
+        self.peak_queue = max(self.peak_queue, max(0, waiting + 1))
+        if len(self._ends) < self.config.workers:
+            return now
+        # FIFO behind current work: the new request starts when enough
+        # earlier work has drained that a worker frees up for it.
+        ordered = sorted(self._ends)
+        return ordered[len(ordered) - self.config.workers]
+
+    def commit(self, end_s: float) -> None:
+        """Book admitted work that will occupy a worker until ``end_s``."""
+        self._ends.append(end_s)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: The legal edges of the breaker state machine.
+_ALLOWED_TRANSITIONS = frozenset(
+    {
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        (BreakerState.HALF_OPEN, BreakerState.OPEN),
+    }
+)
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change (the fuzz suite audits these)."""
+
+    at_s: float
+    source: BreakerState
+    target: BreakerState
+
+
+class CircuitBreaker:
+    """closed → open → half-open → closed, deterministically.
+
+    ``failure_threshold`` consecutive backend failures open the
+    circuit; it stays open for a cool-down drawn from ``cooldown``
+    (:class:`RetryPolicy` backoff, escalating with consecutive opens,
+    capped at the policy's ``max_backoff_s``).  The first
+    :meth:`allow` at or after the cool-down flips to half-open and
+    admits exactly one probe; the probe's outcome closes or re-opens
+    the circuit.  Every transition is appended to :attr:`transitions`.
+    """
+
+    def __init__(
+        self, failure_threshold: int, cooldown: RetryPolicy
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.consecutive_opens = 0
+        self.open_until_s = 0.0
+        self.opens = 0
+        self.transitions: List[BreakerTransition] = []
+
+    def _move(self, now: float, target: BreakerState) -> None:
+        edge = (self.state, target)
+        if edge not in _ALLOWED_TRANSITIONS:
+            raise ConfigurationError(
+                f"illegal breaker transition {edge[0].value} -> "
+                f"{target.value}"
+            )
+        self.transitions.append(
+            BreakerTransition(at_s=now, source=self.state, target=target)
+        )
+        self.state = target
+
+    def _open(self, now: float) -> None:
+        self.consecutive_opens += 1
+        self.opens += 1
+        retry_index = min(
+            self.consecutive_opens, self.cooldown.max_attempts - 1
+        )
+        delay = self.cooldown.backoff_s(max(1, retry_index))
+        self.open_until_s = now + delay
+        self._move(now, BreakerState.OPEN)
+
+    def allow(self, now: float) -> None:
+        """Admit the call, or raise :class:`CircuitOpenError`.
+
+        Open circuits flip to half-open once the cool-down elapses; the
+        admitting call is the probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return
+        if self.state is BreakerState.OPEN:
+            if now < self.open_until_s:
+                raise CircuitOpenError(
+                    f"circuit open until t={self.open_until_s:.6f} "
+                    f"(now t={now:.6f})"
+                )
+            self._move(now, BreakerState.HALF_OPEN)
+            return
+        # HALF_OPEN: exactly one probe is in flight; further calls are
+        # refused until its outcome is recorded.
+        raise CircuitOpenError(
+            f"circuit half-open at t={now:.6f}: probe outcome pending"
+        )
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.consecutive_opens = 0
+            self._move(now, BreakerState.CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now)
+            return
+        if self.state is BreakerState.CLOSED:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self.consecutive_failures = 0
+                self._open(now)
+
+
+class BreakerBank:
+    """Lazily created :class:`CircuitBreaker` per (app, cluster) key.
+
+    One unhealthy (app, cluster) pair must not poison predictions for
+    every other pair — isolation is per key, like the calibrator's
+    correction factors.
+    """
+
+    def __init__(
+        self, failure_threshold: int, cooldown: RetryPolicy
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    def breaker(self, app: str, cluster: str) -> CircuitBreaker:
+        key = (app, cluster)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold, self.cooldown)
+            self._breakers[key] = breaker
+        return breaker
+
+    def total_opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+    def snapshot(self) -> Dict[str, str]:
+        """Current state per key, for reports (sorted, deterministic)."""
+        return {
+            f"{app} @ {cluster}": self._breakers[(app, cluster)].state.value
+            for app, cluster in sorted(self._breakers)
+        }
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+
+def _default_bulkheads() -> Dict[str, BulkheadConfig]:
+    return {
+        "predict": BulkheadConfig(workers=4, queue_depth=16),
+        "what-if": BulkheadConfig(workers=2, queue_depth=8),
+        "broker-submit": BulkheadConfig(workers=1, queue_depth=2),
+        "campaign-status": BulkheadConfig(workers=2, queue_depth=8),
+    }
+
+
+def _default_cooldown() -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=5,
+        base_backoff_s=0.25,
+        backoff_factor=2.0,
+        max_backoff_s=4.0,
+    )
+
+
+def _default_retry() -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=3,
+        base_backoff_s=0.005,
+        backoff_factor=2.0,
+        max_backoff_s=0.05,
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every knob of the admission → deadline → bulkhead → breaker →
+    degrade pipeline, with serving-grade defaults.
+
+    Attributes
+    ----------
+    admission_rate / admission_burst:
+        Token-bucket refill (requests/s) and capacity.
+    default_deadline_s:
+        Budget for requests that do not declare their own.
+    deadline_epsilon_s:
+        Slack the latency invariant tolerates on top of the declared
+        deadline — covers the fixed cost of producing the degraded
+        response itself.
+    degraded_cost_s:
+        Modeled cost of a cache-served / refused response (the fast
+        path never consults a backend).
+    retry:
+        Backend retry budget *within* the request's deadline; backoff
+        is charged to the request's latency.
+    breaker_failure_threshold / breaker_cooldown:
+        Circuit breaker tuning (see :class:`CircuitBreaker`).
+    bulkheads:
+        Worker pool sizes per endpoint class.
+    max_stale_age_s:
+        Oldest cached prediction degraded mode may serve; ``None``
+        serves any age (the age is always reported either way).
+    """
+
+    admission_rate: float = 500.0
+    admission_burst: float = 64.0
+    default_deadline_s: float = 0.25
+    deadline_epsilon_s: float = 1.0e-3
+    degraded_cost_s: float = 2.0e-4
+    retry: RetryPolicy = field(default_factory=_default_retry)
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: RetryPolicy = field(default_factory=_default_cooldown)
+    bulkheads: Tuple[Tuple[str, BulkheadConfig], ...] = field(
+        default_factory=lambda: tuple(sorted(_default_bulkheads().items()))
+    )
+    max_stale_age_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.admission_rate <= 0:
+            raise ConfigurationError("admission_rate must be positive")
+        if self.admission_burst < 1:
+            raise ConfigurationError("admission_burst must be >= 1")
+        if self.default_deadline_s <= 0:
+            raise ConfigurationError("default_deadline_s must be positive")
+        if self.deadline_epsilon_s < 0:
+            raise ConfigurationError("deadline_epsilon_s must be >= 0")
+        if self.degraded_cost_s < 0:
+            raise ConfigurationError("degraded_cost_s must be >= 0")
+        if self.max_stale_age_s is not None and self.max_stale_age_s <= 0:
+            raise ConfigurationError("max_stale_age_s must be positive")
+
+    def bulkhead_config(self, endpoint: str) -> BulkheadConfig:
+        for name, config in self.bulkheads:
+            if name == endpoint:
+                return config
+        return BulkheadConfig()

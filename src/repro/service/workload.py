@@ -1,0 +1,188 @@
+"""Seeded request workloads for chaos campaigns and benchmarks.
+
+A service scenario is a *pure data artifact*: given a seed, this module
+produces the exact same request sequence — ids, endpoints, parameters,
+arrival times, deadlines — every time.  Combined with the seeded
+backend fault injector and the virtual clock, that is what lets the
+chaos harness demand a byte-identical request log on replay.
+
+The demo profiles are synthetic but shaped like the paper's workloads:
+constant per-object reduction time and linear-plus-constant global
+reduction for the clustering family, the inverse shape for the
+scientific codes.  They exist so the service (and its benchmark) can
+run without first executing the full simulator to measure a profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profile import Profile
+from repro.service.app import ServiceRequest
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.clusters import (
+    DEFAULT_BANDWIDTH,
+    pentium_myrinet_cluster,
+)
+
+__all__ = ["RequestMix", "demo_profiles", "generate_requests"]
+
+
+#: (app, dataset GB, t_disk, t_network, t_compute, t_ro, t_g) for the
+#: synthetic demo profiles — deterministic stand-ins for measured runs.
+_DEMO_APPS: Tuple[Tuple[str, float, float, float, float, float, float], ...] = (
+    ("kmeans", 1.4, 11.2, 52.4, 158.0, 3.1, 0.6),
+    ("apriori", 1.0, 8.0, 37.5, 61.0, 9.4, 2.2),
+    ("vortex", 0.71, 5.7, 26.6, 44.0, 1.8, 0.9),
+)
+
+#: Candidate (data_nodes, compute_nodes) pairs predict requests draw from.
+_NODE_PAIRS: Tuple[Tuple[int, int], ...] = (
+    (1, 1), (1, 2), (2, 4), (4, 8), (8, 8), (8, 16),
+)
+
+_WHATIF_PAIRS: Tuple[Tuple[int, int], ...] = ((1, 2), (2, 4), (4, 8), (8, 16))
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Relative endpoint weights of a generated workload."""
+
+    predict: float = 0.70
+    whatif: float = 0.15
+    status: float = 0.12
+    broker: float = 0.03
+
+    def __post_init__(self) -> None:
+        weights = (self.predict, self.whatif, self.status, self.broker)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigurationError(
+                "request mix weights must be non-negative with a "
+                "positive sum"
+            )
+
+
+def demo_profiles() -> Dict[str, Profile]:
+    """Synthetic reference profiles, one per demo app (1-1 base runs)."""
+    cluster = pentium_myrinet_cluster()
+    profiles: Dict[str, Profile] = {}
+    for app, gigabytes, t_disk, t_network, t_compute, t_ro, t_g in _DEMO_APPS:
+        dataset_bytes = gigabytes * 1.0e9
+        profiles[app] = Profile(
+            app=app,
+            storage_cluster=cluster,
+            compute_cluster=cluster,
+            data_nodes=1,
+            compute_nodes=1,
+            bandwidth=DEFAULT_BANDWIDTH,
+            dataset_bytes=dataset_bytes,
+            t_disk=t_disk,
+            t_network=t_network,
+            t_compute=t_compute,
+            t_ro=t_ro,
+            t_g=t_g,
+            max_object_bytes=4096.0,
+        )
+    return profiles
+
+
+def _pick_endpoint(rng: random.Random, mix: RequestMix) -> str:
+    total = mix.predict + mix.whatif + mix.status + mix.broker
+    u = rng.random() * total
+    if u < mix.predict:
+        return "predict"
+    if u < mix.predict + mix.whatif:
+        return "what-if"
+    if u < mix.predict + mix.whatif + mix.status:
+        return "campaign-status"
+    return "broker-submit"
+
+
+def generate_requests(
+    seed: int,
+    count: int,
+    rate_hz: float,
+    profiles: Sequence[str],
+    *,
+    mix: Optional[RequestMix] = None,
+    campaigns: Sequence[str] = ("demo",),
+    deadline_s: Optional[float] = None,
+    tight_deadline_fraction: float = 0.0,
+    tight_deadline_s: float = 0.002,
+) -> List[ServiceRequest]:
+    """A seeded open-loop arrival sequence of service requests.
+
+    Inter-arrival times are exponential with mean ``1 / rate_hz``, so
+    ``rate_hz`` above the admission rate reliably exercises shedding.
+    ``tight_deadline_fraction`` of requests carry ``tight_deadline_s``
+    budgets that normal backend work cannot meet — the degraded-path
+    workout.  Everything is a pure function of the arguments.
+    """
+    if count < 0:
+        raise ConfigurationError("request count must be >= 0")
+    if rate_hz <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if not profiles:
+        raise ConfigurationError("need at least one profile name")
+    if not 0.0 <= tight_deadline_fraction <= 1.0:
+        raise ConfigurationError(
+            "tight_deadline_fraction must be in [0, 1]"
+        )
+    mix = mix if mix is not None else RequestMix()
+    names = sorted(profiles)
+    campaign_names = sorted(campaigns) or ["demo"]
+    rng = random.Random(seed)
+    requests: List[ServiceRequest] = []
+    t = 0.0
+    for index in range(count):
+        t += rng.expovariate(rate_hz)
+        endpoint = _pick_endpoint(rng, mix)
+        params: Dict[str, object]
+        if endpoint == "predict":
+            n, c = _NODE_PAIRS[rng.randrange(len(_NODE_PAIRS))]
+            params = {
+                "profile": names[rng.randrange(len(names))],
+                "data_nodes": n,
+                "compute_nodes": c,
+            }
+        elif endpoint == "what-if":
+            params = {
+                "profile": names[rng.randrange(len(names))],
+                "pairs": [list(pair) for pair in _WHATIF_PAIRS],
+            }
+        elif endpoint == "campaign-status":
+            params = {
+                "campaign": campaign_names[
+                    rng.randrange(len(campaign_names))
+                ],
+            }
+        else:
+            params = {
+                "policy": "min-completion",
+                "jobs": [
+                    {
+                        "job_id": f"job-{index:06d}-{j}",
+                        "workload": names[rng.randrange(len(names))],
+                        "arrival": 0.0,
+                    }
+                    for j in range(2)
+                ],
+            }
+        request_deadline = deadline_s
+        if (
+            tight_deadline_fraction > 0.0
+            and rng.random() < tight_deadline_fraction
+        ):
+            request_deadline = tight_deadline_s
+        requests.append(
+            ServiceRequest(
+                request_id=f"req-{index:06d}",
+                endpoint=endpoint,
+                params=params,
+                arrival_s=t,
+                deadline_s=request_deadline,
+            )
+        )
+    return requests

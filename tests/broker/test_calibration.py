@@ -102,3 +102,63 @@ class TestSnapshot:
 
     def test_empty_snapshot(self):
         assert OnlineCalibrator().snapshot() == {}
+
+
+class TestPersistence:
+    def seeded(self):
+        calibrator = OnlineCalibrator(alpha=0.5)
+        raw = PredictedBreakdown(
+            t_disk=10.0, t_network=20.0, t_compute=30.0, t_ro=2.0, t_g=1.0
+        )
+        calibrator.observe("kmeans", "repo-a", "hpc-1", raw, (5.0, 20.0, 45.0))
+        calibrator.observe("kmeans", "repo-a", "hpc-1", raw, (6.0, 18.0, 42.0))
+        calibrator.observe("em", "repo-a", "hpc-2", raw, (12.0, 22.0, 33.0))
+        return calibrator
+
+    def test_round_trip_preserves_factors_and_counts(self, tmp_path):
+        calibrator = self.seeded()
+        path = tmp_path / "calibration.json"
+        calibrator.save(path)
+        loaded = OnlineCalibrator.load(path)
+        assert loaded.alpha == calibrator.alpha
+        assert loaded.clamp == calibrator.clamp
+        assert loaded.snapshot() == calibrator.snapshot()
+        assert loaded.total_observations == calibrator.total_observations
+
+    def test_reloaded_calibrator_resumes_learning_identically(self, tmp_path):
+        calibrator = self.seeded()
+        path = tmp_path / "calibration.json"
+        calibrator.save(path)
+        loaded = OnlineCalibrator.load(path)
+        raw = PredictedBreakdown(t_disk=10.0, t_network=20.0, t_compute=30.0)
+        calibrator.observe("kmeans", "repo-a", "hpc-1", raw, (7.0, 21.0, 40.0))
+        loaded.observe("kmeans", "repo-a", "hpc-1", raw, (7.0, 21.0, 40.0))
+        assert loaded.snapshot() == calibrator.snapshot()
+
+    def test_saved_state_is_canonical_and_versioned(self, tmp_path):
+        import json
+
+        path = tmp_path / "calibration.json"
+        self.seeded().save(path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert path.read_text().endswith("\n")
+
+    def test_corrupt_state_names_remedy(self, tmp_path):
+        from repro.core.durable import CorruptStoreError
+
+        path = tmp_path / "calibration.json"
+        path.write_text("{ torn")
+        with pytest.raises(CorruptStoreError, match="re-learns"):
+            OnlineCalibrator.load(path)
+
+    def test_unknown_component_rejected_on_load(self, tmp_path):
+        import json
+
+        path = tmp_path / "calibration.json"
+        self.seeded().save(path)
+        data = json.loads(path.read_text())
+        data["factors"][0]["component"] = "quantum"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            OnlineCalibrator.load(path)

@@ -159,3 +159,58 @@ class TestDurableStore:
         assert path.read_bytes() == before
         assert [p.name for p in tmp_path.iterdir()] == ["p.json"]
         assert load_profile(path).app == "kmeans"
+
+
+class TestScanQuarantine:
+    def seed_store(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.save("kmeans", make_profile(app="kmeans"))
+        store.save("apriori", make_profile(app="apriori"))
+        return store
+
+    def test_clean_scan_loads_everything(self, tmp_path):
+        store = self.seed_store(tmp_path)
+        profiles = store.scan()
+        assert sorted(profiles) == ["apriori", "kmeans"]
+        assert profiles["kmeans"].app == "kmeans"
+
+    def test_truncated_profile_is_quarantined_and_scan_continues(
+        self, tmp_path
+    ):
+        store = self.seed_store(tmp_path)
+        victim = tmp_path / "kmeans.json"
+        # Truncate mid-document: invalid JSON, a classic torn write.
+        victim.write_text(victim.read_text()[: len(victim.read_text()) // 2])
+        with pytest.warns(UserWarning, match="quarantined"):
+            profiles = store.scan()
+        assert sorted(profiles) == ["apriori"]
+        quarantined = list(tmp_path.glob("kmeans.json.corrupt-*"))
+        assert len(quarantined) == 1
+        assert not victim.exists()
+
+    def test_quarantined_files_leave_later_scans_clean(self, tmp_path):
+        store = self.seed_store(tmp_path)
+        (tmp_path / "kmeans.json").write_text("{ not json")
+        with pytest.warns(UserWarning):
+            store.scan()
+        # Second scan: the corpse no longer matches *.json.
+        profiles = store.scan()
+        assert sorted(profiles) == ["apriori"]
+        assert "kmeans" not in store
+
+    def test_quarantine_name_is_content_addressed(self, tmp_path):
+        from repro.core.durable import quarantine_corrupt
+
+        path = tmp_path / "bad.json"
+        path.write_text("{ torn")
+        target = quarantine_corrupt(path)
+        assert target.name.startswith("bad.json.corrupt-")
+        assert target.read_text() == "{ torn"
+
+    def test_quarantine_missing_file_raises_corrupt_store_error(
+        self, tmp_path
+    ):
+        from repro.core.durable import CorruptStoreError, quarantine_corrupt
+
+        with pytest.raises(CorruptStoreError, match="cannot quarantine"):
+            quarantine_corrupt(tmp_path / "ghost.json")

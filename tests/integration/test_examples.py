@@ -23,6 +23,8 @@ CASES = [
     ("grid_scheduling.py", ["policy comparison", "predicted best"]),
     ("broker_workload.py", ["broker workload", "calibration win",
                             "deadline-aware"]),
+    ("service_requests.py", ["breaker opens", "admission sheds",
+                             "verdict: PASS"]),
 ]
 
 

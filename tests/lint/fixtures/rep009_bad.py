@@ -1,0 +1,12 @@
+"""REP009 bad: unbounded blocking calls in a long-running layer."""
+import socket
+import subprocess
+
+
+def run_probe(cmd, queue, lock, sock):
+    proc = subprocess.run(cmd)  # no timeout: can hang forever
+    sock.settimeout(None)  # removes the bound
+    conn = socket.create_connection(("repo-a", 9000))  # blocks until peer
+    lock.acquire()  # unbounded
+    item = queue.get()  # unbounded
+    return proc, conn, item

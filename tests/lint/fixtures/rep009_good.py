@@ -1,0 +1,14 @@
+"""REP009 good: every blocking call carries an explicit bound."""
+import socket
+import subprocess
+
+
+def run_probe(cmd, queue, lock, sock, parts, table):
+    proc = subprocess.run(cmd, timeout=60.0)
+    sock.settimeout(10.0)
+    conn = socket.create_connection(("repo-a", 9000), timeout=10.0)
+    acquired = lock.acquire(timeout=5.0)
+    item = queue.get(timeout=5.0)
+    label = ", ".join(parts)  # arguments present: never flagged
+    value = table.get("key")  # dict.get(key): never flagged
+    return proc, conn, acquired, item, label, value

@@ -16,10 +16,10 @@ from repro.lint import (
     lint_source,
 )
 
-EXPECTED_CODES = [f"REP00{i}" for i in range(1, 9)]
+EXPECTED_CODES = [f"REP00{i}" for i in range(1, 10)]
 
 
-def test_all_eight_rules_registered_with_stable_codes():
+def test_all_nine_rules_registered_with_stable_codes():
     rules = all_rules()
     assert [r.code for r in rules] == EXPECTED_CODES
     assert sorted(RULES) == EXPECTED_CODES

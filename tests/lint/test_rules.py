@@ -21,6 +21,7 @@ CASES = [
     ("REP006", "rep006", "src/repro/core/modelmath.py", 2),
     ("REP007", "rep007", "src/repro/broker/report_helpers.py", 2),
     ("REP008", "rep008", "src/repro/broker/shortcut.py", 2),
+    ("REP009", "rep009", "src/repro/service/pool.py", 5),
 ]
 
 

@@ -1,0 +1,17 @@
+"""Shared fixtures for the prediction-service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import PredictionService, demo_profiles
+
+
+@pytest.fixture()
+def profiles():
+    return demo_profiles()
+
+
+@pytest.fixture()
+def service(profiles):
+    return PredictionService(profiles)

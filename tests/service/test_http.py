@@ -1,0 +1,186 @@
+"""HTTP-layer tests: ASGI protocol in-process, threaded server on loopback."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import MonotonicClock, PredictionService, demo_profiles
+from repro.service.http import asgi_app, make_server
+
+
+def run_asgi(app, method, path, body=b""):
+    """Drive one request through the ASGI protocol without a server."""
+    sent = []
+    received = [
+        {"type": "http.request", "body": body, "more_body": False}
+    ]
+
+    async def receive():
+        return received.pop(0)
+
+    async def send(message):
+        sent.append(message)
+
+    scope = {"type": "http", "method": method, "path": path}
+    asyncio.run(app(scope, receive, send))
+    start = next(m for m in sent if m["type"] == "http.response.start")
+    payload = b"".join(
+        m.get("body", b"") for m in sent if m["type"] == "http.response.body"
+    )
+    headers = {
+        name.decode(): value.decode() for name, value in start["headers"]
+    }
+    return start["status"], headers, json.loads(payload)
+
+
+@pytest.fixture()
+def app():
+    return asgi_app(PredictionService(demo_profiles()))
+
+
+class TestAsgi:
+    def test_healthz(self, app):
+        status, _, body = run_asgi(app, "GET", "/v1/healthz")
+        assert status == 200
+        assert body == {"status": "ok"}
+
+    def test_predict_round_trip(self, app):
+        payload = json.dumps(
+            {
+                "params": {
+                    "profile": "kmeans",
+                    "data_nodes": 2,
+                    "compute_nodes": 4,
+                }
+            }
+        ).encode()
+        status, headers, body = run_asgi(
+            app, "POST", "/v1/predict", payload
+        )
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert body["outcome"] == "ok"
+        assert body["total"] > 0.0
+        assert body["request_id"] == "http-1"
+
+    def test_request_ids_are_counter_based(self, app):
+        payload = json.dumps(
+            {"params": {"profile": "kmeans", "data_nodes": 1,
+                        "compute_nodes": 1}}
+        ).encode()
+        ids = [
+            run_asgi(app, "POST", "/v1/predict", payload)[2]["request_id"]
+            for _ in range(3)
+        ]
+        assert ids == ["http-1", "http-2", "http-3"]
+
+    def test_shed_request_carries_retry_after_header(self):
+        from repro.service import ResilienceConfig
+
+        service = PredictionService(
+            demo_profiles(),
+            config=ResilienceConfig(admission_rate=1.0, admission_burst=1.0),
+        )
+        app = asgi_app(service)
+        payload = json.dumps(
+            {"params": {"profile": "kmeans", "data_nodes": 1,
+                        "compute_nodes": 1}}
+        ).encode()
+        run_asgi(app, "POST", "/v1/predict", payload)
+        status, headers, body = run_asgi(
+            app, "POST", "/v1/predict", payload
+        )
+        assert status == 429
+        assert float(headers["retry-after"]) > 0.0
+        assert body["outcome"] == "shed"
+
+    def test_bad_json_is_400(self, app):
+        status, _, body = run_asgi(app, "POST", "/v1/predict", b"{ torn")
+        assert status == 400
+        assert "not JSON" in body["error"]
+
+    def test_unknown_route_is_404(self, app):
+        status, _, _ = run_asgi(app, "POST", "/v1/forecast", b"{}")
+        assert status == 404
+        status, _, _ = run_asgi(app, "GET", "/nope")
+        assert status == 404
+
+    def test_metrics_route(self, app):
+        status, _, body = run_asgi(app, "GET", "/v1/metrics")
+        assert status == 200
+        assert "admission" in body
+
+    def test_lifespan_protocol(self, app):
+        sent = []
+        received = [
+            {"type": "lifespan.startup"},
+            {"type": "lifespan.shutdown"},
+        ]
+
+        async def receive():
+            return received.pop(0)
+
+        async def send(message):
+            sent.append(message)
+
+        asyncio.run(app({"type": "lifespan"}, receive, send))
+        assert [m["type"] for m in sent] == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ]
+
+
+class TestThreadedServer:
+    @pytest.fixture()
+    def server_url(self):
+        service = PredictionService(
+            demo_profiles(), clock=MonotonicClock()
+        )
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    def test_live_predict_over_loopback(self, server_url):
+        request = urllib.request.Request(
+            f"{server_url}/v1/predict",
+            data=json.dumps(
+                {
+                    "params": {
+                        "profile": "apriori",
+                        "data_nodes": 2,
+                        "compute_nodes": 4,
+                    }
+                }
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.status == 200
+            body = json.loads(response.read())
+        assert body["outcome"] == "ok"
+        assert body["total"] > 0.0
+
+    def test_live_metrics_and_health(self, server_url):
+        with urllib.request.urlopen(
+            f"{server_url}/v1/healthz", timeout=10.0
+        ) as response:
+            assert json.loads(response.read()) == {"status": "ok"}
+        with urllib.request.urlopen(
+            f"{server_url}/v1/metrics", timeout=10.0
+        ) as response:
+            assert response.status == 200

@@ -1,0 +1,206 @@
+"""Unit tests for the resilience primitives (deterministic paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+from repro.service import (
+    AdmissionError,
+    Bulkhead,
+    BulkheadConfig,
+    BulkheadFullError,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineBudget,
+    DeadlineExceededError,
+    MonotonicClock,
+    ResilienceConfig,
+    TokenBucket,
+    VirtualClock,
+)
+from repro.simgrid.errors import ConfigurationError
+
+
+class TestDeadlineBudget:
+    def test_begin_and_remaining(self):
+        budget = DeadlineBudget.begin(10.0, 0.5)
+        assert budget.deadline_s == pytest.approx(10.5)
+        assert budget.remaining_s(10.2) == pytest.approx(0.3)
+        assert budget.remaining_s(11.0) == 0.0
+        assert not budget.expired(10.4)
+        assert budget.expired(10.5)
+
+    def test_allows_exact_fit(self):
+        budget = DeadlineBudget.begin(0.0, 1.0)
+        assert budget.allows(0.0, 1.0)
+        assert not budget.allows(0.0, 1.0001)
+
+    def test_child_only_shrinks(self):
+        parent = DeadlineBudget.begin(0.0, 1.0)
+        child = parent.child(0.4)
+        assert child.deadline_s == parent.deadline_s
+        capped = parent.child(0.4, max_share_s=0.1)
+        assert capped.deadline_s == pytest.approx(0.5)
+        generous = parent.child(0.4, max_share_s=10.0)
+        assert generous.deadline_s == parent.deadline_s
+
+    def test_child_after_expiry_raises(self):
+        parent = DeadlineBudget.begin(0.0, 1.0)
+        with pytest.raises(DeadlineExceededError):
+            parent.child(1.0)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineBudget.begin(0.0, 0.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_shed(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            bucket.admit(0.0)
+        assert excinfo.value.retry_after_s == pytest.approx(0.1)
+        assert bucket.admitted == 2
+        assert bucket.shed == 1
+
+    def test_refill_is_lazy_and_capped(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        # After a long idle stretch, refill caps at burst.
+        bucket.admit(100.0)
+        bucket.admit(100.0)
+        with pytest.raises(AdmissionError):
+            bucket.admit(100.0)
+
+    def test_retry_after_is_honest(self):
+        bucket = TokenBucket(rate=4.0, burst=1.0)
+        bucket.admit(0.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            bucket.admit(0.0)
+        # Waiting exactly the advertised hint earns admission.
+        bucket.admit(0.0 + excinfo.value.retry_after_s)
+
+
+class TestBulkhead:
+    def test_free_worker_starts_now(self):
+        bulkhead = Bulkhead(BulkheadConfig(workers=2, queue_depth=2))
+        assert bulkhead.reserve(1.0) == 1.0
+        bulkhead.commit(2.0)
+        assert bulkhead.reserve(1.0) == 1.0
+
+    def test_fifo_queueing_behind_busy_workers(self):
+        bulkhead = Bulkhead(BulkheadConfig(workers=1, queue_depth=2))
+        bulkhead.commit(5.0)  # worker busy until t=5
+        start = bulkhead.reserve(1.0)
+        assert start == 5.0
+        bulkhead.commit(7.0)
+        assert bulkhead.reserve(1.0) == 7.0
+
+    def test_full_pool_refuses(self):
+        bulkhead = Bulkhead(BulkheadConfig(workers=1, queue_depth=1))
+        bulkhead.commit(5.0)
+        bulkhead.commit(6.0)  # one queued
+        with pytest.raises(BulkheadFullError):
+            bulkhead.reserve(0.0)
+        assert bulkhead.refused == 1
+
+    def test_finished_work_frees_slots(self):
+        bulkhead = Bulkhead(BulkheadConfig(workers=1, queue_depth=0))
+        bulkhead.commit(5.0)
+        with pytest.raises(BulkheadFullError):
+            bulkhead.reserve(4.9)
+        assert bulkhead.reserve(5.1) == 5.1
+
+
+class TestCircuitBreaker:
+    def policy(self):
+        return RetryPolicy(
+            max_attempts=4, base_backoff_s=1.0, backoff_factor=2.0,
+            max_backoff_s=8.0,
+        )
+
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(2, self.policy())
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(0.1)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(0.5)
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(2, self.policy())
+        breaker.record_failure(0.0)
+        breaker.record_success(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(1, self.policy())
+        breaker.record_failure(0.0)
+        assert breaker.state is BreakerState.OPEN
+        breaker.allow(breaker.open_until_s)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Only one probe while the outcome is pending.
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(breaker.open_until_s)
+        breaker.record_success(breaker.open_until_s + 0.01)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_opens == 0
+
+    def test_failed_probe_reopens_with_longer_cooldown(self):
+        breaker = CircuitBreaker(1, self.policy())
+        breaker.record_failure(0.0)
+        first_cooldown = breaker.open_until_s - 0.0
+        probe_at = breaker.open_until_s
+        breaker.allow(probe_at)
+        breaker.record_failure(probe_at)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_until_s - probe_at > first_cooldown
+        assert breaker.opens == 2
+
+    def test_transitions_are_recorded_in_order(self):
+        breaker = CircuitBreaker(1, self.policy())
+        breaker.record_failure(0.0)
+        breaker.allow(breaker.open_until_s)
+        breaker.record_success(breaker.open_until_s)
+        edges = [(t.source, t.target) for t in breaker.transitions]
+        assert edges == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+
+class TestClocks:
+    def test_virtual_clock_rejects_rewind(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-0.5)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(0.5)
+
+    def test_monotonic_clock_is_rebased_and_monotone(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert first >= 0.0
+        assert clock.now() >= first
+
+
+class TestResilienceConfig:
+    def test_bulkhead_lookup_falls_back_to_default(self):
+        config = ResilienceConfig()
+        assert config.bulkhead_config("predict").workers == 4
+        assert config.bulkhead_config("unknown") == BulkheadConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(admission_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(default_deadline_s=-1.0)

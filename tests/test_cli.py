@@ -329,3 +329,68 @@ class TestBroker:
         )
         assert code == 1
         assert "alpha" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_smoke_run_prints_metrics(self, capsys):
+        code = main(["serve", "--requests", "60", "--rate", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke: served 60 seeded request(s)" in out
+        assert "latency p50" in out
+        assert "breaker opens" in out
+
+    def test_smoke_run_is_deterministic(self, capsys):
+        assert main(["serve", "--requests", "40", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--requests", "40", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_campaign_passes(self, capsys):
+        code = main(
+            ["serve", "--chaos", "--requests", "50", "--cases", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "replay" in out
+
+    def test_http_round_trip(self):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.service import (
+            MonotonicClock,
+            PredictionService,
+            demo_profiles,
+            make_server,
+        )
+
+        service = PredictionService(demo_profiles(), clock=MonotonicClock())
+        server = make_server(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.05),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            body = json.dumps(
+                {"params": {"profile": "kmeans", "data_nodes": 2,
+                            "compute_nodes": 4}}
+            ).encode("utf-8")
+            with urllib.request.urlopen(
+                urllib.request.Request(
+                    f"http://{host}:{port}/v1/predict", data=body
+                ),
+                timeout=10.0,
+            ) as response:
+                payload = json.loads(response.read())
+            assert response.status == 200
+            assert payload["outcome"] == "ok"
+            assert payload["total"] > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
