@@ -8,6 +8,8 @@
   calibration error trend for broker reports.
 - :mod:`repro.analysis.service` — prediction-service metrics rollups
   and service chaos campaign tables.
+- :mod:`repro.analysis.trace` — trace-workload composition tables and
+  the throughput benchmark rendering.
 """
 
 from repro.analysis.ascii import error_bar_chart, horizontal_bar
@@ -52,6 +54,7 @@ from repro.analysis.stats import (
     model_ordering_holds,
     worst_configuration,
 )
+from repro.analysis.trace import format_throughput, format_trace
 
 __all__ = [
     "error_bar_chart",
@@ -79,6 +82,8 @@ __all__ = [
     "format_service_chaos",
     "format_service_metrics",
     "format_summary",
+    "format_throughput",
+    "format_trace",
     "error_summary",
     "mean",
     "model_ordering_holds",

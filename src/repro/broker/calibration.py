@@ -22,6 +22,16 @@ factors multiply the *prediction*, systematic model bias — most visibly
 the cross-cluster case where a profile from one machine type predicts
 another without measured scaling factors — is learned away over the job
 stream, which is exactly what the broker benchmark asserts.
+
+At six-figure job counts :meth:`OnlineCalibrator.correct` is the
+broker's hottest call (four factor lookups per candidate per decision),
+so the current factor of every (component, app, resource) key is kept in
+per-component read caches that :meth:`OnlineCalibrator.observe`
+invalidates for exactly the three keys it touches.  The cached path is
+bit-identical to the uncached arithmetic — the factors only change on
+``observe`` — and :meth:`reference_correct` retains the original
+uncached computation as the equivalence oracle (and as the instruction
+path of the broker's ``linear`` baseline engine).
 """
 
 from __future__ import annotations
@@ -62,11 +72,9 @@ class CorrectionFactor:
         self.observations += 1
 
 
-@dataclass(frozen=True)
-class _Key:
-    component: str
-    app: str
-    resource: str
+#: Factor keys are plain ``(component, app, resource)`` tuples — the
+#: cheapest hashable the hot observe/correct path can build.
+_Key = Tuple[str, str, str]
 
 
 @dataclass
@@ -86,6 +94,11 @@ class OnlineCalibrator:
     alpha: float = 0.3
     clamp: Tuple[float, float] = (0.1, 10.0)
     _factors: Dict[_Key, CorrectionFactor] = field(default_factory=dict)
+    #: Read caches of current factor values, one per component, keyed by
+    #: (app, resource).  Purely derived state: invalidated by observe().
+    _fast: Dict[str, Dict[Tuple[str, str], float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -93,6 +106,8 @@ class OnlineCalibrator:
         lo, hi = self.clamp
         if not 0.0 < lo < hi:
             raise ConfigurationError("clamp bounds must satisfy 0 < lo < hi")
+        for component in COMPONENTS:
+            self._fast.setdefault(component, {})
 
     # ------------------------------------------------------------------
 
@@ -113,8 +128,19 @@ class OnlineCalibrator:
         if component not in COMPONENTS:
             raise ConfigurationError(f"unknown component '{component}'")
         resource = self._resources(replica_site, compute_site)[component]
-        state = self._factors.get(_Key(component, app, resource))
+        state = self._factors.get((component, app, resource))
         return state.value if state is not None else 1.0
+
+    def _fast_factor(self, component: str, app: str, resource: str) -> float:
+        """Cached current factor; bit-identical to :meth:`factor`."""
+        cache = self._fast[component]
+        cache_key = (app, resource)
+        value = cache.get(cache_key)
+        if value is None:
+            state = self._factors.get((component, app, resource))
+            value = state.value if state is not None else 1.0
+            cache[cache_key] = value
+        return value
 
     def correct(
         self,
@@ -127,7 +153,58 @@ class OnlineCalibrator:
 
         ``T_ro``/``T_g`` ride the compute factor (they are sub-terms of
         the processing component), which is what
-        :meth:`PredictedBreakdown.scaled` implements.
+        :meth:`PredictedBreakdown.scaled` implements.  Served from the
+        per-component read caches; bit-identical to
+        :meth:`reference_correct`.
+        """
+        return raw.scaled(
+            self._fast_factor("disk", app, replica_site),
+            self._fast_factor(
+                "network", app, f"{replica_site}->{compute_site}"
+            ),
+            self._fast_factor("compute", app, compute_site),
+        )
+
+    def correct_total(
+        self,
+        app: str,
+        replica_site: str,
+        compute_site: str,
+        raw: PredictedBreakdown,
+    ) -> float:
+        """Calibrated predicted total as a bare scalar.
+
+        Bit-identical to ``correct(...).total``: the three products and
+        the left-to-right sum are the exact IEEE operations
+        :meth:`PredictedBreakdown.scaled` followed by
+        :attr:`PredictedBreakdown.total` performs, without materializing
+        the intermediate breakdown.  The indexed engine's placement loop
+        scores every feasible candidate with this before building a
+        :class:`~repro.broker.policies.PlacementOption` for the winner
+        alone.
+        """
+        return (
+            raw.t_disk * self._fast_factor("disk", app, replica_site)
+            + raw.t_network
+            * self._fast_factor(
+                "network", app, f"{replica_site}->{compute_site}"
+            )
+            + raw.t_compute * self._fast_factor("compute", app, compute_site)
+        )
+
+    def reference_correct(
+        self,
+        app: str,
+        replica_site: str,
+        compute_site: str,
+        raw: PredictedBreakdown,
+    ) -> PredictedBreakdown:
+        """The original uncached correction path.
+
+        Retained as the equivalence oracle for :meth:`correct` (asserted
+        bit-identical by the broker equivalence suite) and as the
+        instruction path of the ``linear`` baseline engine the
+        throughput benchmark measures against.
         """
         return raw.scaled(
             self.factor("disk", app, replica_site, compute_site),
@@ -147,37 +224,37 @@ class OnlineCalibrator:
 
         ``actual`` is the observed ``(t_disk, t_network, t_compute)``.
         Components whose raw prediction carries no signal are skipped.
+        Invalidates the read cache of exactly the three touched keys.
         """
         lo, hi = self.clamp
-        resources = self._resources(replica_site, compute_site)
-        predicted = {
-            "disk": raw.t_disk,
-            "network": raw.t_network,
-            "compute": raw.t_compute,
-        }
-        observed = dict(zip(COMPONENTS, actual))
-        for component in COMPONENTS:
-            p = predicted[component]
-            a = observed[component]
+        alpha = self.alpha
+        factors = self._factors
+        fast = self._fast
+        path = f"{replica_site}->{compute_site}"
+        for component, resource, p, a in (
+            ("disk", replica_site, raw.t_disk, actual[0]),
+            ("network", path, raw.t_network, actual[1]),
+            ("compute", compute_site, raw.t_compute, actual[2]),
+        ):
             if p < _MIN_PREDICTED or a < 0.0:
                 continue
             ratio = min(max(a / p, lo), hi)
-            key = _Key(component, app, resources[component])
-            self._factors.setdefault(key, CorrectionFactor()).update(
-                ratio, self.alpha
-            )
+            key = (component, app, resource)
+            state = factors.get(key)
+            if state is None:
+                state = factors[key] = CorrectionFactor()
+            state.update(ratio, alpha)
+            fast[component].pop((app, resource), None)
 
     # ------------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Factors keyed ``component -> 'app @ resource' -> value`` (sorted)."""
         out: Dict[str, Dict[str, float]] = {}
-        for key in sorted(
-            self._factors, key=lambda k: (k.component, k.app, k.resource)
-        ):
-            out.setdefault(key.component, {})[
-                f"{key.app} @ {key.resource}"
-            ] = self._factors[key].value
+        for component, app, resource in sorted(self._factors):
+            out.setdefault(component, {})[
+                f"{app} @ {resource}"
+            ] = self._factors[(component, app, resource)].value
         return out
 
     @property
@@ -201,16 +278,13 @@ class OnlineCalibrator:
             "clamp": list(self.clamp),
             "factors": [
                 {
-                    "component": key.component,
-                    "app": key.app,
-                    "resource": key.resource,
+                    "component": key[0],
+                    "app": key[1],
+                    "resource": key[2],
                     "value": self._factors[key].value,
                     "observations": self._factors[key].observations,
                 }
-                for key in sorted(
-                    self._factors,
-                    key=lambda k: (k.component, k.app, k.resource),
-                )
+                for key in sorted(self._factors)
             ],
         }
 
@@ -230,7 +304,7 @@ class OnlineCalibrator:
                     raise ConfigurationError(
                         f"unknown calibration component '{component}'"
                     )
-                key = _Key(component, str(entry["app"]), str(entry["resource"]))
+                key = (component, str(entry["app"]), str(entry["resource"]))
                 calibrator._factors[key] = CorrectionFactor(
                     value=float(entry["value"]),
                     observations=int(entry["observations"]),

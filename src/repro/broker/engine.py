@@ -44,16 +44,35 @@ Every data structure iterates in a deterministic order, so replaying
 the same job stream (and the same fault schedule) yields a
 byte-identical :class:`BrokerReport`; a fault-free run serializes
 byte-identically to a broker without the fault model.
+
+The event loop runs in one of two engines.  ``engine="indexed"`` (the
+default) is sized for six-figure trace streams: a binary-heap wait
+queue, the incremental free-index ledger, read-cached calibration, a
+per-application placement-option cache invalidated on every calibration
+update, an admission fast path that only builds idle-grid options for
+policies that read them, and an O(1)-amortized blocked-head check — a
+queue head that found no feasible candidate is not re-evaluated until
+:attr:`~repro.broker.events.GridLedger.version` moves (feasibility
+depends only on free node counts, which every capacity change
+version-bumps).  ``engine="linear"`` is the retained pre-scale-up
+instruction path (sorted-list queues, uncached calibration, options
+rebuilt on every decision) — the baseline ``bench_throughput.py``
+measures against.  Both engines produce byte-identical reports on the
+same stream, with and without faults; the equivalence property suite
+holds them to it.
 """
 
 from __future__ import annotations
 
 import bisect
+import gc
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.broker.calibration import OnlineCalibrator
 from repro.broker.events import Event, EventKind, EventQueue, GridLedger
+from repro.broker.linear import LinearEventQueue, LinearSitePool
 from repro.broker.jobs import BrokerJob, BrokerWorkloadDoc, sorted_jobs
 from repro.broker.policies import (
     POLICY_NAMES,
@@ -273,10 +292,19 @@ class GridBroker:
         self._selections: Dict[str, SelectionOutcome] = {}
         self._infeasible: Dict[str, InfeasibleSelectionError] = {}
         self._exec_cache: Dict[tuple, ActualRun] = {}
+        #: Identity-keyed view of ``_exec_cache``: selection outcomes are
+        #: memoized for the broker's lifetime, so a candidate object is
+        #: stable and ``id(candidate)`` short-circuits the 6-tuple key
+        #: build on the placement hot path.
+        self._exec_by_cand: Dict[Tuple[int, str], ActualRun] = {}
         self._recover_cache: Dict[tuple, float] = {}
         self._path_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         #: Node ledger of the most recent :meth:`run`, for inspection.
         self.last_ledger: Optional[GridLedger] = None
+        #: Queue-pressure stats of the most recent :meth:`run` (engine,
+        #: total events, peak event-queue and wait-queue depths) — the
+        #: columns ``bench_throughput.py`` records.
+        self.last_queue_stats: Dict[str, Any] = {}
 
     @classmethod
     def from_document(cls, doc: BrokerWorkloadDoc, **kwargs) -> "GridBroker":
@@ -396,6 +424,10 @@ class GridBroker:
     # ------------------------------------------------------------------
 
     def _execute(self, job: BrokerJob, cand: SelectionCandidate) -> ActualRun:
+        fast_key = (id(cand), job.dataset_key)
+        cached = self._exec_by_cand.get(fast_key)
+        if cached is not None:
+            return cached
         storage = self.topology.site(cand.replica_site).cluster
         compute = self.topology.site(cand.compute_site).cluster
         key = (
@@ -426,6 +458,7 @@ class GridBroker:
                 num_passes=max(1, breakdown.num_passes),
             )
             self._exec_cache[key] = actual
+        self._exec_by_cand[fast_key] = actual
         return actual
 
     def _recover_charge(self, job: BrokerJob, cand: SelectionCandidate) -> float:
@@ -503,29 +536,48 @@ class GridBroker:
         faults: Optional[GridFaultSchedule] = None,
         recovery: str = "resubmit",
         retry: Optional[BrokerRetryPolicy] = None,
+        engine: str = "indexed",
     ) -> PolicyRun:
         """Broker one job stream under one policy.
 
         Returns the :class:`PolicyRun` with placements, rejections and
         the completion-ordered prediction-error series.  The per-node
         reservation windows of the run are kept on :attr:`last_ledger`
-        for inspection (the property tests check them for overlap).
+        for inspection (the property tests check them for overlap), and
+        queue-pressure stats on :attr:`last_queue_stats`.
 
         ``faults`` installs a grid fault schedule: the report then also
         carries the fault timeline, preemptions, terminal failures and
         resilience metrics, with preempted jobs routed through the named
         ``recovery`` policy under the bounded ``retry`` budget.  Without
         faults the report is byte-identical to a fault-free broker's.
+
+        ``engine`` selects the event-loop implementation: ``"indexed"``
+        (default; heap queues, incremental ledger, cached calibration)
+        or ``"linear"`` (the retained pre-scale-up reference path).
+        Both produce byte-identical reports (see the module docstring).
         """
         if not jobs:
             raise ConfigurationError("no jobs to broker")
+        if engine not in ("indexed", "linear"):
+            raise ConfigurationError(
+                f"unknown broker engine '{engine}'; known: indexed, linear"
+            )
+        indexed = engine == "indexed"
         stream = sorted_jobs(jobs)
         policy_impl = make_policy(
             policy, [s.name for s in self.topology.sites(SiteKind.COMPUTE)]
         )
         calibrator = OnlineCalibrator(alpha=self.alpha)
-        ledger = GridLedger.from_topology(self.topology)
-        queue = EventQueue()
+        queue: EventQueue | LinearEventQueue
+        if indexed:
+            ledger = GridLedger.from_topology(self.topology)
+            queue = EventQueue()
+        else:
+            ledger = GridLedger.from_topology(
+                self.topology, pool_cls=LinearSitePool
+            )
+            queue = LinearEventQueue()
         for job in stream:
             queue.push(Event(time=job.arrival, kind=EventKind.ARRIVAL,
                              payload=job))
@@ -563,6 +615,28 @@ class GridBroker:
         cancelled: Set[int] = set()
         attempt_seq = 0
         now = 0.0
+        peak_pending = 0
+        #: Per-workload calibration epochs: observe() only moves factors
+        #: of the completed job's application, so only that workload's
+        #: cached options go stale.
+        app_epoch: Dict[str, int] = {}
+        #: dataset_key -> (workload epoch at build, fault-free options).
+        #: Options are job-independent fault-free, so the list is shared
+        #: across jobs of the same (workload, size) until calibration
+        #: moves for that workload.
+        options_cache: Dict[str, Tuple[int, List[PlacementOption]]] = {}
+        #: (job_id, ledger version) of the last blocked queue head: the
+        #: head cannot become placeable until capacity moves, so the
+        #: placement loop skips it while the version stands still.
+        last_block: Optional[Tuple[str, int]] = None
+        #: dataset_key -> per-candidate capacity requirements, in
+        #: candidate order: ``(site, other_site, need, other_need)``
+        #: with same-site pairs folded to ``(site, None, sum, 0)``.
+        #: Candidates are memoized per dataset key, so this is computed
+        #: once and the feasibility scan touches only plain tuples.
+        feas_reqs: Dict[
+            str, List[Tuple[str, Optional[str], int, int]]
+        ] = {}
 
         def reject(job: BrokerJob, now: float, code: str, reason: str) -> None:
             rejections.append(
@@ -573,18 +647,36 @@ class GridBroker:
                     code=code,
                     reason=reason,
                     deadline=job.deadline,
+                    vo=job.vo,
+                    arrival_index=job.arrival_index,
                 )
             )
 
         def enqueue(job: BrokerJob) -> None:
+            nonlocal peak_pending
             entry = ((-job.priority, job.arrival, job.job_id), job)
-            bisect.insort(pending, entry)
+            if indexed:
+                heapq.heappush(pending, entry)
+            else:
+                bisect.insort(pending, entry)
+            if len(pending) > peak_pending:
+                peak_pending = len(pending)
 
         def job_options(
             job: BrokerJob, outcome: SelectionOutcome
         ) -> List[PlacementOption]:
             if state is None:
-                return self._options(job, outcome, calibrator)
+                if indexed:
+                    epoch = app_epoch.get(job.workload, 0)
+                    cached = options_cache.get(job.dataset_key)
+                    if cached is not None and cached[0] == epoch:
+                        return cached[1]
+                    opts = self._options(job, outcome, calibrator)
+                    options_cache[job.dataset_key] = (epoch, opts)
+                    return opts
+                return self._options(
+                    job, outcome, calibrator, use_reference=True
+                )
             done = state.progress.get(job.job_id, 0.0)
             return self._options(
                 job,
@@ -593,6 +685,7 @@ class GridBroker:
                 remaining=1.0 - done,
                 charge=state.charge_next.get(job.job_id, False) and done > 0,
                 wan=state.wan_active,
+                use_reference=not indexed,
             )
 
         def settle_preemption(run_state: _Running, cause: str, at: float) -> None:
@@ -658,113 +751,252 @@ class GridBroker:
                 Event(time=decision.at, kind=EventKind.REQUEUE, payload=job)
             )
 
-        while queue:
-            event = queue.pop()
-            now = event.time
-            if event.kind is EventKind.COMPLETION:
-                done: _Completion = event.payload
-                if done.attempt_id in cancelled:
-                    continue
-                running.pop(done.attempt_id, None)
-                ledger.pool(done.candidate.replica_site).release(
-                    done.data_node_ids
-                )
-                ledger.pool(done.candidate.compute_site).release(
-                    done.compute_node_ids
-                )
-                errors.append(
-                    (
-                        done.job.job_id,
-                        abs(done.actual.total - done.predicted_total)
-                        / done.actual.total,
+        # Six-figure streams allocate millions of short-lived objects
+        # that all survive (report rows, reservation windows); CPython's
+        # generational collector re-scans that growing live set on every
+        # gen-2 pass, which turns the loop superlinear.  The indexed
+        # engine pauses automatic collection for the loop's duration
+        # (nothing here creates reference cycles; collection resumes in
+        # the ``finally``).  The linear engine keeps the pre-scale-up
+        # behaviour — it is the measured baseline.
+        gc_was_enabled = indexed and gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while queue:
+                event = queue.pop()
+                now = event.time
+                if event.kind is EventKind.COMPLETION:
+                    done: _Completion = event.payload
+                    if done.attempt_id in cancelled:
+                        continue
+                    running.pop(done.attempt_id, None)
+                    ledger.pool(done.candidate.replica_site).release(
+                        done.data_node_ids
                     )
-                )
-                if calibrate and done.full_attempt:
-                    calibrator.observe(
-                        done.job.workload,
-                        done.candidate.replica_site,
-                        done.candidate.compute_site,
-                        done.raw,
-                        done.actual.components,
+                    ledger.pool(done.candidate.compute_site).release(
+                        done.compute_node_ids
                     )
-            elif event.kind is EventKind.ABORT:
-                assert state is not None
-                attempt_id = event.payload
-                run_state = running.get(attempt_id)
-                if run_state is not None and attempt_id not in cancelled:
-                    state.fault_events.append(
-                        GridFaultEvent(
-                            time=now,
-                            kind="transient-failure",
-                            target=run_state.job.job_id,
-                            detail=(
-                                f"attempt {run_state.attempt_number} aborted"
-                            ),
+                    errors.append(
+                        (
+                            done.job.job_id,
+                            abs(done.actual.total - done.predicted_total)
+                            / done.actual.total,
                         )
                     )
-                    settle_preemption(run_state, "transient-failure", now)
-            elif event.kind is EventKind.FAULT:
-                self._apply_fault(event.payload, now, ledger, state,
-                                  running, settle_preemption)
-            elif event.kind is EventKind.REPAIR:
-                self._apply_repair(event.payload, now, ledger, state)
-            elif event.kind is EventKind.REQUEUE:
-                assert state is not None
-                job = event.payload
-                if job.job_id not in state.terminal:
+                    if calibrate and done.full_attempt:
+                        calibrator.observe(
+                            done.job.workload,
+                            done.candidate.replica_site,
+                            done.candidate.compute_site,
+                            done.raw,
+                            done.actual.components,
+                        )
+                        app = done.job.workload
+                        app_epoch[app] = app_epoch.get(app, 0) + 1
+                elif event.kind is EventKind.ABORT:
+                    assert state is not None
+                    attempt_id = event.payload
+                    run_state = running.get(attempt_id)
+                    if run_state is not None and attempt_id not in cancelled:
+                        state.fault_events.append(
+                            GridFaultEvent(
+                                time=now,
+                                kind="transient-failure",
+                                target=run_state.job.job_id,
+                                detail=(
+                                    f"attempt {run_state.attempt_number} aborted"
+                                ),
+                            )
+                        )
+                        settle_preemption(run_state, "transient-failure", now)
+                elif event.kind is EventKind.FAULT:
+                    self._apply_fault(event.payload, now, ledger, state,
+                                      running, settle_preemption)
+                elif event.kind is EventKind.REPAIR:
+                    self._apply_repair(event.payload, now, ledger, state)
+                elif event.kind is EventKind.REQUEUE:
+                    assert state is not None
+                    job = event.payload
+                    if job.job_id not in state.terminal:
+                        enqueue(job)
+                else:
+                    job = event.payload
+                    try:
+                        outcome = self._selection(job)
+                    except InfeasibleSelectionError as exc:
+                        tagged = exc.tagged(job.arrival_index, job.vo)
+                        detail = "; ".join(
+                            r.label for r in tagged.rejections[:3]
+                        )
+                        reject(
+                            job,
+                            now,
+                            "no-feasible-configuration",
+                            detail or str(tagged),
+                        )
+                        continue
+                    # The indexed engine only pays for idle-grid options
+                    # when the policy's admission check will read them.
+                    if not indexed or policy_impl.wants_admission_options(job):
+                        options = job_options(job, outcome)
+                    else:
+                        options = []
+                    refusal = policy_impl.admit(job, options, now)
+                    if refusal is not None:
+                        reject(job, now, refusal.code, refusal.reason)
+                        continue
                     enqueue(job)
-            else:
-                job = event.payload
-                try:
-                    outcome = self._selection(job)
-                except InfeasibleSelectionError as exc:
-                    detail = "; ".join(r.label for r in exc.rejections[:3])
-                    reject(
-                        job,
-                        now,
-                        "no-feasible-configuration",
-                        detail or str(exc),
-                    )
-                    continue
-                options = job_options(job, outcome)
-                refusal = policy_impl.admit(job, options, now)
-                if refusal is not None:
-                    reject(job, now, refusal.code, refusal.reason)
-                    continue
-                enqueue(job)
 
-            # Placement: serve the queue head while it fits; no backfill.
-            while pending:
-                head = pending[0][1]
-                outcome = self._selection(head)
-                feasible = [
-                    option
-                    for option in job_options(head, outcome)
-                    if ledger.fits_now(
-                        option.replica_site,
-                        option.compute_site,
-                        option.data_nodes,
-                        option.compute_nodes,
+                # Placement: serve the queue head while it fits; no backfill.
+                while pending:
+                    head = pending[0][1]
+                    if indexed and last_block == (head.job_id, ledger.version):
+                        break
+                    outcome = self._selection(head)
+                    if indexed:
+                        # Feasibility first: one free-count read per
+                        # decision, then plain integer compares against
+                        # the precomputed per-candidate requirements
+                        # (the predicate fits_now evaluates, without
+                        # per-candidate method hops).  A blocked head is
+                        # detected before any option is priced.
+                        reqs = feas_reqs.get(head.dataset_key)
+                        if reqs is None:
+                            reqs = []
+                            for cand in outcome.candidates:
+                                if cand.replica_site == cand.compute_site:
+                                    reqs.append((
+                                        cand.replica_site,
+                                        None,
+                                        cand.data_nodes + cand.compute_nodes,
+                                        0,
+                                    ))
+                                else:
+                                    reqs.append((
+                                        cand.replica_site,
+                                        cand.compute_site,
+                                        cand.data_nodes,
+                                        cand.compute_nodes,
+                                    ))
+                            feas_reqs[head.dataset_key] = reqs
+                        free = ledger.free_counts()
+                        feasible_idx = [
+                            i
+                            for i, (s1, s2, n1, n2) in enumerate(reqs)
+                            if free[s1] >= n1
+                            and (s2 is None or free[s2] >= n2)
+                        ]
+                        if not feasible_idx:
+                            last_block = (head.job_id, ledger.version)
+                            break
+                        if state is None and policy_impl.scalar_choice:
+                            # Scalar fast path: score each feasible
+                            # candidate with one calibrated float
+                            # (bit-identical to the option's
+                            # predicted_total), let the policy pick the
+                            # winning index, and materialize a full
+                            # PlacementOption for the winner alone.
+                            # Round-robin never reads predictions, so
+                            # its decisions skip the correction calls
+                            # entirely.  Deliberately not cached: the
+                            # feasible subset is free-count-shaped, not
+                            # reusable, and at steady state a
+                            # same-workload completion lands between
+                            # almost every pair of same-workload
+                            # placements.
+                            cands = outcome.candidates
+                            feas_cands = [
+                                cands[i] for i in feasible_idx
+                            ]
+                            if policy_impl.needs_totals:
+                                app = head.workload
+                                totals = [
+                                    calibrator.correct_total(
+                                        app,
+                                        cand.replica_site,
+                                        cand.compute_site,
+                                        cand.prediction,
+                                    )
+                                    for cand in feas_cands
+                                ]
+                            else:
+                                totals = []
+                            choice = policy_impl.choose_index(
+                                head, feas_cands, totals, now
+                            )
+                            if isinstance(choice, Rejection):
+                                decision: PlacementOption | Rejection = (
+                                    choice
+                                )
+                            else:
+                                decision = self._options(
+                                    head,
+                                    outcome,
+                                    calibrator,
+                                    candidates=[feas_cands[choice]],
+                                )[0]
+                        elif state is None:
+                            # Fallback for policies without the scalar
+                            # protocol: price only the candidates that
+                            # fit right now — identical values to a
+                            # full build filtered afterwards, at a
+                            # fraction of the correction calls.
+                            cands = outcome.candidates
+                            feasible = self._options(
+                                head,
+                                outcome,
+                                calibrator,
+                                candidates=[
+                                    cands[i] for i in feasible_idx
+                                ],
+                            )
+                            decision = policy_impl.choose(
+                                head, feasible, now
+                            )
+                        else:
+                            opts = job_options(head, outcome)
+                            feasible = [opts[i] for i in feasible_idx]
+                            decision = policy_impl.choose(
+                                head, feasible, now
+                            )
+                    else:
+                        feasible = [
+                            option
+                            for option in job_options(head, outcome)
+                            if ledger.fits_now(
+                                option.replica_site,
+                                option.compute_site,
+                                option.data_nodes,
+                                option.compute_nodes,
+                            )
+                        ]
+                        if not feasible:
+                            last_block = (head.job_id, ledger.version)
+                            break
+                        decision = policy_impl.choose(head, feasible, now)
+                    if indexed:
+                        heapq.heappop(pending)
+                    else:
+                        pending.pop(0)
+                    if isinstance(decision, Rejection):
+                        reject(head, now, decision.code, decision.reason)
+                        continue
+                    attempt_seq += 1
+                    self._place(
+                        head, decision, now, ledger, queue, placed,
+                        attempt_seq, running, state,
                     )
-                ]
-                if not feasible:
-                    break
-                decision = policy_impl.choose(head, feasible, now)
-                pending.pop(0)
-                if isinstance(decision, Rejection):
-                    reject(head, now, decision.code, decision.reason)
-                    continue
-                attempt_seq += 1
-                self._place(
-                    head, decision, now, ledger, queue, placed,
-                    attempt_seq, running, state,
-                )
+
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         # Jobs still queued when the event stream dries up can never be
         # served (nothing is running, nothing will be repaired): settle
         # them terminally so every admitted job is accounted for.
         if state is not None:
-            for _, job in pending:
+            for _, job in sorted(pending):
                 attempts = state.failed_attempts.get(job.job_id, 0)
                 state.terminal.add(job.job_id)
                 state.failures.append(
@@ -783,6 +1015,12 @@ class GridBroker:
                 )
 
         self.last_ledger = ledger
+        self.last_queue_stats = {
+            "engine": engine,
+            "events": queue.total_pushed,
+            "peak_event_queue_depth": queue.peak_depth,
+            "peak_pending_depth": peak_pending,
+        }
         placements = tuple(
             placement
             for attempt_id, placement in placed
@@ -964,12 +1202,20 @@ class GridBroker:
         remaining: float = 1.0,
         charge: bool = False,
         wan: Optional[Sequence[WanDegradation]] = None,
+        use_reference: bool = False,
+        candidates: Optional[Sequence[SelectionCandidate]] = None,
     ) -> List[PlacementOption]:
+        correct = (
+            calibrator.reference_correct if use_reference
+            else calibrator.correct
+        )
+        if candidates is None:
+            candidates = outcome.candidates
         return [
             PlacementOption(
                 candidate=cand,
                 raw=cand.prediction,
-                calibrated=calibrator.correct(
+                calibrated=correct(
                     job.workload,
                     cand.replica_site,
                     cand.compute_site,
@@ -983,7 +1229,7 @@ class GridBroker:
                     cand.replica_site, cand.compute_site, wan
                 ),
             )
-            for cand in outcome.candidates
+            for cand in candidates
         ]
 
     def _place(
@@ -1108,6 +1354,7 @@ class GridBroker:
         faults: Optional[GridFaultSchedule] = None,
         recovery: str = "resubmit",
         retry: Optional[BrokerRetryPolicy] = None,
+        engine: str = "indexed",
     ) -> BrokerReport:
         """Run every policy over the same stream; one report.
 
@@ -1117,13 +1364,13 @@ class GridBroker:
         """
         runs = [
             self.run(jobs, policy, faults=faults, recovery=recovery,
-                     retry=retry)
+                     retry=retry, engine=engine)
             for policy in policies
         ]
         if include_uncalibrated and policies:
             runs.append(
                 self.run(jobs, policies[0], calibrate=False, faults=faults,
-                         recovery=recovery, retry=retry)
+                         recovery=recovery, retry=retry, engine=engine)
             )
         return BrokerReport(name=name, runs=tuple(runs))
 

@@ -22,6 +22,25 @@ that accounting exact and auditable:
   every such capacity loss is recorded as an :class:`OutageRecord` so
   the chaos invariants can check that no reservation window overlaps a
   declared outage.
+
+Both structures are sized for six-figure job streams:
+
+- The event queue is an *indexed heap*: entries are keyed by the
+  composite index ``(time, kind, insertion seq)``, so push and pop are
+  ``O(log n)`` while reproducing exactly the total order a linear
+  insertion sort would produce (the retained
+  :class:`~repro.broker.linear.LinearEventQueue` is that reference
+  implementation, and the equivalence suite holds them to the same
+  drain order).  The queue also tracks its peak depth — the
+  ``peak_event_queue_depth`` column of ``BENCH_throughput.json``.
+- Node acquisition and release are incremental: each pool keeps a
+  *free-index heap* plus a membership set, so acquiring the ``k``
+  lowest free indices is ``O(k log n)`` and releasing is ``O(log n)``
+  per node — no sorted-list rebuild per completion.  Every capacity
+  change (acquire, release, outage, shrink, repair, restore) bumps the
+  owning ledger's :attr:`GridLedger.version`, which is what lets the
+  broker's placement fast path skip re-evaluating a blocked queue head
+  until capacity has actually moved.
 """
 
 from __future__ import annotations
@@ -30,7 +49,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.topology import GridTopology
@@ -67,11 +86,20 @@ class Event:
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic tie-breaking."""
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    An indexed binary heap: each entry carries the composite index
+    ``(time, kind, insertion seq)``, so the drain order is total and
+    identical to sorted insertion while push/pop stay ``O(log n)``.
+    ``peak_depth``/``total_pushed`` expose the queue-pressure stats the
+    throughput benchmark records.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
+        self.peak_depth = 0
+        self.total_pushed = 0
 
     def push(self, event: Event) -> None:
         if event.time < 0:
@@ -80,11 +108,20 @@ class EventQueue:
             self._heap,
             (event.time, int(event.kind), next(self._seq), event),
         )
+        self.total_pushed += 1
+        if len(self._heap) > self.peak_depth:
+            self.peak_depth = len(self._heap)
 
     def pop(self) -> Event:
         if not self._heap:
             raise ConfigurationError("event queue is empty")
         return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Event:
+        """The event :meth:`pop` would return, without removing it."""
+        if not self._heap:
+            raise ConfigurationError("event queue is empty")
+        return self._heap[0][3]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -149,22 +186,42 @@ class SitePool:
     site down (``free_count`` reports zero until :meth:`repair`), and
     :meth:`shrink` removes specific high-indexed nodes until
     :meth:`restore`.  Both record :class:`OutageRecord` entries.
+
+    Free nodes live in a min-heap of indices plus a membership set, so
+    acquire/release are incremental (``O(log n)`` per node) instead of
+    rebuilding a sorted list per completion.  The heap may carry stale
+    entries (a node shrunk or re-pushed while an old entry survives);
+    :meth:`acquire` discards entries whose node is no longer in the
+    membership set, which keeps the pop order exactly "lowest free
+    index first".  Every capacity change reports to ``on_change`` — the
+    ledger's version clock.
     """
 
-    def __init__(self, name: str, num_nodes: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        num_nodes: int,
+        on_change: Optional[Callable[[], None]] = None,
+    ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"site '{name}' needs at least one node")
         self.name = name
         self.num_nodes = num_nodes
-        self._free = list(range(num_nodes))  # kept sorted
-        self._removed: set = set()  # shrunk out of service
+        self._free_heap = list(range(num_nodes))  # already a valid heap
+        self._free_set: Set[int] = set(self._free_heap)
+        self._removed: Set[int] = set()  # shrunk out of service
         self.down = False
         self.windows: List[NodeWindow] = []
         self.outages: List[OutageRecord] = []
+        self._on_change = on_change
+
+    def _changed(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
 
     @property
     def free_count(self) -> int:
-        return 0 if self.down else len(self._free)
+        return 0 if self.down else len(self._free_set)
 
     def acquire(
         self, count: int, job_id: str, start: float, end: float
@@ -178,13 +235,19 @@ class SitePool:
             raise ConfigurationError(
                 f"site '{self.name}' is down; cannot acquire nodes"
             )
-        if count > len(self._free):
+        if count > len(self._free_set):
             raise ConfigurationError(
-                f"site '{self.name}' has {len(self._free)} free node(s); "
+                f"site '{self.name}' has {len(self._free_set)} free node(s); "
                 f"cannot acquire {count}"
             )
-        taken = tuple(self._free[:count])
-        del self._free[:count]
+        heap = self._free_heap
+        free = self._free_set
+        taken: List[int] = []
+        while len(taken) < count:
+            node = heapq.heappop(heap)
+            if node in free:  # skip stale entries lazily
+                free.discard(node)
+                taken.append(node)
         for node in taken:
             self.windows.append(
                 NodeWindow(
@@ -195,7 +258,8 @@ class SitePool:
                     job_id=job_id,
                 )
             )
-        return taken
+        self._changed()
+        return tuple(taken)
 
     def release(self, nodes: Tuple[int, ...]) -> None:
         """Return previously acquired nodes to the free pool.
@@ -204,12 +268,15 @@ class SitePool:
         out of service instead of back to the free list.
         """
         for node in nodes:
-            if node in self._free or not 0 <= node < self.num_nodes:
+            if node in self._free_set or not 0 <= node < self.num_nodes:
                 raise ConfigurationError(
                     f"site '{self.name}': node {node} is not reserved"
                 )
-        returned = [n for n in nodes if n not in self._removed]
-        self._free = sorted(self._free + returned)
+        for node in nodes:
+            if node not in self._removed:
+                self._free_set.add(node)
+                heapq.heappush(self._free_heap, node)
+        self._changed()
 
     # ------------------------------------------------------------------
     # Grid-fault quiescing
@@ -245,6 +312,7 @@ class SitePool:
             return
         self.down = True
         self.outages.append(OutageRecord(site=self.name, start=at))
+        self._changed()
 
     def repair(self, at: float) -> None:
         """Bring a failed site back at ``at``."""
@@ -262,6 +330,7 @@ class SitePool:
                     site=self.name, start=record.start, end=at
                 )
                 break
+        self._changed()
 
     def shrink(self, count: int, at: float) -> Tuple[int, ...]:
         """Remove the ``count`` highest not-yet-removed nodes at ``at``.
@@ -280,12 +349,15 @@ class SitePool:
         if not victims:
             return ()
         self._removed.update(victims)
-        self._free = [n for n in self._free if n not in self._removed]
+        # Stale heap entries for shrunk free nodes are discarded lazily
+        # by acquire(); only the membership set must be exact.
+        self._free_set.difference_update(victims)
         self.outages.append(
             OutageRecord(
                 site=self.name, start=at, nodes=tuple(sorted(victims))
             )
         )
+        self._changed()
         return victims
 
     def restore(self, nodes: Tuple[int, ...], at: float) -> None:
@@ -298,7 +370,9 @@ class SitePool:
                 "shrunk; cannot restore them"
             )
         self._removed -= restored
-        self._free = sorted(self._free + list(restored))
+        for node in sorted(restored):
+            self._free_set.add(node)
+            heapq.heappush(self._free_heap, node)
         for index, record in enumerate(self.outages):
             if record.end is None and record.nodes is not None and set(
                 record.nodes
@@ -310,21 +384,51 @@ class SitePool:
                     nodes=record.nodes,
                 )
                 break
+        self._changed()
 
 
 class GridLedger:
-    """All :class:`SitePool` instances of one broker run."""
+    """All :class:`SitePool` instances of one broker run.
 
-    def __init__(self, capacities: Dict[str, int]) -> None:
-        self._pools = {
-            name: SitePool(name, nodes)
-            for name, nodes in sorted(capacities.items())
-        }
+    :attr:`version` is a monotonically increasing change clock: it ticks
+    on every capacity movement in any pool (acquire, release, outage,
+    repair, shrink, restore).  A placement decision that found no
+    feasible candidate at version ``v`` is guaranteed to find none until
+    the version moves, which is what makes the broker's blocked-head
+    check O(1) amortized.
+
+    ``pool_cls`` selects the pool implementation — the default
+    incremental :class:`SitePool`, or
+    :class:`~repro.broker.linear.LinearSitePool` when the retained
+    pre-scale-up path is wanted as a baseline or equivalence oracle.
+    """
+
+    def __init__(
+        self, capacities: Dict[str, int], *, pool_cls: type = SitePool
+    ) -> None:
+        self.version = 0
+        self._free_map: Dict[str, int] = {}
+        self._pools: Dict[str, SitePool] = {}
+        for name, nodes in sorted(capacities.items()):
+            pool = pool_cls(name, nodes)
+            pool._on_change = self._make_tick(pool)
+            self._pools[name] = pool
+            self._free_map[name] = pool.free_count
+
+    def _make_tick(self, pool: SitePool) -> Callable[[], None]:
+        def tick() -> None:
+            self.version += 1
+            self._free_map[pool.name] = pool.free_count
+
+        return tick
 
     @classmethod
-    def from_topology(cls, topology: GridTopology) -> "GridLedger":
+    def from_topology(
+        cls, topology: GridTopology, *, pool_cls: type = SitePool
+    ) -> "GridLedger":
         return cls(
-            {site.name: site.cluster.num_nodes for site in topology.sites()}
+            {site.name: site.cluster.num_nodes for site in topology.sites()},
+            pool_cls=pool_cls,
         )
 
     def pool(self, site: str) -> SitePool:
@@ -351,6 +455,17 @@ class GridLedger:
             self.free(replica_site) >= data_nodes
             and self.free(compute_site) >= compute_nodes
         )
+
+    def free_counts(self) -> Dict[str, int]:
+        """Every pool's current free count, keyed by site name.
+
+        A *live view* maintained incrementally by the pools' change
+        hooks — callers must treat it as read-only.  The broker's
+        placement fast path reads it once per decision and compares
+        plain integers, instead of paying two method hops per candidate
+        through :meth:`fits_now`.
+        """
+        return self._free_map
 
     def all_windows(self) -> List[NodeWindow]:
         """Every reservation made so far, in acquisition order per site."""

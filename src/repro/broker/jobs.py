@@ -54,6 +54,13 @@ class BrokerJob:
     workload's default size).  ``deadline`` is an absolute simulated
     time; ``priority`` orders the wait queue (higher first, FIFO within
     a priority level).
+
+    ``vo`` tags the submitting virtual organisation (trace workloads
+    carry real per-VO mixes; ``None`` = untagged) and ``arrival_index``
+    is the job's zero-based position in arrival order within its trace
+    (``None`` for hand-written workloads).  Both ride along so
+    six-figure-run reports can aggregate — e.g. rejections per VO —
+    without a join back to the trace artifact.
     """
 
     job_id: str
@@ -62,6 +69,8 @@ class BrokerJob:
     arrival: float = 0.0
     deadline: Optional[float] = None
     priority: int = 0
+    vo: Optional[str] = None
+    arrival_index: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -182,6 +191,14 @@ def parse_workload_document(doc: Mapping[str, Any]) -> BrokerWorkloadDoc:
                 else None
             ),
             priority=int(entry.get("priority", 0)),
+            vo=(
+                str(entry["vo"]) if entry.get("vo") is not None else None
+            ),
+            arrival_index=(
+                int(entry["arrival_index"])
+                if entry.get("arrival_index") is not None
+                else None
+            ),
         )
         for entry in doc.get("jobs", [])
     )

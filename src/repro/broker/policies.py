@@ -22,6 +22,7 @@ makes cheap to evaluate.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -79,14 +80,15 @@ class PlacementOption:
     def compute_nodes(self) -> int:
         return self.candidate.compute_nodes
 
-    @property
+    @functools.cached_property
     def predicted_total(self) -> float:
         """Calibrated predicted execution time of this attempt.
 
         For a resumed job only the remaining fraction of the work is
         predicted, plus the recovery charge; an active WAN degradation
         stretches the network component.  Fault-free this is exactly
-        ``calibrated.total``.
+        ``calibrated.total``.  Cached: options are immutable and the
+        policies read this several times per decision.
         """
         # remaining_fraction <= 1, resume_charge >= 0 and wan_factor >= 1
         # by construction, so these inequalities test for the exact
@@ -109,13 +111,8 @@ class PlacementOption:
 
     @property
     def sort_label(self) -> tuple:
-        """Deterministic final tie-break."""
-        return (
-            self.replica_site,
-            self.compute_site,
-            self.data_nodes,
-            self.compute_nodes,
-        )
+        """Deterministic final tie-break (cached on the candidate)."""
+        return self.candidate.sort_key
 
 
 @dataclass(frozen=True)
@@ -131,6 +128,31 @@ class PlacementPolicy(abc.ABC):
 
     #: CLI/report name.
     name: str = "policy"
+
+    #: Whether :meth:`choose_index` implements this policy's decision.
+    #: When true, the indexed engine's fault-free dispatch skips building
+    #: :class:`PlacementOption` objects per candidate and scores the
+    #: selection candidates with one calibrated scalar each (the fast
+    #: path); only the winner is materialized.  Policies that leave this
+    #: false fall back to :meth:`choose` over full option lists.
+    scalar_choice: bool = False
+
+    #: Whether the fast path must supply calibrated totals.  A policy
+    #: that never reads predictions (round-robin) sets this to ``False``
+    #: and the engine skips the correction calls entirely.
+    needs_totals: bool = True
+
+    def wants_admission_options(self, job: BrokerJob) -> bool:
+        """Whether :meth:`admit` will actually read ``options`` for ``job``.
+
+        Building the full-capacity option list costs one prediction per
+        candidate, so at six-figure job counts the broker skips it for
+        policies that admit unconditionally.  The default matches the
+        default :meth:`admit` (which ignores its options); a policy that
+        overrides :meth:`admit` to inspect options must override this
+        too, or it will be handed an empty list.
+        """
+        return False
 
     def admit(
         self,
@@ -155,26 +177,68 @@ class PlacementPolicy(abc.ABC):
     ) -> PlacementOption | Rejection:
         """Pick among currently feasible options (never empty)."""
 
+    def choose_index(
+        self,
+        job: BrokerJob,
+        candidates: Sequence[SelectionCandidate],
+        totals: Sequence[float],
+        now: float,
+    ) -> int | Rejection:
+        """Scalar twin of :meth:`choose` for the indexed engine.
+
+        ``candidates`` are the currently feasible selection candidates
+        (never empty, in enumeration order) and ``totals[i]`` is the
+        calibrated predicted total of ``candidates[i]`` — bit-identical
+        to ``PlacementOption.predicted_total`` of the corresponding
+        fault-free option (empty when :attr:`needs_totals` is false).
+        Returns the winning index, or the same :class:`Rejection` that
+        :meth:`choose` would return.  Only consulted when
+        :attr:`scalar_choice` is true.
+        """
+        raise ConfigurationError(
+            f"policy '{self.name}' does not implement the scalar fast path"
+        )
+
 
 class MinCompletionPolicy(PlacementPolicy):
     """Earliest predicted completion (= min calibrated T̂_exec now)."""
 
     name = "min-completion"
+    scalar_choice = True
 
     def choose(self, job, options, now):
         return min(options, key=lambda o: (o.predicted_total, o.sort_label))
+
+    def choose_index(self, job, candidates, totals, now):
+        return min(
+            range(len(candidates)),
+            key=lambda i: (totals[i], candidates[i].sort_key),
+        )
 
 
 class MinCostPolicy(PlacementPolicy):
     """Fewest predicted node-hours; completion time breaks ties."""
 
     name = "min-cost"
+    scalar_choice = True
 
     def choose(self, job, options, now):
         return min(
             options,
             key=lambda o: (o.node_hours, o.predicted_total, o.sort_label),
         )
+
+    def choose_index(self, job, candidates, totals, now):
+        def key(i: int) -> tuple:
+            cand = candidates[i]
+            # Same arithmetic as PlacementOption.node_hours.
+            return (
+                (cand.data_nodes + cand.compute_nodes) * totals[i],
+                totals[i],
+                cand.sort_key,
+            )
+
+        return min(range(len(candidates)), key=key)
 
 
 class DeadlineAwarePolicy(PlacementPolicy):
@@ -184,6 +248,10 @@ class DeadlineAwarePolicy(PlacementPolicy):
     """
 
     name = "deadline-aware"
+    scalar_choice = True
+
+    def wants_admission_options(self, job):
+        return job.deadline is not None
 
     def admit(self, job, options, now):
         if job.deadline is None:
@@ -222,6 +290,37 @@ class DeadlineAwarePolicy(PlacementPolicy):
             key=lambda o: (o.node_hours, o.predicted_total, o.sort_label),
         )
 
+    def choose_index(self, job, candidates, totals, now):
+        def cost_key(i: int) -> tuple:
+            cand = candidates[i]
+            return (
+                (cand.data_nodes + cand.compute_nodes) * totals[i],
+                totals[i],
+                cand.sort_key,
+            )
+
+        if job.deadline is None:
+            return min(
+                range(len(candidates)),
+                key=lambda i: (totals[i], candidates[i].sort_key),
+            )
+        meeting = [
+            i
+            for i in range(len(candidates))
+            if now + totals[i] <= job.deadline
+        ]
+        if not meeting:
+            best = min(now + t for t in totals)
+            return Rejection(
+                code="deadline-miss-predicted",
+                reason=(
+                    f"after waiting until t={now:.4f}s the best predicted "
+                    f"completion {best:.4f}s exceeds deadline "
+                    f"{job.deadline:.4f}s"
+                ),
+            )
+        return min(meeting, key=cost_key)
+
 
 class RoundRobinPolicy(PlacementPolicy):
     """Prediction-free baseline: rotate compute sites, fixed allocation.
@@ -234,6 +333,8 @@ class RoundRobinPolicy(PlacementPolicy):
     """
 
     name = "round-robin"
+    scalar_choice = True
+    needs_totals = False
 
     def __init__(self, compute_sites: Sequence[str]) -> None:
         if not compute_sites:
@@ -258,6 +359,28 @@ class RoundRobinPolicy(PlacementPolicy):
                 )
         # Options always name known compute sites, so this is unreachable
         # unless the policy was built for a different topology.
+        raise ConfigurationError(
+            "round-robin saw options for sites outside its rotation"
+        )
+
+    def choose_index(self, job, candidates, totals, now):
+        for offset in range(len(self._sites)):
+            site = self._sites[(self._next + offset) % len(self._sites)]
+            here = [
+                i
+                for i, cand in enumerate(candidates)
+                if cand.compute_site == site
+            ]
+            if here:
+                self._next = (self._next + offset + 1) % len(self._sites)
+                return min(
+                    here,
+                    key=lambda i: (
+                        candidates[i].data_nodes
+                        + candidates[i].compute_nodes,
+                        candidates[i].sort_key,
+                    ),
+                )
         raise ConfigurationError(
             "round-robin saw options for sites outside its rotation"
         )

@@ -97,7 +97,12 @@ class BrokerPlacement:
 
 @dataclass(frozen=True)
 class BrokerRejection:
-    """One job the broker refused, with a machine-usable code."""
+    """One job the broker refused, with a machine-usable code.
+
+    ``vo``/``arrival_index`` carry the refused job's trace identity when
+    the workload provides one (``None`` for hand-written workloads, and
+    omitted from serialization so pre-trace reports stay byte-identical).
+    """
 
     job_id: str
     workload: str
@@ -105,6 +110,8 @@ class BrokerRejection:
     code: str
     reason: str
     deadline: Optional[float] = None
+    vo: Optional[str] = None
+    arrival_index: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -259,6 +266,19 @@ class PolicyRun:
         return useful / spent
 
     @property
+    def rejections_by_vo(self) -> Dict[str, int]:
+        """Rejection counts per VO tag, sorted by key.
+
+        Only VO-tagged rejections are counted — on six-figure trace runs
+        this is the aggregate reports read instead of the per-job list.
+        """
+        counts: Dict[str, int] = {}
+        for r in self.rejections:
+            if r.vo is not None:
+                counts[r.vo] = counts.get(r.vo, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
     def preemptions_by_cause(self) -> Dict[str, int]:
         """Preemption counts keyed by fault kind, sorted by key."""
         counts: Dict[str, int] = {}
@@ -331,6 +351,24 @@ def load_report(path: str | pathlib.Path) -> BrokerReport:
 # ----------------------------------------------------------------------
 
 
+def _rejection_to_dict(r: BrokerRejection) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "job_id": r.job_id,
+        "workload": r.workload,
+        "time": r.time,
+        "code": r.code,
+        "reason": r.reason,
+        "deadline": r.deadline,
+    }
+    # Pre-trace reports stay byte-identical: emit the trace identity
+    # only when the workload actually carries one.
+    if r.vo is not None:
+        entry["vo"] = r.vo
+    if r.arrival_index is not None:
+        entry["arrival_index"] = r.arrival_index
+    return entry
+
+
 def _placement_to_dict(p: BrokerPlacement) -> Dict[str, Any]:
     entry: Dict[str, Any] = {
         "job_id": p.job_id,
@@ -363,17 +401,7 @@ def _run_to_dict(run: PolicyRun) -> Dict[str, Any]:
         "policy": run.policy,
         "calibrated": run.calibrated,
         "placements": [_placement_to_dict(p) for p in run.placements],
-        "rejections": [
-            {
-                "job_id": r.job_id,
-                "workload": r.workload,
-                "time": r.time,
-                "code": r.code,
-                "reason": r.reason,
-                "deadline": r.deadline,
-            }
-            for r in run.rejections
-        ],
+        "rejections": [_rejection_to_dict(r) for r in run.rejections],
         "error_series": [[job_id, err] for job_id, err in run.error_series],
         "calibration_factors": run.calibration_factors,
         "metrics": {
@@ -386,6 +414,9 @@ def _run_to_dict(run: PolicyRun) -> Dict[str, Any]:
             "mean_error": run.mean_error(),
         },
     }
+    by_vo = run.rejections_by_vo
+    if by_vo:
+        doc["metrics"]["rejections_by_vo"] = by_vo
     if run.faulted:
         doc["recovery"] = run.recovery
         doc["fault_events"] = [
@@ -470,6 +501,12 @@ def _run_from_dict(doc: Dict[str, Any]) -> PolicyRun:
             reason=str(r["reason"]),
             deadline=(
                 float(r["deadline"]) if r.get("deadline") is not None else None
+            ),
+            vo=(str(r["vo"]) if r.get("vo") is not None else None),
+            arrival_index=(
+                int(r["arrival_index"])
+                if r.get("arrival_index") is not None
+                else None
             ),
         )
         for r in doc["rejections"]

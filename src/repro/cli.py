@@ -21,6 +21,10 @@ Subcommands
 - ``repro serve`` — prediction-as-a-service: a seeded simulated smoke
   run by default, the service chaos campaign with ``--chaos``, or a
   real stdlib HTTP server with ``--port`` (see DESIGN.md §15).
+- ``repro trace generate|load|run`` — trace-realistic workloads: expand
+  a named preset into a fingerprinted trace artifact, import a Grid
+  Workload Archive ``.gwf`` file, or broker a saved trace over the
+  reference grid (see DESIGN.md §16).
 
 All times are in the simulator's model units (see DESIGN.md).
 """
@@ -330,6 +334,7 @@ def _cmd_broker(args) -> int:
         faults=faults,
         recovery=recovery,
         retry=retry,
+        engine=args.engine,
     )
     print(format_broker(report, schedule=args.schedule))
     if args.report:
@@ -403,6 +408,81 @@ def _cmd_serve(args) -> int:
         f"(seed {args.seed}, {args.rate:g} req/s offered)"
     )
     print(format_service_metrics(service.metrics()))
+    return 0
+
+
+def _load_trace(path: str):
+    """A trace from an artifact JSON or (by extension) a ``.gwf`` file."""
+    from repro.workloads.traces import TraceWorkload, parse_gwf
+
+    if path.endswith(".gwf"):
+        return parse_gwf(path)
+    return TraceWorkload.load(path)
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis import format_trace
+    from repro.workloads.traces import (
+        REFERENCE_ALLOCATIONS,
+        TraceWorkload,
+        make_preset,
+        reference_grid,
+    )
+
+    if args.trace_command == "generate":
+        from repro.broker import GridBroker
+
+        spec = make_preset(args.preset, args.count, seed=args.seed)
+        # Deadlines are slack multiples of the best predicted execution
+        # time on the reference grid — the grid `repro trace run` uses.
+        broker = GridBroker(reference_grid(), REFERENCE_ALLOCATIONS)
+        trace = TraceWorkload.from_spec(
+            spec, baselines=broker.baseline_estimate
+        )
+        print(format_trace(trace))
+        out = args.output or f"{args.preset}-{args.count}.trace.json"
+        path = trace.save(out)
+        print(f"\ntrace artifact written to {path}")
+        return 0
+
+    if args.trace_command == "load":
+        trace = _load_trace(args.source)
+        print(format_trace(trace))
+        if args.output:
+            path = trace.save(args.output)
+            print(f"\ntrace artifact written to {path}")
+        return 0
+
+    # "run" — broker the trace over the reference grid.
+    from repro.analysis import format_broker
+    from repro.broker import GridBroker
+
+    trace = _load_trace(args.trace)
+    broker = GridBroker(
+        reference_grid(), REFERENCE_ALLOCATIONS, alpha=args.alpha
+    )
+    policies = args.policy or ["min-completion"]
+    report = broker.compare(
+        trace.name,
+        list(trace.jobs),
+        policies,
+        include_uncalibrated=args.calibration_baseline,
+        engine=args.engine,
+    )
+    print(format_trace(trace))
+    print()
+    print(format_broker(report, schedule=args.schedule))
+    stats = broker.last_queue_stats
+    if stats:
+        print(
+            f"\nqueue pressure ({stats.get('engine', '?')} engine): "
+            f"{stats.get('events', 0)} events, peak event queue "
+            f"{stats.get('peak_event_queue_depth', 0)}, peak wait queue "
+            f"{stats.get('peak_pending_depth', 0)}"
+        )
+    if args.report:
+        path = report.save(args.report)
+        print(f"\nreport written to {path}")
     return 0
 
 
@@ -595,7 +675,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the broker retry budget (attempts per job before "
         "a terminal failure)",
     )
+    broker_p.add_argument(
+        "--engine", choices=["indexed", "linear"], default="indexed",
+        help="event-loop engine: 'indexed' (heap queue + incremental "
+        "ledger, the default) or 'linear' (the pre-scale-up reference "
+        "path; byte-identical reports, slower)",
+    )
     broker_p.set_defaults(func=_cmd_broker)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace-realistic workloads: generate presets, import GWF "
+        "files, broker saved traces (see DESIGN.md §16)",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    from repro.workloads.traces.presets import TRACE_PRESETS
+
+    gen_p = trace_sub.add_parser(
+        "generate", help="expand a named preset into a trace artifact"
+    )
+    gen_p.add_argument("preset", choices=sorted(TRACE_PRESETS))
+    gen_p.add_argument(
+        "--count", type=int, default=10000,
+        help="total jobs across all VOs (default 10000)",
+    )
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="artifact path (default: PRESET-COUNT.trace.json)",
+    )
+    gen_p.set_defaults(func=_cmd_trace)
+
+    load_p = trace_sub.add_parser(
+        "load",
+        help="summarize a trace artifact or import a GWA .gwf file",
+    )
+    load_p.add_argument(
+        "source", help="a .trace.json artifact or a .gwf trace file"
+    )
+    load_p.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="also save the (re-fingerprinted) artifact JSON",
+    )
+    load_p.set_defaults(func=_cmd_trace)
+
+    trun_p = trace_sub.add_parser(
+        "run", help="broker a saved trace over the reference grid"
+    )
+    trun_p.add_argument(
+        "trace", help="a .trace.json artifact or a .gwf trace file"
+    )
+    trun_p.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="placement policy (repeatable; default: min-completion)",
+    )
+    trun_p.add_argument(
+        "--engine", choices=["indexed", "linear"], default="indexed",
+        help="event-loop engine (default: indexed)",
+    )
+    trun_p.add_argument("--alpha", type=float, default=0.3)
+    trun_p.add_argument(
+        "--calibration-baseline", action="store_true",
+        help="also run the calibration-off control",
+    )
+    trun_p.add_argument("--schedule", action="store_true")
+    trun_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="save the full report as canonical JSON",
+    )
+    trun_p.set_defaults(func=_cmd_trace)
 
     from repro.lint.cli import add_lint_arguments
 

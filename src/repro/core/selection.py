@@ -22,6 +22,7 @@ the broker's admission control turns these into its rejection messages.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -53,6 +54,12 @@ class RejectedCandidate:
     - ``"unreachable"``           — no topology path replica -> compute site;
     - ``"infeasible-allocation"`` — the allocation violates a resource
       constraint (cluster too small, ``c < n``, ...).
+
+    ``arrival_index`` and ``vo`` identify the *job* whose selection was
+    pruned (``None`` when the rejection is not job-scoped, e.g. a bare
+    selector query).  The broker stamps them via
+    :meth:`InfeasibleSelectionError.tagged` so six-figure-run reports
+    can aggregate rejections per VO instead of per job.
     """
 
     replica_site: str
@@ -61,6 +68,23 @@ class RejectedCandidate:
     compute_nodes: Optional[int]
     code: str
     reason: str
+    arrival_index: Optional[int] = None
+    vo: Optional[str] = None
+
+    def with_job_tag(
+        self, arrival_index: Optional[int], vo: Optional[str]
+    ) -> "RejectedCandidate":
+        """A copy carrying the rejected job's identity."""
+        return RejectedCandidate(
+            replica_site=self.replica_site,
+            compute_site=self.compute_site,
+            data_nodes=self.data_nodes,
+            compute_nodes=self.compute_nodes,
+            code=self.code,
+            reason=self.reason,
+            arrival_index=arrival_index,
+            vo=vo,
+        )
 
     @property
     def label(self) -> str:
@@ -87,6 +111,20 @@ class InfeasibleSelectionError(ConfigurationError):
         super().__init__(message)
         self.rejections: Tuple[RejectedCandidate, ...] = tuple(rejections)
 
+    def tagged(
+        self, arrival_index: Optional[int], vo: Optional[str]
+    ) -> "InfeasibleSelectionError":
+        """The same error with every rejection stamped with a job identity.
+
+        The selector itself is job-agnostic; the broker calls this at
+        admission time so the rejections surfacing in its report carry
+        the arrival index and VO tag of the refused job.
+        """
+        return InfeasibleSelectionError(
+            str(self),
+            [r.with_job_tag(arrival_index, vo) for r in self.rejections],
+        )
+
 
 @dataclass(frozen=True)
 class SelectionCandidate:
@@ -103,6 +141,21 @@ class SelectionCandidate:
     def predicted_total(self) -> float:
         """Predicted execution time (the selection cost)."""
         return self.prediction.total
+
+    @functools.cached_property
+    def sort_key(self) -> Tuple[str, str, int, int]:
+        """Deterministic tie-break tuple, computed once per candidate.
+
+        Candidates are immutable and memoized for a broker's lifetime,
+        so policies re-reading the tie-break on every decision hit the
+        cached tuple instead of rebuilding it.
+        """
+        return (
+            self.replica_site,
+            self.compute_site,
+            self.data_nodes,
+            self.compute_nodes,
+        )
 
     @property
     def label(self) -> str:

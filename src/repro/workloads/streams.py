@@ -8,6 +8,15 @@ expands it into concrete :class:`~repro.broker.jobs.BrokerJob` objects
 using a seeded NumPy generator, so the same spec always yields the same
 stream — the foundation of the broker's bit-identical replay guarantee.
 
+Since the trace layer landed (DESIGN.md §16) this module is a thin
+front-end over :mod:`repro.workloads.traces`: the exponential gap draw
+is ``DistributionSpec.exponential(mean)`` — Poisson is just one
+distribution choice in that family — and the per-job field loop is the
+shared :func:`repro.workloads.traces.generate.realize_jobs`.  Both
+issue exactly the NumPy calls the pre-trace generator made, so every
+historical seeded stream replays byte-identically (the golden under
+``tests/workloads/goldens/stream_golden.json`` pins this).
+
 Draw order is fixed (all inter-arrival gaps first, then per job: mix
 index, priority index, deadline coin, slack): changing it would silently
 change every seeded experiment, so treat it as part of the format.
@@ -163,44 +172,27 @@ def generate_stream(spec: StreamSpec, baselines: Baselines = None) -> List:
     Returns :class:`~repro.broker.jobs.BrokerJob` objects sorted by
     arrival.  ``baselines`` is only consulted when the spec draws
     deadlines.
+
+    This is the single-VO exponential special case of the trace layer:
+    the gap draw and the per-job loop below issue byte-for-byte the
+    same generator calls as the pre-trace implementation.
     """
-    # Imported here: repro.broker.jobs <- repro.workloads would cycle at
-    # module scope (broker jobs build topologies from workload clusters).
-    from repro.broker.jobs import BrokerJob
+    # Imported here: the trace layer imports this module for
+    # ``_baseline_for``; a module-scope import back would cycle.
+    from repro.workloads.traces.distributions import DistributionSpec
+    from repro.workloads.traces.generate import realize_jobs
 
     rng = np.random.default_rng(spec.seed)
-    gaps = rng.exponential(spec.mean_interarrival, spec.count)
-    arrivals = np.cumsum(gaps)
-
-    mix_weights = np.array([w for _, _, w in spec.mix], dtype=float)
-    mix_weights /= mix_weights.sum()
-    if spec.priority_weights:
-        prio_weights = np.array(spec.priority_weights, dtype=float)
-        prio_weights /= prio_weights.sum()
-    else:
-        prio_weights = None
-
-    jobs: List[BrokerJob] = []
-    for i in range(spec.count):
-        mix_index = int(rng.choice(len(spec.mix), p=mix_weights))
-        workload, size, _ = spec.mix[mix_index]
-        prio_index = int(rng.choice(len(spec.priorities), p=prio_weights))
-        priority = spec.priorities[prio_index]
-        arrival = float(arrivals[i])
-        deadline = None
-        if rng.random() < spec.deadline_fraction:
-            slack = float(rng.uniform(*spec.deadline_slack))
-            deadline = arrival + slack * _baseline_for(
-                baselines, workload, size
-            )
-        jobs.append(
-            BrokerJob(
-                job_id=f"job{i:04d}-{workload}",
-                workload=workload,
-                size=size,
-                arrival=arrival,
-                deadline=deadline,
-                priority=priority,
-            )
-        )
-    return jobs
+    interarrival = DistributionSpec.exponential(spec.mean_interarrival)
+    arrivals = np.cumsum(interarrival.sample(rng, spec.count))
+    return realize_jobs(
+        rng,
+        arrivals,
+        mix=spec.mix,
+        priorities=spec.priorities,
+        priority_weights=spec.priority_weights,
+        deadline_fraction=spec.deadline_fraction,
+        deadline_slack=spec.deadline_slack,
+        baselines=baselines,
+        job_id_for=lambda i, workload: f"job{i:04d}-{workload}",
+    )

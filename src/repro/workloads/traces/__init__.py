@@ -1,0 +1,72 @@
+"""Trace-realistic workloads: seeded generators, GWF traces, artifacts.
+
+The trace layer generalizes the Poisson job streams of
+:mod:`repro.workloads.streams` to the shapes real grid traces exhibit
+(see DESIGN.md §16):
+
+- :mod:`~repro.workloads.traces.distributions` — the parametric family
+  (exponential, Weibull, lognormal, gamma, Pareto, uniform, constant)
+  every arrival process draws from;
+- :mod:`~repro.workloads.traces.spec` — per-VO submission mixes
+  (:class:`VoSpec`) under day/week modulation (:class:`DiurnalSpec`),
+  composed into a seeded :class:`TraceSpec`;
+- :mod:`~repro.workloads.traces.generate` — deterministic expansion
+  into broker jobs (child seeds per VO, largest-remainder counts,
+  merged arrival order);
+- :mod:`~repro.workloads.traces.artifact` — the durable, fingerprinted
+  :class:`TraceWorkload` JSON artifact;
+- :mod:`~repro.workloads.traces.gwf` — the Grid Workload Archive
+  ``.gwf`` parser/serializer mapped onto the repro vocabulary;
+- :mod:`~repro.workloads.traces.presets` — named GWA-shaped recipes
+  (``poisson``, ``gwa-mixed``, ``heavy-tail``);
+- :mod:`~repro.workloads.traces.grids` — the reference multi-site grid
+  shared by ``repro trace run`` and the throughput benchmark.
+"""
+
+from repro.workloads.traces.artifact import TRACE_FORMAT_VERSION, TraceWorkload
+from repro.workloads.traces.distributions import (
+    DISTRIBUTION_KINDS,
+    DistributionSpec,
+)
+from repro.workloads.traces.generate import (
+    generate_trace,
+    modulated_arrivals,
+    realize_jobs,
+    split_counts,
+)
+from repro.workloads.traces.grids import (
+    REFERENCE_ALLOCATIONS,
+    reference_grid,
+)
+from repro.workloads.traces.gwf import (
+    DEFAULT_GWF_MAPPING,
+    GWF_COLUMNS,
+    GwfMapping,
+    parse_gwf,
+    trace_to_gwf,
+)
+from repro.workloads.traces.presets import TRACE_PRESETS, make_preset
+from repro.workloads.traces.spec import DiurnalSpec, TraceSpec, VoSpec
+
+__all__ = [
+    "DISTRIBUTION_KINDS",
+    "DistributionSpec",
+    "DiurnalSpec",
+    "VoSpec",
+    "TraceSpec",
+    "split_counts",
+    "modulated_arrivals",
+    "realize_jobs",
+    "generate_trace",
+    "TraceWorkload",
+    "TRACE_FORMAT_VERSION",
+    "GWF_COLUMNS",
+    "GwfMapping",
+    "DEFAULT_GWF_MAPPING",
+    "parse_gwf",
+    "trace_to_gwf",
+    "TRACE_PRESETS",
+    "make_preset",
+    "REFERENCE_ALLOCATIONS",
+    "reference_grid",
+]

@@ -1,0 +1,244 @@
+"""The durable ``TraceWorkload`` artifact: jobs + provenance + identity.
+
+A trace workload is a *value*: a named, ordered job list plus the spec
+(or source description) that produced it.  Its canonical JSON document
+carries a SHA-256 ``fingerprint`` over everything else in the document,
+so
+
+- two generators agree on a trace iff the fingerprints match (the
+  replay identity the property tests assert), and
+- a trace file edited by hand or truncated on disk is rejected at load
+  time as corrupt rather than silently driving a different experiment.
+
+Artifacts are written with the repo's durable store (atomic replace,
+canonical JSON) and versioned with the usual ``format_version`` gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.durable import (
+    CorruptStoreError,
+    atomic_write_json,
+    check_format_version,
+    content_digest,
+    read_json_document,
+)
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.traces.generate import generate_trace
+from repro.workloads.traces.spec import TraceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.broker.jobs import BrokerJob
+
+__all__ = ["TraceWorkload", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _job_to_dict(job: "BrokerJob") -> Dict[str, Any]:
+    return {
+        "id": job.job_id,
+        "workload": job.workload,
+        "size": job.size,
+        "arrival": job.arrival,
+        "deadline": job.deadline,
+        "priority": job.priority,
+        "vo": job.vo,
+    }
+
+
+def _job_from_dict(doc: Mapping[str, Any], index: int) -> "BrokerJob":
+    # Imported here: repro.broker <- repro.workloads would cycle at
+    # module scope (broker jobs build topologies from workload clusters).
+    from repro.broker.jobs import BrokerJob
+
+    try:
+        return BrokerJob(
+            job_id=str(doc["id"]),
+            workload=str(doc["workload"]),
+            size=None if doc.get("size") is None else str(doc["size"]),
+            arrival=float(doc.get("arrival", 0.0)),
+            deadline=(
+                None
+                if doc.get("deadline") is None
+                else float(doc["deadline"])
+            ),
+            priority=int(doc.get("priority", 0)),
+            vo=None if doc.get("vo") is None else str(doc["vo"]),
+            arrival_index=index,
+        )
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"trace job #{index} is missing field {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A named, fingerprinted job trace ready for the broker.
+
+    ``jobs`` are in arrival order with ``arrival_index`` stamped;
+    ``spec`` is the generator recipe as a plain dict (``None`` for
+    traces parsed from external files) and ``source`` names where the
+    trace came from (``"generated"``, ``"gwf"``, ...).
+    """
+
+    name: str
+    jobs: Tuple[BrokerJob, ...]
+    spec: Optional[Dict[str, Any]] = None
+    source: str = "generated"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("trace workloads need a non-empty name")
+        if not self.jobs:
+            raise ConfigurationError("trace workloads need at least one job")
+        for index, job in enumerate(self.jobs):
+            if job.arrival_index != index:
+                raise ConfigurationError(
+                    f"trace job '{job.job_id}' has arrival_index "
+                    f"{job.arrival_index}, expected {index} — traces must "
+                    "be in stamped arrival order"
+                )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_spec(
+        cls, spec: TraceSpec, baselines: Any = None
+    ) -> "TraceWorkload":
+        """Generate the trace a spec describes (seeded, replayable)."""
+        jobs = tuple(generate_trace(spec, baselines))
+        return cls(
+            name=spec.name, jobs=jobs, spec=spec.to_dict(),
+            source="generated",
+        )
+
+    @classmethod
+    def from_jobs(
+        cls,
+        name: str,
+        jobs: Any,
+        *,
+        spec: Optional[Dict[str, Any]] = None,
+        source: str = "generated",
+    ) -> "TraceWorkload":
+        """Wrap an explicit job list, restamping arrival indices."""
+        ordered = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+        from dataclasses import replace
+
+        stamped = tuple(
+            replace(job, arrival_index=index)
+            for index, job in enumerate(ordered)
+        )
+        return cls(name=name, jobs=stamped, spec=spec, source=source)
+
+    # -- identity ------------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "kind": "trace-workload",
+            "name": self.name,
+            "source": self.source,
+            "spec": self.spec,
+            "job_count": len(self.jobs),
+            "jobs": [_job_to_dict(job) for job in self.jobs],
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical document (sans the digest itself).
+
+        Two traces are the same experiment input iff this matches —
+        the identity that makes "(seed, spec) replays byte-identically"
+        checkable with a string compare.
+        """
+        return content_digest(self._payload())
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = self._payload()
+        doc["fingerprint"] = self.fingerprint
+        return doc
+
+    # -- durable persistence -------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Atomically write the canonical artifact JSON."""
+        return atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "TraceWorkload":
+        """Load and verify an artifact (version gate + fingerprint)."""
+        doc = read_json_document(
+            path,
+            "trace workload",
+            remedy="regenerate it with 'repro trace generate'",
+        )
+        check_format_version(
+            doc, "trace workload", TRACE_FORMAT_VERSION, source=str(path)
+        )
+        return cls.from_dict(doc, source_path=str(path))
+
+    @classmethod
+    def from_dict(
+        cls,
+        doc: Mapping[str, Any],
+        *,
+        source_path: Optional[str] = None,
+    ) -> "TraceWorkload":
+        """Parse an artifact document, verifying its fingerprint."""
+        jobs_doc = doc.get("jobs")
+        if not isinstance(jobs_doc, list) or not jobs_doc:
+            raise ConfigurationError(
+                "trace workload document needs a non-empty 'jobs' list"
+            )
+        jobs: List[BrokerJob] = [
+            _job_from_dict(j, i) for i, j in enumerate(jobs_doc)
+        ]
+        spec = doc.get("spec")
+        trace = cls(
+            name=str(doc.get("name", "")),
+            jobs=tuple(jobs),
+            spec=dict(spec) if isinstance(spec, Mapping) else None,
+            source=str(doc.get("source", "generated")),
+        )
+        recorded = doc.get("fingerprint")
+        if recorded is not None and recorded != trace.fingerprint:
+            where = source_path or "trace workload document"
+            raise CorruptStoreError(
+                f"{where}: fingerprint mismatch — the file does not match "
+                "the jobs it claims to carry; regenerate it with "
+                "'repro trace generate'"
+            )
+        count = doc.get("job_count")
+        if count is not None and int(count) != len(jobs):
+            where = source_path or "trace workload document"
+            raise CorruptStoreError(
+                f"{where}: job_count {count} does not match the "
+                f"{len(jobs)} jobs present"
+            )
+        return trace
+
+    # -- conveniences --------------------------------------------------
+
+    @property
+    def vo_names(self) -> Tuple[str, ...]:
+        """Distinct VO tags in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs:
+            if job.vo is not None and job.vo not in seen:
+                seen[job.vo] = None
+        return tuple(seen)
+
+    @property
+    def horizon(self) -> float:
+        """Arrival span (last arrival; the jobs are in arrival order)."""
+        return self.jobs[-1].arrival
+
+    def __len__(self) -> int:
+        return len(self.jobs)

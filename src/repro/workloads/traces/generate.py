@@ -1,0 +1,193 @@
+"""Deterministic expansion of a :class:`TraceSpec` into broker jobs.
+
+The per-VO draw discipline is the stream generator's, generalized:
+
+1. all interarrival gaps in one vectorized call
+   (``vo.interarrival.sample(rng, n)``);
+2. gaps fold into arrival times — under a :class:`DiurnalSpec` each gap
+   is divided by the rate factor at the *current* arrival time, the
+   deterministic equivalent of rate-modulated thinning;
+3. then per job, in order: mix index, priority index, deadline coin,
+   slack uniform.
+
+Step 3 is :func:`realize_jobs`, shared verbatim with
+:func:`repro.workloads.streams.generate_stream` — the Poisson stream is
+the single-VO exponential special case of this module, and the shared
+helper is what keeps historical seeded streams byte-identical.
+
+VO streams are merged by ``(arrival, job_id)`` and each job is stamped
+with its zero-based ``arrival_index`` in the merged order, so reports
+can aggregate per VO and per arrival window without a join back here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.traces.spec import DiurnalSpec, Mix, TraceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
+    from repro.broker.jobs import BrokerJob
+
+__all__ = [
+    "split_counts",
+    "modulated_arrivals",
+    "realize_jobs",
+    "generate_trace",
+]
+
+#: ``baselines`` may be a callable ``(workload, size) -> seconds`` or a
+#: mapping keyed like :attr:`BrokerJob.dataset_key` (see streams).
+Baselines = object
+
+
+def split_counts(total: int, weights: Sequence[float]) -> List[int]:
+    """Apportion ``total`` across ``weights`` by largest remainder.
+
+    Deterministic, exact (sums to ``total``), and stable: quotas are
+    floored, then the leftover units go to the largest fractional
+    remainders, earliest index winning ties.
+    """
+    if total < 0:
+        raise ConfigurationError("cannot split a negative total")
+    if not weights or any(w <= 0 for w in weights):
+        raise ConfigurationError("split weights must be positive")
+    scale = float(sum(weights))
+    quotas = [total * w / scale for w in weights]
+    counts = [int(q) for q in quotas]
+    leftover = total - sum(counts)
+    order = sorted(
+        range(len(weights)), key=lambda i: (counts[i] - quotas[i], i)
+    )
+    for i in order[:leftover]:
+        counts[i] += 1
+    return counts
+
+
+def modulated_arrivals(
+    gaps: np.ndarray, modulation: Optional[DiurnalSpec]
+) -> np.ndarray:
+    """Fold raw gaps into arrival times, warped by the diurnal cycle.
+
+    Without modulation this is a plain cumulative sum (the stream
+    generator's behaviour).  With it, each gap is divided by the rate
+    factor at the previous arrival — sequential by construction, since
+    the factor depends on the clock the earlier gaps produced.
+    """
+    if modulation is None:
+        return np.cumsum(gaps)
+    arrivals = np.empty(len(gaps), dtype=float)
+    t = 0.0
+    rate_factor = modulation.rate_factor
+    for i, gap in enumerate(gaps):
+        t += float(gap) / rate_factor(t)
+        arrivals[i] = t
+    return arrivals
+
+
+def realize_jobs(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    *,
+    mix: Mix,
+    priorities: Sequence[int],
+    priority_weights: Sequence[float],
+    deadline_fraction: float,
+    deadline_slack: Sequence[float],
+    baselines: Baselines,
+    job_id_for: Callable[[int, str], str],
+    vo: Optional[str] = None,
+) -> List["BrokerJob"]:
+    """Draw the per-job fields over fixed arrivals (the step-3 loop).
+
+    The draw order per job — mix index, priority index, deadline coin,
+    slack uniform — is part of the seeded-workload format; both the
+    trace generator and the legacy Poisson stream shim call this one
+    loop so the order can never fork.
+    """
+    # Imported here: repro.broker.jobs <- repro.workloads would cycle at
+    # module scope (broker jobs build topologies from workload clusters).
+    from repro.broker.jobs import BrokerJob
+    from repro.workloads.streams import _baseline_for
+
+    mix_weights = np.array([w for _, _, w in mix], dtype=float)
+    mix_weights /= mix_weights.sum()
+    if priority_weights:
+        prio_weights = np.array(priority_weights, dtype=float)
+        prio_weights /= prio_weights.sum()
+    else:
+        prio_weights = None
+
+    jobs: List[BrokerJob] = []
+    for i in range(len(arrivals)):
+        mix_index = int(rng.choice(len(mix), p=mix_weights))
+        workload, size, _ = mix[mix_index]
+        prio_index = int(rng.choice(len(priorities), p=prio_weights))
+        priority = priorities[prio_index]
+        arrival = float(arrivals[i])
+        deadline = None
+        if rng.random() < deadline_fraction:
+            slack = float(rng.uniform(*deadline_slack))
+            deadline = arrival + slack * _baseline_for(
+                baselines, workload, size
+            )
+        jobs.append(
+            BrokerJob(
+                job_id=job_id_for(i, workload),
+                workload=workload,
+                size=size,
+                arrival=arrival,
+                deadline=deadline,
+                priority=priority,
+                vo=vo,
+            )
+        )
+    return jobs
+
+
+def generate_trace(
+    spec: TraceSpec, baselines: Baselines = None
+) -> List["BrokerJob"]:
+    """Expand a :class:`TraceSpec` into a deterministic merged job list.
+
+    Each VO draws from ``default_rng([spec.seed, vo_index])`` — a child
+    seed sequence, so VO streams are independent and editing one VO's
+    spec leaves every other VO's jobs untouched.  The merged list is
+    sorted by ``(arrival, job_id)`` and stamped with ``arrival_index``.
+    ``baselines`` is only consulted by VOs that draw deadlines.
+    """
+    counts = split_counts(spec.count, [vo.weight for vo in spec.vos])
+    merged: List["BrokerJob"] = []
+    for vo_index, (vo, n) in enumerate(zip(spec.vos, counts)):
+        if n == 0:
+            continue
+        rng = np.random.default_rng([spec.seed, vo_index])
+        gaps = vo.interarrival.sample(rng, n)
+        arrivals = modulated_arrivals(gaps, spec.modulation)
+        vo_name = vo.name
+        merged.extend(
+            realize_jobs(
+                rng,
+                arrivals,
+                mix=vo.mix,
+                priorities=vo.priorities,
+                priority_weights=vo.priority_weights,
+                deadline_fraction=vo.deadline_fraction,
+                deadline_slack=vo.deadline_slack,
+                baselines=baselines,
+                job_id_for=(
+                    lambda i, workload, _vo=vo_name: (
+                        f"{_vo}-{i:06d}-{workload}"
+                    )
+                ),
+                vo=vo_name,
+            )
+        )
+    merged.sort(key=lambda job: (job.arrival, job.job_id))
+    return [
+        replace(job, arrival_index=index) for index, job in enumerate(merged)
+    ]

@@ -1,0 +1,264 @@
+"""Trace workload specs: per-VO submission mixes under diurnal load.
+
+A :class:`TraceSpec` is the seeded recipe for a realistic job trace:
+
+- each :class:`VoSpec` is one virtual organisation with its own
+  interarrival distribution (any :class:`DistributionSpec` — Weibull
+  and lognormal fits are the GWA norm), workload/dataset mix, deadline
+  behaviour, and priority distribution;
+- ``weight`` splits the total job count across VOs (largest-remainder
+  apportionment, so counts are exact and deterministic);
+- an optional :class:`DiurnalSpec` modulates every VO's arrival rate
+  with day and week cycles, the way production grid traces breathe.
+
+Specs are frozen, validate eagerly, and round-trip through plain dicts,
+so a trace artifact can embed the full generator provenance next to the
+jobs it produced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.simgrid.errors import ConfigurationError
+from repro.workloads.traces.distributions import DistributionSpec
+
+__all__ = ["DiurnalSpec", "VoSpec", "TraceSpec", "Mix"]
+
+#: ``(workload, size-or-None, weight)`` triples, as in ``StreamSpec``.
+Mix = Tuple[Tuple[str, Optional[str], float], ...]
+
+_DEFAULT_MIX: Mix = (
+    ("kmeans", None, 1.0),
+    ("knn", None, 1.0),
+    ("vortex", None, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class DiurnalSpec:
+    """Deterministic day/week rate modulation of an arrival process.
+
+    The instantaneous rate factor at simulated time ``t`` is::
+
+        (1 + amplitude * sin(2*pi*(t - phase)/day_seconds))
+        * (1 + week_amplitude * sin(2*pi*(t - phase)/(7*day_seconds)))
+
+    Amplitudes live in ``[0, 1)`` so the factor stays strictly positive;
+    a raw interarrival gap ``g`` drawn at time ``t`` stretches to
+    ``g / rate_factor(t)`` — rush hours compress gaps, nights dilate
+    them.  ``day_seconds`` is in the simulator's model units, so short
+    broker experiments can use compressed "days".
+    """
+
+    day_seconds: float = 86400.0
+    amplitude: float = 0.0
+    phase: float = 0.0
+    week_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.day_seconds <= 0:
+            raise ConfigurationError("diurnal day_seconds must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+        if not 0.0 <= self.week_amplitude < 1.0:
+            raise ConfigurationError(
+                "diurnal week_amplitude must be in [0, 1)"
+            )
+
+    def rate_factor(self, t: float) -> float:
+        """The strictly positive rate multiplier at time ``t``."""
+        day = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / self.day_seconds
+        )
+        week = 1.0 + self.week_amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / (7.0 * self.day_seconds)
+        )
+        return day * week
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "day_seconds": self.day_seconds,
+            "amplitude": self.amplitude,
+            "phase": self.phase,
+            "week_amplitude": self.week_amplitude,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "DiurnalSpec":
+        return cls(
+            day_seconds=float(doc.get("day_seconds", 86400.0)),
+            amplitude=float(doc.get("amplitude", 0.0)),
+            phase=float(doc.get("phase", 0.0)),
+            week_amplitude=float(doc.get("week_amplitude", 0.0)),
+        )
+
+
+def _parse_mix(entries: Any) -> Mix:
+    mix: List[Tuple[str, Optional[str], float]] = []
+    for entry in entries:
+        entry = list(entry)
+        if not entry:
+            raise ConfigurationError("empty mix entry")
+        workload = str(entry[0])
+        size = entry[1] if len(entry) > 1 else None
+        size = str(size) if size is not None else None
+        weight = float(entry[2]) if len(entry) > 2 else 1.0
+        mix.append((workload, size, weight))
+    return tuple(mix)
+
+
+@dataclass(frozen=True)
+class VoSpec:
+    """One virtual organisation's submission behaviour.
+
+    ``weight`` is this VO's share of the trace's total job count;
+    ``interarrival`` draws the gaps between its consecutive submissions.
+    The remaining fields mean exactly what they do on ``StreamSpec`` —
+    the stream generator is the single-VO Poisson special case.
+    """
+
+    name: str
+    weight: float = 1.0
+    interarrival: DistributionSpec = DistributionSpec.exponential(0.1)
+    mix: Mix = _DEFAULT_MIX
+    deadline_fraction: float = 0.0
+    deadline_slack: Tuple[float, float] = (1.5, 3.0)
+    priorities: Tuple[int, ...] = (0,)
+    priority_weights: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("VOs need a non-empty name")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"VO '{self.name}': weight must be positive"
+            )
+        if not self.mix:
+            raise ConfigurationError(
+                f"VO '{self.name}': needs a non-empty workload mix"
+            )
+        if any(weight <= 0 for _, _, weight in self.mix):
+            raise ConfigurationError(
+                f"VO '{self.name}': mix weights must be positive"
+            )
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ConfigurationError(
+                f"VO '{self.name}': deadline fraction must be in [0, 1]"
+            )
+        lo, hi = self.deadline_slack
+        if not 0.0 < lo <= hi:
+            raise ConfigurationError(
+                f"VO '{self.name}': deadline slack must satisfy 0 < lo <= hi"
+            )
+        if not self.priorities:
+            raise ConfigurationError(
+                f"VO '{self.name}': priorities must be non-empty"
+            )
+        if self.priority_weights and len(self.priority_weights) != len(
+            self.priorities
+        ):
+            raise ConfigurationError(
+                f"VO '{self.name}': priority_weights must match priorities "
+                "in length"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "weight": self.weight,
+            "interarrival": self.interarrival.to_dict(),
+            "mix": [list(entry) for entry in self.mix],
+            "deadline_fraction": self.deadline_fraction,
+            "deadline_slack": list(self.deadline_slack),
+            "priorities": list(self.priorities),
+        }
+        if self.priority_weights:
+            doc["priority_weights"] = list(self.priority_weights)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "VoSpec":
+        if "name" not in doc:
+            raise ConfigurationError("VO spec needs a 'name'")
+        kwargs: Dict[str, Any] = {
+            "name": str(doc["name"]),
+            "weight": float(doc.get("weight", 1.0)),
+            "deadline_fraction": float(doc.get("deadline_fraction", 0.0)),
+        }
+        if "interarrival" in doc:
+            kwargs["interarrival"] = DistributionSpec.from_dict(
+                doc["interarrival"]
+            )
+        if "mix" in doc:
+            kwargs["mix"] = _parse_mix(doc["mix"])
+        if "deadline_slack" in doc:
+            lo, hi = doc["deadline_slack"]
+            kwargs["deadline_slack"] = (float(lo), float(hi))
+        if "priorities" in doc:
+            kwargs["priorities"] = tuple(int(p) for p in doc["priorities"])
+        if "priority_weights" in doc:
+            kwargs["priority_weights"] = tuple(
+                float(w) for w in doc["priority_weights"]
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """The full seeded recipe for one trace workload.
+
+    ``count`` is the total job count across all VOs.  Each VO draws from
+    its own child generator seeded ``[seed, vo_index]`` (NumPy seed
+    sequences), so adding a VO or resizing one never perturbs another
+    VO's draws.
+    """
+
+    name: str
+    count: int
+    seed: int = 0
+    vos: Tuple[VoSpec, ...] = (VoSpec("default"),)
+    modulation: Optional[DiurnalSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("trace specs need a non-empty name")
+        if self.count <= 0:
+            raise ConfigurationError("trace count must be positive")
+        if not self.vos:
+            raise ConfigurationError("trace needs at least one VO")
+        names = [vo.name for vo in self.vos]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("VO names must be unique within a trace")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "seed": self.seed,
+            "vos": [vo.to_dict() for vo in self.vos],
+        }
+        if self.modulation is not None:
+            doc["modulation"] = self.modulation.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TraceSpec":
+        for key in ("name", "count"):
+            if key not in doc:
+                raise ConfigurationError(f"trace spec needs a '{key}'")
+        vos_doc = doc.get("vos")
+        if not vos_doc:
+            raise ConfigurationError("trace spec needs a non-empty 'vos'")
+        modulation = None
+        if doc.get("modulation") is not None:
+            modulation = DiurnalSpec.from_dict(doc["modulation"])
+        return cls(
+            name=str(doc["name"]),
+            count=int(doc["count"]),
+            seed=int(doc.get("seed", 0)),
+            vos=tuple(VoSpec.from_dict(v) for v in vos_doc),
+            modulation=modulation,
+        )

@@ -9,6 +9,7 @@ from repro.broker.policies import (
     MinCompletionPolicy,
     MinCostPolicy,
     PlacementOption,
+    PlacementPolicy,
     Rejection,
     RoundRobinPolicy,
     make_policy,
@@ -125,6 +126,94 @@ class TestRoundRobin:
     def test_needs_compute_sites(self):
         with pytest.raises(ConfigurationError):
             RoundRobinPolicy([])
+
+
+class TestScalarFastPath:
+    """choose_index must mirror choose exactly — same winner, same refusal.
+
+    The indexed engine's fault-free dispatch scores candidates with bare
+    calibrated totals and only materializes the winning option, so any
+    drift between the two code paths would break the engines'
+    byte-identity (also guarded end-to-end by the equivalence property
+    suite).
+    """
+
+    def _split(self, options):
+        candidates = [o.candidate for o in options]
+        totals = [o.predicted_total for o in options]
+        return candidates, totals
+
+    @pytest.mark.parametrize(
+        "policy_name", ["min-completion", "min-cost", "deadline-aware"]
+    )
+    def test_matches_choose_on_fault_free_options(self, policy_name):
+        options = [
+            option("b", 1.0, data_nodes=2, compute_nodes=4),
+            option("a", 1.2, data_nodes=1, compute_nodes=2),
+            option("c", 5.0, data_nodes=1, compute_nodes=2),
+            option("a", 1.2, data_nodes=2, compute_nodes=4),
+        ]
+        policy = make_policy(policy_name, ["a", "b", "c"])
+        assert policy.scalar_choice
+        chosen = policy.choose(JOB, options, 0.5)
+        candidates, totals = self._split(options)
+        index = policy.choose_index(JOB, candidates, totals, 0.5)
+        assert options[index] is chosen
+
+    def test_deadline_rejection_is_identical(self):
+        job = BrokerJob(job_id="j1", workload="knn", deadline=2.0)
+        options = [option("a", 1.5), option("b", 1.8)]
+        policy = DeadlineAwarePolicy()
+        slow = policy.choose(job, options, 1.0)
+        candidates, totals = self._split(options)
+        fast = policy.choose_index(job, candidates, totals, 1.0)
+        assert isinstance(slow, Rejection) and isinstance(fast, Rejection)
+        assert fast == slow
+
+    def test_deadline_choose_index_filters_to_meeting(self):
+        job = BrokerJob(job_id="j1", workload="knn", deadline=3.0)
+        fast_costly = option("a", 1.0, data_nodes=2, compute_nodes=4)
+        slow_cheap = option("b", 1.2, data_nodes=1, compute_nodes=2)
+        too_slow = option("c", 5.0, data_nodes=1, compute_nodes=2)
+        options = [fast_costly, slow_cheap, too_slow]
+        candidates, totals = self._split(options)
+        index = DeadlineAwarePolicy().choose_index(
+            job, candidates, totals, 0.5
+        )
+        assert options[index] is slow_cheap
+
+    def test_round_robin_rotation_parity(self):
+        """Two instances fed the same stream stay in lockstep."""
+        slow = RoundRobinPolicy(["a", "b"])
+        fast = RoundRobinPolicy(["a", "b"])
+        assert not RoundRobinPolicy.needs_totals
+        streams = [
+            [option("a", 1.0), option("b", 9.0)],
+            [option("b", 9.0)],
+            [option("a", 1.0), option("b", 9.0)],
+            [
+                option("a", 0.5, data_nodes=2, compute_nodes=4),
+                option("a", 5.0, data_nodes=1, compute_nodes=2),
+            ],
+        ]
+        for options in streams:
+            chosen = slow.choose(JOB, options, 0.0)
+            candidates = [o.candidate for o in options]
+            index = fast.choose_index(JOB, candidates, [], 0.0)
+            assert options[index] is chosen
+            assert fast._next == slow._next
+
+    def test_base_policy_has_no_fast_path(self):
+        class Custom(PlacementPolicy):
+            name = "custom"
+
+            def choose(self, job, options, now):
+                return options[0]
+
+        policy = Custom()
+        assert not policy.scalar_choice
+        with pytest.raises(ConfigurationError):
+            policy.choose_index(JOB, [], [], 0.0)
 
 
 class TestFactory:

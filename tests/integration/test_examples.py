@@ -25,6 +25,8 @@ CASES = [
                             "deadline-aware"]),
     ("service_requests.py", ["breaker opens", "admission sheds",
                              "verdict: PASS"]),
+    ("trace_workload.py", ["fingerprint", "parsed back exactly",
+                           "queue pressure"]),
 ]
 
 

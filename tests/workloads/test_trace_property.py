@@ -1,0 +1,142 @@
+"""Property suites for the trace layer (DESIGN.md §16).
+
+Two replay invariants, checked over randomized specs rather than the
+handful of presets:
+
+- **determinism** — a ``(seed, spec)`` pair fully determines the
+  generated jobs and hence the artifact fingerprint; serializing the
+  spec and regenerating from the round-tripped copy changes nothing;
+- **GWF round trip** — any generated trace survives
+  ``trace_to_gwf`` -> ``parse_gwf`` with every job field intact, and
+  the serialization is idempotent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.traces import (
+    DistributionSpec,
+    DiurnalSpec,
+    TraceSpec,
+    TraceWorkload,
+    VoSpec,
+    parse_gwf,
+    trace_to_gwf,
+)
+
+
+def flat_baseline(workload, size):
+    return 2.0
+
+
+_MIX_ENTRIES = sorted(
+    ((name, size) for name, spec in WORKLOADS.items()
+     for size in (None, *spec.dataset_sizes_gb)),
+    key=lambda entry: (entry[0], entry[1] or ""),
+)
+
+distributions = st.one_of(
+    st.builds(
+        DistributionSpec.exponential, st.floats(0.01, 1.0, allow_nan=False)
+    ),
+    st.builds(
+        DistributionSpec.weibull,
+        st.floats(0.4, 3.0, allow_nan=False),
+        st.floats(0.01, 1.0, allow_nan=False),
+    ),
+    st.builds(
+        DistributionSpec.lognormal,
+        st.floats(-4.0, 0.0, allow_nan=False),
+        st.floats(0.1, 1.5, allow_nan=False),
+    ),
+    st.builds(
+        DistributionSpec.pareto,
+        st.floats(1.1, 3.0, allow_nan=False),
+        st.floats(0.01, 0.5, allow_nan=False),
+    ),
+    st.builds(DistributionSpec.constant, st.floats(0.01, 1.0)),
+)
+
+mixes = st.lists(
+    st.tuples(
+        st.sampled_from(_MIX_ENTRIES), st.floats(0.5, 4.0, allow_nan=False)
+    ),
+    min_size=1,
+    max_size=4,
+    unique_by=lambda entry: entry[0],
+).map(
+    lambda entries: tuple(
+        (name, size, weight) for (name, size), weight in entries
+    )
+)
+
+
+@st.composite
+def vo_specs(draw, name):
+    priorities = tuple(draw(st.sets(st.integers(0, 5), min_size=1)))
+    return VoSpec(
+        name=name,
+        weight=draw(st.floats(0.5, 5.0, allow_nan=False)),
+        interarrival=draw(distributions),
+        mix=draw(mixes),
+        deadline_fraction=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        deadline_slack=(1.5, 3.0),
+        priorities=priorities,
+        priority_weights=tuple(
+            draw(
+                st.lists(
+                    st.floats(0.5, 4.0, allow_nan=False),
+                    min_size=len(priorities),
+                    max_size=len(priorities),
+                )
+            )
+        ),
+    )
+
+
+@st.composite
+def trace_specs(draw):
+    vo_count = draw(st.integers(1, 3))
+    modulation = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                DiurnalSpec,
+                day_seconds=st.floats(1.0, 100.0, allow_nan=False),
+                amplitude=st.floats(0.0, 0.9, allow_nan=False),
+                phase=st.floats(0.0, 10.0, allow_nan=False),
+                week_amplitude=st.floats(0.0, 0.5, allow_nan=False),
+            ),
+        )
+    )
+    return TraceSpec(
+        name="prop",
+        count=draw(st.integers(1, 60)),
+        seed=draw(st.integers(0, 2**31)),
+        vos=tuple(
+            draw(vo_specs(f"vo-{index}")) for index in range(vo_count)
+        ),
+        modulation=modulation,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=trace_specs())
+def test_spec_and_seed_determine_fingerprint(spec):
+    first = TraceWorkload.from_spec(spec, baselines=flat_baseline)
+    again = TraceWorkload.from_spec(
+        TraceSpec.from_dict(spec.to_dict()), baselines=flat_baseline
+    )
+    assert again.jobs == first.jobs
+    assert again.fingerprint == first.fingerprint
+    assert len(first.jobs) == spec.count
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=trace_specs())
+def test_gwf_round_trip_preserves_every_job(spec):
+    trace = TraceWorkload.from_spec(spec, baselines=flat_baseline)
+    text = trace_to_gwf(trace)
+    back = parse_gwf(text, name=trace.name)
+    assert back.jobs == trace.jobs
+    assert trace_to_gwf(back) == text
