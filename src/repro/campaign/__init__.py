@@ -14,6 +14,10 @@ stopped:
 - :mod:`repro.campaign.runner`   — :class:`CampaignRunner`: resume,
   retry-after-timeout (:class:`~repro.faults.retry.RetryPolicy`
   semantics), SIGINT/SIGTERM checkpointing.
+- :mod:`repro.campaign.parallel` — :class:`ParallelCampaignRunner`:
+  the certificate-gated process-pool executor behind
+  ``repro campaign --workers N`` (byte-identical journals and
+  artifacts, deterministic manifest-order settlement).
 - :mod:`repro.campaign.report`   — :class:`CampaignReport`:
   completed/resumed/retried/timed-out/skipped classification and the
   process exit codes.
@@ -43,6 +47,11 @@ from repro.campaign.report import (
     CampaignOutcome,
     CampaignReport,
 )
+from repro.campaign.parallel import (
+    ParallelCampaignRunner,
+    PoolSafetyError,
+    verify_pool_safety,
+)
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.watchdog import (
     CampaignInterruptedError,
@@ -67,6 +76,9 @@ __all__ = [
     "CampaignOutcome",
     "CampaignReport",
     "CampaignRunner",
+    "ParallelCampaignRunner",
+    "PoolSafetyError",
+    "verify_pool_safety",
     "CampaignInterruptedError",
     "DeadlineExceededError",
     "run_with_deadline",

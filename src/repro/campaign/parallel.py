@@ -1,0 +1,423 @@
+"""Certificate-gated process-pool campaign executor.
+
+``repro campaign --workers N`` runs campaign entries in a
+:class:`concurrent.futures.ProcessPoolExecutor` instead of the serial
+loop — with the *same* durability, deadline, and interruption contract
+as :class:`~repro.campaign.runner.CampaignRunner`, and one additional
+precondition: **no entry point may run in a worker process unless the
+effect analysis proves it process-pool-safe.**
+
+Why a proof, not a convention
+-----------------------------
+Parallel results are only trustworthy if running an experiment in a
+worker process is observationally identical to running it in-process:
+no writes to module state another entry could read, no ambient
+nondeterminism (clock/RNG/pid), no argument mutation, no
+order-sensitive iteration feeding the serialized output.  Those are
+exactly the effect tiers the lint layer's interprocedural analysis
+(:mod:`repro.lint.effects`) computes, so :func:`verify_pool_safety`
+re-runs that analysis at startup and refuses to start the pool if any
+submitted entry point fails to certify ``process-pool-safe`` or better
+— the campaign falls back to an error, never to silently-wrong
+parallel output.
+
+Determinism contract
+--------------------
+The parent submits every live entry up front, then *settles them in
+manifest order*: journal commits, result-artifact writes, outcome
+ordering, and progress lines are all byte-for-byte in the order the
+serial runner would produce (only the wall-clock ``elapsed_s`` fields
+differ, as they do between any two serial runs).  Workers return plain
+:class:`~repro.campaign.journal.JournalRecord` values; all journal and
+artifact I/O happens in the parent, so two processes never race on a
+file.
+
+Entries are submitted through a sliding window of ``2 * workers`` (the
+pool pre-queues up to ``workers + 1`` items into its uncancellable IPC
+call queue, so unbounded submission would make interruption drain the
+whole manifest; the window also bounds memory for huge manifests while
+keeping every worker fed).
+
+Interruption: SIGINT/SIGTERM set the stop flag; submitted-but-pending
+futures are cancelled and never-submitted entries are reported
+``skipped`` (they re-run on ``--resume``), while entries already
+executing in a worker are drained and journaled — work that happened
+is never thrown away.  The CLI then exits with
+:data:`~repro.campaign.report.EXIT_INTERRUPTED` as usual.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pathlib
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.analysis.expectations import EXPECTATIONS, check_expectation
+from repro.analysis.results_io import result_from_dict, result_to_dict
+from repro.errors import CampaignError
+from repro.faults.retry import RetryPolicy
+from repro.workloads.experiments import (
+    ExperimentResult,
+    run_experiment,
+    run_fault_scenario,
+)
+
+from repro.campaign.journal import CampaignJournal, JournalRecord
+from repro.campaign.manifest import CampaignEntry, CampaignManifest
+from repro.campaign.report import CampaignOutcome, CampaignReport
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.watchdog import DeadlineExceededError, run_with_deadline
+
+__all__ = [
+    "ParallelCampaignRunner",
+    "PoolSafetyError",
+    "verify_pool_safety",
+]
+
+
+class PoolSafetyError(CampaignError):
+    """An entry point failed (or lost) its process-pool-safety proof."""
+
+
+def verify_pool_safety(
+    registry: Optional[Mapping[str, Callable[[], ExperimentResult]]] = None,
+    *,
+    cache_path: Optional[pathlib.Path] = None,
+) -> Dict[str, str]:
+    """Prove every campaign entry point process-pool-safe, or refuse.
+
+    Re-runs the effect analysis (:func:`repro.lint.effects.analyze_effects`)
+    over the installed ``repro`` source tree and requires every certified
+    campaign root — and every registry override defined inside the tree —
+    to analyze at tier ``process-pool-safe`` or better.  This checks the
+    *source as it exists now*, so an edit that quietly introduces shared
+    state or ambient nondeterminism revokes parallelism immediately, even
+    if a stale committed certificate still claims otherwise.
+
+    Returns the proven tier per entry-point qualname.  Raises
+    :class:`PoolSafetyError` listing every failure (with its inferred
+    effects) when any entry point cannot be certified.
+    """
+    # Imported lazily: the campaign layer must not pay the lint layer's
+    # import cost (or require its presence) for serial runs.
+    from repro.lint.effects import (
+        CERTIFIED_ROOTS,
+        TIER_POOL_SAFE,
+        TIER_RANK,
+        analyze_effects,
+    )
+
+    import repro
+
+    package_dir = pathlib.Path(repro.__file__).resolve().parent
+    result = analyze_effects(
+        [package_dir], root=package_dir.parent, cache_path=cache_path
+    )
+    analysis = result.analysis
+
+    required: List[str] = list(CERTIFIED_ROOTS)
+    for entry_id, fn in sorted((registry or {}).items()):
+        module = getattr(fn, "__module__", "") or ""
+        qualname = getattr(fn, "__qualname__", "") or repr(fn)
+        if module == "repro" or module.startswith("repro."):
+            required.append(f"{module}.{qualname}")
+        else:
+            raise PoolSafetyError(
+                f"registry override for entry '{entry_id}' "
+                f"({module}.{qualname}) is defined outside the analyzed "
+                "'repro' tree, so it cannot be certified process-pool-"
+                "safe; run it serially, or construct "
+                "ParallelCampaignRunner(certify=False) if you accept "
+                "uncertified parallelism in a test harness"
+            )
+
+    proven: Dict[str, str] = {}
+    failures: List[str] = []
+    floor = TIER_RANK[TIER_POOL_SAFE]
+    for qualname in required:
+        tier = analysis.tiers.get(qualname)
+        if tier is None:
+            failures.append(f"{qualname}: not found by the effect analysis")
+            continue
+        proven[qualname] = tier
+        if TIER_RANK[tier] < floor:
+            failures.append(
+                f"{qualname}: analyzes as '{tier}' "
+                f"(effects: {analysis.effect_words(qualname)})"
+            )
+    if failures:
+        raise PoolSafetyError(
+            "refusing to start the process pool; entry point(s) lost "
+            "their process-pool-safety certificate:\n  "
+            + "\n  ".join(failures)
+            + "\nfix the effect regression (repro lint src/repro "
+            "--effects) or run the campaign serially"
+        )
+    return proven
+
+
+def _entry_callable(
+    entry: CampaignEntry,
+    override: Optional[Callable[[], ExperimentResult]],
+) -> Callable[[], ExperimentResult]:
+    """The worker-side twin of :meth:`CampaignRunner._callable`."""
+    if override is not None:
+        return override
+    if entry.kind == "experiment":
+        experiment_id = entry.resolved_experiment_id
+        fast = entry.fast
+        return lambda: run_experiment(experiment_id, fast=fast)
+    return lambda: run_fault_scenario(
+        workload=entry.workload,
+        experiment_id=entry.entry_id,
+        title=f"Fault scenario '{entry.entry_id}' on {entry.workload}",
+        scenario=entry.scenario,
+        size_label=entry.size_label,
+        fast=entry.fast,
+    )
+
+
+def _execute_entry(
+    entry: CampaignEntry,
+    default_deadline_s: Optional[float],
+    retry_policy: RetryPolicy,
+    check_claims: bool,
+    override: Optional[Callable[[], ExperimentResult]],
+) -> JournalRecord:
+    """Run one campaign entry to a settled record, inside a worker.
+
+    Module-level (picklable) on purpose.  Mirrors
+    :meth:`CampaignRunner._run_entry` exactly — same watchdog deadline,
+    same retry/backoff semantics, same statuses — but returns the
+    :class:`JournalRecord` instead of committing it: all journal and
+    artifact writes happen in the parent, in manifest order, so worker
+    completion order can never reorder durable state.
+    """
+    fn = _entry_callable(entry, override)
+    deadline_s = entry.effective_deadline_s(default_deadline_s)
+    last_timeout: Optional[DeadlineExceededError] = None
+    for attempt in range(1, retry_policy.max_attempts + 1):
+        start = time.perf_counter()
+        try:
+            result = run_with_deadline(
+                fn,
+                deadline_s,
+                stop=threading.Event(),  # workers are never interrupted
+                label=entry.entry_id,
+            )
+        except DeadlineExceededError as exc:
+            last_timeout = exc
+            if attempt < retry_policy.max_attempts:
+                delay = retry_policy.backoff_s(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            return JournalRecord(
+                entry_id=entry.entry_id,
+                status="timed-out",
+                attempts=attempt,
+                elapsed_s=time.perf_counter() - start,
+                payload=None,
+                violations=[str(last_timeout)],
+            )
+        elapsed = time.perf_counter() - start
+        violations: List[str] = []
+        if (
+            check_claims
+            and entry.kind == "experiment"
+            and entry.resolved_experiment_id in EXPECTATIONS
+        ):
+            violations = check_expectation(result)
+        return JournalRecord(
+            entry_id=entry.entry_id,
+            status="completed" if attempt == 1 else "retried",
+            attempts=attempt,
+            elapsed_s=elapsed,
+            payload=result_to_dict(result),
+            violations=violations,
+        )
+    raise CampaignError(
+        f"entry '{entry.entry_id}': retry loop must settle or return"
+    )
+
+
+class ParallelCampaignRunner(CampaignRunner):
+    """Process-pool campaign runner; see the module docstring.
+
+    Accepts everything :class:`~repro.campaign.runner.CampaignRunner`
+    does, plus:
+
+    workers:
+        Worker process count (``>= 1``).
+    certify:
+        Run :func:`verify_pool_safety` before starting the pool
+        (default).  ``certify=False`` is a test-harness seam only —
+        registry callables from test modules live outside the analyzed
+        tree and cannot be certified.
+
+    Registry overrides must be module-level functions (they cross the
+    process boundary by pickle reference).
+    """
+
+    def __init__(
+        self,
+        manifest: CampaignManifest,
+        journal_path: str | pathlib.Path,
+        *,
+        workers: int,
+        certify: bool = True,
+        **kwargs,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        super().__init__(manifest, journal_path, **kwargs)
+        self.workers = workers
+        self.certify = certify
+
+    def _skipped(self, entry: CampaignEntry) -> CampaignOutcome:
+        return CampaignOutcome(
+            entry=entry,
+            status="skipped",
+            attempts=0,
+            elapsed_s=0.0,
+            result=None,
+            violations=[],
+        )
+
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Execute the campaign on a certified process pool."""
+        if self.certify:
+            verify_pool_safety(self.registry)
+
+        journal = CampaignJournal(self.journal_path)
+        fingerprint = self.manifest.fingerprint()
+        if journal.exists:
+            if not resume:
+                raise CampaignError(
+                    f"campaign journal '{self.journal_path}' already "
+                    "exists; pass resume=True (--resume) to continue it, "
+                    "or delete the journal to start fresh"
+                )
+            records = journal.load(expected_fingerprint=fingerprint)
+        else:
+            journal.initialize(self.manifest.name, fingerprint)
+            records = {}
+
+        self._stop.clear()
+        self._signal_name = None
+        report = CampaignReport(
+            campaign=self.manifest.name,
+            journal_path=self.journal_path,
+        )
+        window = 2 * self.workers
+        pending = [
+            entry
+            for entry in self.manifest.entries
+            if entry.entry_id not in records
+        ]
+        futures: Dict[str, "concurrent.futures.Future[JournalRecord]"] = {}
+        cancelled: set = set()
+        stop_handled = False
+
+        def handle_stop() -> None:
+            """First stop observation: cancel what never started."""
+            nonlocal stop_handled
+            if stop_handled:
+                return
+            stop_handled = True
+            pending.clear()  # never-submitted entries become skips
+            for entry_id, future in futures.items():
+                if future.cancel():
+                    cancelled.add(entry_id)
+
+        previous_handlers = self._install_signal_handlers()
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            ) as pool:
+
+                def top_up() -> None:
+                    # A stop observed here (e.g. set while the last
+                    # future was settling) must win before any new
+                    # submission widens the drain set.
+                    if self._stop.is_set():
+                        handle_stop()
+                        return
+                    while pending and len(futures) < window:
+                        entry = pending.pop(0)
+                        futures[entry.entry_id] = pool.submit(
+                            _execute_entry,
+                            entry,
+                            self.manifest.default_deadline_s,
+                            self.retry_policy,
+                            self.check_claims,
+                            self.registry.get(entry.entry_id),
+                        )
+
+                top_up()
+                # Settle strictly in manifest order: commits, artifact
+                # writes, and outcome/progress ordering all match the
+                # serial runner byte for byte.
+                for entry in self.manifest.entries:
+                    if entry.entry_id in records:
+                        outcome = self._resumed_outcome(
+                            entry, records[entry.entry_id]
+                        )
+                        report.outcomes.append(outcome)
+                        self._report_progress(outcome)
+                        continue
+                    if self._stop.is_set():
+                        handle_stop()
+                    future = futures.get(entry.entry_id)
+                    record: Optional[JournalRecord] = None
+                    while future is not None and record is None:
+                        if self._stop.is_set():
+                            handle_stop()
+                        if entry.entry_id in cancelled:
+                            break
+                        try:
+                            record = future.result(
+                                timeout=self._poll_interval_s
+                            )
+                        except concurrent.futures.TimeoutError:
+                            continue
+                    futures.pop(entry.entry_id, None)
+                    if record is None:
+                        # Cancelled before it started, or never
+                        # submitted at all: re-runs on --resume.
+                        report.interrupted = True
+                        report.outcomes.append(self._skipped(entry))
+                        continue
+                    journal.commit(record)
+                    result = (
+                        result_from_dict(record.payload)
+                        if record.payload is not None
+                        else None
+                    )
+                    if result is not None:
+                        self._save_result(entry.entry_id, result)
+                    outcome = CampaignOutcome(
+                        entry=entry,
+                        status=record.status,
+                        attempts=record.attempts,
+                        elapsed_s=record.elapsed_s,
+                        result=result,
+                        violations=list(record.violations),
+                    )
+                    report.outcomes.append(outcome)
+                    self._report_progress(outcome)
+                    top_up()
+        except BrokenProcessPool as exc:
+            raise CampaignError(
+                "parallel campaign worker pool broke (a worker died "
+                "mid-entry); the journal holds every entry settled so "
+                "far — re-run with --resume, or serially without "
+                "--workers"
+            ) from exc
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+        report.signal_name = self._signal_name
+        return report

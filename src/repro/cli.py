@@ -293,13 +293,25 @@ def _cmd_campaign(args) -> int:
             backoff_factor=1.0,
             max_backoff_s=0.0,
         )
-    runner = CampaignRunner(
-        manifest,
-        journal,
-        retry_policy=policy,
-        results_dir=args.results_dir,
-        progress=print,
-    )
+    if args.workers is not None and args.workers > 1:
+        from repro.campaign import ParallelCampaignRunner
+
+        runner = ParallelCampaignRunner(
+            manifest,
+            journal,
+            workers=args.workers,
+            retry_policy=policy,
+            results_dir=args.results_dir,
+            progress=print,
+        )
+    else:
+        runner = CampaignRunner(
+            manifest,
+            journal,
+            retry_policy=policy,
+            results_dir=args.results_dir,
+            progress=print,
+        )
     report = runner.run(resume=args.resume)
     print()
     print(format_campaign(report))
@@ -489,7 +501,15 @@ def _cmd_trace(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_lint_command
 
-    return run_lint_command(args)
+    # The lint exit-code contract is 0 clean / 1 findings / 2 usage or
+    # internal error, matching the standalone ``python -m repro.lint``;
+    # letting a LintError bubble to the top-level handler would fold
+    # "the tool could not run" into "the tool found problems" (1).
+    try:
+        return run_lint_command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_shares(args) -> int:
@@ -626,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=None,
         help="watchdog attempts per entry before classifying it "
         "timed-out (default: 2, immediate retry)",
+    )
+    camp_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run entries on N worker processes; refuses to start "
+        "unless every entry point is certified process-pool-safe by "
+        "the effect analysis (journals and artifacts stay "
+        "byte-identical to a serial run)",
     )
     camp_p.set_defaults(func=_cmd_campaign)
 

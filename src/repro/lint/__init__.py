@@ -26,6 +26,23 @@ REP103    cross-module-error-escape   public APIs don't leak callee builtins
 REP104    dimensional-consistency     prediction-core unit coherence
 ========  ==========================  =======================================
 
+``--effects`` adds the interprocedural effect-and-determinism family
+(``repro.lint.effects``), which also emits the ``.repro-effects.json``
+determinism certificate gating ``repro campaign --workers N``:
+
+========  ==============================  ===================================
+REP201    shared-state-write              no pool-reachable function writes
+                                          shared module state
+REP202    closure-over-pool-boundary      no closure capture crosses a
+                                          process-pool submit
+REP203    unordered-iteration-to-sink     no set-iteration order reaches a
+                                          serialized artifact
+REP204    mutable-default-or-aliased-ret  no mutable defaults / mutate-and-
+                                          return aliasing
+REP205    uncertified-pool-submit         only certified process-pool-safe
+                                          functions are submitted
+========  ==============================  ===================================
+
 Run it as ``repro lint [PATHS]`` or ``python -m repro.lint``; see
 DESIGN.md §13 for the full contract rationale and docs/lint-rules.md for
 the rule table.
@@ -39,6 +56,14 @@ from repro.lint.engine import (
     lint_file,
     lint_paths,
     lint_source,
+)
+from repro.lint.effects import (
+    CERTIFICATE_NAME,
+    EFFECT_CODES,
+    EFFECT_RULES,
+    analyze_effects,
+    load_certificate,
+    write_certificate,
 )
 from repro.lint.errors import LintError
 from repro.lint.findings import Finding, Fix
@@ -57,6 +82,12 @@ from repro.lint.reporters import (
 __all__ = [
     "Baseline",
     "BaselinePartition",
+    "CERTIFICATE_NAME",
+    "EFFECT_CODES",
+    "EFFECT_RULES",
+    "analyze_effects",
+    "load_certificate",
+    "write_certificate",
     "FLOW_CODES",
     "FLOW_RULES",
     "Finding",

@@ -21,6 +21,7 @@ from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths, relative_finding_path
 from repro.lint.findings import Finding
 from repro.lint.fixes import apply_fixes
+from repro.lint.effects.ruledefs import EFFECT_CODES, EFFECT_RULES
 from repro.lint.flow.ruledefs import FLOW_CODES, FLOW_RULES
 from repro.lint.registry import all_rules
 from repro.lint.reporters import REPORT_FORMATS, LintReport, render
@@ -29,6 +30,8 @@ __all__ = ["add_lint_arguments", "run_lint_command", "main"]
 
 DEFAULT_PATHS = ("src/repro",)
 DEFAULT_FLOW_CACHE = ".repro-flow-cache.json"
+DEFAULT_EFFECTS_CACHE = ".repro-effects-cache.json"
+DEFAULT_CERTIFICATE = ".repro-effects.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +86,42 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-module summary cache for the flow pass "
         f"(default: ROOT/{DEFAULT_FLOW_CACHE})",
     )
+    effects_group = parser.add_mutually_exclusive_group()
+    effects_group.add_argument(
+        "--effects", action="store_true",
+        help="run the effect/determinism pass (REP201-REP205); always "
+        "analyzes the full PATH scope, even under --changed, so "
+        "certificate regressions in unchanged files are caught",
+    )
+    effects_group.add_argument(
+        "--no-effects", action="store_true",
+        help="force the effect pass off even when --select names a "
+        "REP2xx code",
+    )
+    parser.add_argument(
+        "--effects-cache", default=None, metavar="FILE",
+        help="per-module summary cache for the effect pass "
+        f"(default: ROOT/{DEFAULT_EFFECTS_CACHE})",
+    )
+    parser.add_argument(
+        "--certificate", default=None, metavar="FILE",
+        help="determinism certificate the effect pass checks tiers "
+        f"against (default: ROOT/{DEFAULT_CERTIFICATE})",
+    )
+    parser.add_argument(
+        "--write-certificate", action="store_true",
+        help="rewrite the determinism certificate from the current "
+        "effect analysis and exit 0 (refuses tier demotions)",
+    )
+    parser.add_argument(
+        "--allow-demotions", action="store_true",
+        help="let --write-certificate record tier demotions after "
+        "review",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete the flow and effect summary caches before running",
+    )
     parser.add_argument(
         "--changed", action="store_true",
         help="lint only Python files changed since --base (plus "
@@ -100,7 +139,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
         print(_rule_table())
         return 0
     root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
-    rules, flow_selected = _selected_rules(args.select)
+    if args.clear_cache:
+        _clear_caches(args, root)
+    rules, flow_selected, effects_selected = _selected_rules(args.select)
     paths: List[str] = list(args.paths)
     if args.changed:
         from repro.lint.gitdiff import changed_python_files
@@ -130,6 +171,53 @@ def run_lint_command(args: argparse.Namespace) -> int:
             ]
         findings = sorted(
             findings + flow_findings, key=Finding.sort_key
+        )
+    if _effects_enabled(args, effects_selected):
+        from repro.lint.effects import analyze_effects, write_certificate
+
+        cache_path = args.effects_cache or str(
+            root / DEFAULT_EFFECTS_CACHE
+        )
+        certificate_path = args.certificate or str(
+            root / DEFAULT_CERTIFICATE
+        )
+        # The effect pass always covers the original PATH scope: tier
+        # regressions surface in *unchanged* files (a helper edit
+        # demotes a distant entry point), so a --changed-narrowed file
+        # list would miss exactly the regressions the pass exists to
+        # catch.  The summary cache keeps the full pass cheap.
+        effect_result = analyze_effects(
+            list(args.paths),
+            root=root,
+            cache_path=cache_path,
+            certificate_path=(
+                None if args.write_certificate else certificate_path
+            ),
+        )
+        if args.write_certificate:
+            write_certificate(
+                certificate_path,
+                effect_result.analysis,
+                effect_result.module_digests,
+                allow_demotions=args.allow_demotions,
+            )
+            certified = sum(
+                1
+                for tier in effect_result.analysis.tiers.values()
+                if tier != "effectful"
+            )
+            print(
+                f"determinism certificate written to {certificate_path} "
+                f"({certified} certified function(s))"
+            )
+            return 0
+        effect_findings = effect_result.findings
+        if effects_selected is not None:
+            effect_findings = [
+                f for f in effect_findings if f.code in effects_selected
+            ]
+        findings = sorted(
+            findings + effect_findings, key=Finding.sort_key
         )
     if args.write_baseline:
         if not args.baseline:
@@ -185,24 +273,57 @@ def _flow_enabled(
     return any(pathlib.Path(p).is_dir() for p in paths)
 
 
-def _selected_rules(select: Optional[str]):
-    """Split a --select list into engine rule instances and flow codes.
+def _effects_enabled(
+    args: argparse.Namespace,
+    effects_selected: Optional[frozenset],
+) -> bool:
+    """Whether this run includes the effect/determinism pass.
 
-    Returns ``(engine_rules, flow_codes)`` where both are ``None`` when
-    no --select was given (meaning: everything).
+    Off by default — it is a whole-program pass with its own committed
+    artifact, so it runs when asked for: --effects, --write-certificate,
+    or a --select naming a REP2xx code.
+    """
+    if args.no_effects:
+        return False
+    if args.effects or args.write_certificate:
+        return True
+    if effects_selected is not None:
+        return bool(effects_selected)
+    return False
+
+
+def _clear_caches(args: argparse.Namespace, root: pathlib.Path) -> None:
+    for candidate in (
+        args.flow_cache or root / DEFAULT_FLOW_CACHE,
+        args.effects_cache or root / DEFAULT_EFFECTS_CACHE,
+    ):
+        pathlib.Path(candidate).unlink(missing_ok=True)
+
+
+def _selected_rules(select: Optional[str]):
+    """Split a --select list into engine rules, flow codes, effect codes.
+
+    Returns ``(engine_rules, flow_codes, effect_codes)``, all ``None``
+    when no --select was given (meaning: everything).
     """
     if not select:
-        return None, None
+        return None, None, None
     from repro.lint.errors import LintError
     from repro.lint.registry import RULES
 
     codes = [c.strip().upper() for c in select.split(",") if c.strip()]
     all_instances = {rule.code: rule for rule in all_rules()}
     unknown = [
-        c for c in codes if c not in all_instances and c not in FLOW_CODES
+        c
+        for c in codes
+        if c not in all_instances
+        and c not in FLOW_CODES
+        and c not in EFFECT_CODES
     ]
     if unknown:
-        registered = sorted(RULES) + sorted(FLOW_CODES)
+        registered = (
+            sorted(RULES) + sorted(FLOW_CODES) + sorted(EFFECT_CODES)
+        )
         raise LintError(
             f"unknown rule code(s) {', '.join(unknown)} in --select "
             f"(registered: {', '.join(registered)})"
@@ -211,7 +332,8 @@ def _selected_rules(select: Optional[str]):
         all_instances[c] for c in codes if c in all_instances
     ]
     flow_codes = frozenset(c for c in codes if c in FLOW_CODES)
-    return engine_rules, flow_codes
+    effect_codes = frozenset(c for c in codes if c in EFFECT_CODES)
+    return engine_rules, flow_codes, effect_codes
 
 
 def _count_files(paths: Sequence[str]) -> int:
@@ -240,6 +362,12 @@ def _rule_table() -> str:
         lines.append(f"{flow_rule.code}  {flow_rule.name} (flow)")
         lines.append(f"        {flow_rule.summary}")
         lines.append(f"        why: {flow_rule.rationale}")
+    for effect_rule in EFFECT_RULES:
+        lines.append(
+            f"{effect_rule.code}  {effect_rule.name} (effects)"
+        )
+        lines.append(f"        {effect_rule.summary}")
+        lines.append(f"        why: {effect_rule.rationale}")
     return "\n".join(lines)
 
 

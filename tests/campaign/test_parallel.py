@@ -1,0 +1,372 @@
+"""The certificate-gated process-pool campaign executor.
+
+The contract under test: ``ParallelCampaignRunner`` produces journals,
+result artifacts, and reports *byte-identical* to the serial
+``CampaignRunner`` (modulo the wall-clock ``elapsed_s`` fields, which
+differ between any two runs), refuses to start without a
+process-pool-safety proof, and keeps the serial runner's durability and
+interruption semantics.
+
+Registry callables cross the process boundary by pickle reference, so
+every fake driver here is a module-level function wrapped in
+``functools.partial`` — closures (like ``conftest.fake_registry``'s)
+are serial-only.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignRunner,
+    ParallelCampaignRunner,
+    PoolSafetyError,
+    verify_pool_safety,
+)
+from repro.errors import CampaignError
+from repro.faults import RetryPolicy
+
+from .conftest import FAKE_IDS, fake_result, make_manifest
+
+NO_RETRY = RetryPolicy(
+    max_attempts=1, base_backoff_s=0.0, backoff_factor=1.0, max_backoff_s=0.0
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level (picklable) fake drivers
+# ----------------------------------------------------------------------
+
+
+def _fake_driver(entry_id: str):
+    return fake_result(entry_id)
+
+
+def _slow_driver(entry_id: str, duration_s: float):
+    time.sleep(duration_s)
+    return fake_result(entry_id)
+
+
+def _boom_driver(entry_id: str):
+    raise RuntimeError(f"driver for '{entry_id}' must not run")
+
+
+def _rendezvous_driver(entry_id: str, dirpath: str):
+    """Signal the test that work started, then block until released."""
+    directory = pathlib.Path(dirpath)
+    (directory / f"{entry_id}.started").write_text(entry_id)
+    while not (directory / "go").exists():
+        time.sleep(0.01)
+    return fake_result(entry_id)
+
+
+def picklable_registry(ids, driver=_fake_driver, *extra):
+    return {
+        entry_id: functools.partial(driver, entry_id, *extra)
+        for entry_id in ids
+    }
+
+
+def journal_projection(path: pathlib.Path):
+    """The journal minus its wall-clock fields (the determinism view)."""
+    document = json.loads(path.read_text())
+    for entry in document["entries"]:
+        del entry["elapsed_s"]
+    return document
+
+
+# ----------------------------------------------------------------------
+# Byte-identity with the serial runner
+# ----------------------------------------------------------------------
+
+
+def run_both(tmp_path, ids, workers=2):
+    manifest = make_manifest(ids)
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    serial = CampaignRunner(
+        manifest,
+        tmp_path / "serial.journal.json",
+        registry=picklable_registry(ids),
+        results_dir=serial_dir,
+        check_claims=False,
+    ).run()
+    parallel = ParallelCampaignRunner(
+        manifest,
+        tmp_path / "parallel.journal.json",
+        workers=workers,
+        certify=False,
+        registry=picklable_registry(ids),
+        results_dir=parallel_dir,
+        check_claims=False,
+    ).run()
+    return serial, parallel, serial_dir, parallel_dir
+
+
+def assert_identical(tmp_path, serial, parallel, serial_dir, parallel_dir):
+    assert journal_projection(
+        tmp_path / "serial.journal.json"
+    ) == journal_projection(tmp_path / "parallel.journal.json")
+    serial_artifacts = sorted(p.name for p in serial_dir.iterdir())
+    parallel_artifacts = sorted(p.name for p in parallel_dir.iterdir())
+    assert serial_artifacts == parallel_artifacts
+    for name in serial_artifacts:
+        assert (serial_dir / name).read_bytes() == (
+            parallel_dir / name
+        ).read_bytes(), f"artifact '{name}' differs between serial and pool"
+    assert [o.status for o in serial.outcomes] == [
+        o.status for o in parallel.outcomes
+    ]
+    assert [o.entry_id for o in serial.outcomes] == [
+        o.entry_id for o in parallel.outcomes
+    ]
+    assert serial.exit_code == parallel.exit_code
+
+
+def test_parallel_matches_serial_byte_for_byte(tmp_path):
+    serial, parallel, serial_dir, parallel_dir = run_both(
+        tmp_path, FAKE_IDS, workers=3
+    )
+    assert parallel.ok
+    assert_identical(tmp_path, serial, parallel, serial_dir, parallel_dir)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    ids=st.lists(
+        st.sampled_from(FAKE_IDS), min_size=1, max_size=len(FAKE_IDS),
+        unique=True,
+    ),
+    workers=st.integers(min_value=1, max_value=4),
+)
+def test_parallel_is_byte_identical_for_any_manifest(
+    tmp_path_factory, ids, workers
+):
+    """Property: any manifest subset, any worker count — same bytes."""
+    tmp_path = tmp_path_factory.mktemp("parallel-property")
+    serial, parallel, serial_dir, parallel_dir = run_both(
+        tmp_path, ids, workers=workers
+    )
+    assert_identical(tmp_path, serial, parallel, serial_dir, parallel_dir)
+
+
+# ----------------------------------------------------------------------
+# Deadlines, failures, resume
+# ----------------------------------------------------------------------
+
+
+def test_timed_out_entry_is_classified_not_fatal(tmp_path):
+    ids = FAKE_IDS[:3]
+    manifest = make_manifest(ids, deadline_s=0.15)
+    registry = picklable_registry(ids)
+    registry[ids[1]] = functools.partial(_slow_driver, ids[1], 10.0)
+    report = ParallelCampaignRunner(
+        manifest,
+        tmp_path / "journal.json",
+        workers=2,
+        certify=False,
+        registry=registry,
+        retry_policy=NO_RETRY,
+        check_claims=False,
+    ).run()
+    statuses = {o.entry_id: o.status for o in report.outcomes}
+    assert statuses == {
+        ids[0]: "completed",
+        ids[1]: "timed-out",
+        ids[2]: "completed",
+    }
+    assert report.exit_code == 1
+    journaled = journal_projection(tmp_path / "journal.json")["entries"]
+    timed_out = [e for e in journaled if e["entry_id"] == ids[1]]
+    assert timed_out[0]["payload"] is None
+
+
+def test_worker_exception_propagates(tmp_path):
+    ids = FAKE_IDS[:2]
+    registry = picklable_registry(ids)
+    registry[ids[0]] = functools.partial(_boom_driver, ids[0])
+    runner = ParallelCampaignRunner(
+        make_manifest(ids),
+        tmp_path / "journal.json",
+        workers=2,
+        certify=False,
+        registry=registry,
+        check_claims=False,
+    )
+    with pytest.raises(RuntimeError, match="must not run"):
+        runner.run()
+
+
+def test_resume_restores_settled_entries_without_rerunning(tmp_path):
+    ids = FAKE_IDS[:4]
+    manifest = make_manifest(ids)
+    journal = tmp_path / "journal.json"
+    CampaignRunner(
+        manifest,
+        journal,
+        registry=picklable_registry(ids),
+        check_claims=False,
+    ).run()
+    # Every entry is settled; a resumed parallel run must invoke nothing
+    # (the registry would raise if any worker actually ran).
+    report = ParallelCampaignRunner(
+        manifest,
+        journal,
+        workers=2,
+        certify=False,
+        registry=picklable_registry(ids, _boom_driver),
+        check_claims=False,
+    ).run(resume=True)
+    assert [o.status for o in report.outcomes] == ["resumed"] * len(ids)
+    assert report.exit_code == 0
+
+
+def test_fresh_run_refuses_existing_journal(tmp_path):
+    ids = FAKE_IDS[:2]
+    manifest = make_manifest(ids)
+    journal = tmp_path / "journal.json"
+    runner = ParallelCampaignRunner(
+        manifest,
+        journal,
+        workers=2,
+        certify=False,
+        registry=picklable_registry(ids),
+        check_claims=False,
+    )
+    runner.run()
+    with pytest.raises(CampaignError, match="already exists"):
+        runner.run()
+
+
+# ----------------------------------------------------------------------
+# Interruption: drain the running worker, skip the pending queue
+# ----------------------------------------------------------------------
+
+
+def test_interrupt_drains_running_entry_and_skips_pending(tmp_path):
+    # workers=1 gives a submission window of 2: when the interrupt
+    # lands while entry 0 is executing, entry 1 is submitted (and may
+    # be uncancellable in the pool's call queue — drained either way),
+    # and entries 2..3 were never submitted, so they *must* be skipped.
+    ids = FAKE_IDS[:4]
+    manifest = make_manifest(ids)
+    rendezvous = tmp_path / "rendezvous"
+    rendezvous.mkdir()
+    registry = picklable_registry(ids, _rendezvous_driver, str(rendezvous))
+    runner = ParallelCampaignRunner(
+        manifest,
+        tmp_path / "journal.json",
+        workers=1,  # one worker => entries 2..n are still queued
+        certify=False,
+        registry=registry,
+        check_claims=False,
+        handle_signals=False,
+    )
+
+    def interrupt_once_started():
+        deadline = time.monotonic() + 30.0
+        while not (rendezvous / f"{ids[0]}.started").exists():
+            if time.monotonic() > deadline:  # pragma: no cover
+                break
+            time.sleep(0.01)
+        runner._stop.set()
+        (rendezvous / "go").write_text("go")
+
+    thread = threading.Thread(target=interrupt_once_started)
+    thread.start()
+    report = runner.run()
+    thread.join()
+
+    assert report.interrupted
+    assert report.exit_code == 75
+    statuses = [o.status for o in report.outcomes]
+    assert statuses[0] == "completed"  # drained, not discarded
+    # Entry 1 was in the submission window: drained if the pool's
+    # queue-feeder got to it first, cleanly cancelled otherwise.
+    assert statuses[1] in ("completed", "skipped")
+    assert statuses[2:] == ["skipped"] * (len(ids) - 2)
+
+    journaled = {
+        e["entry_id"]
+        for e in journal_projection(tmp_path / "journal.json")["entries"]
+    }
+    expected = {ids[0]} | (
+        {ids[1]} if statuses[1] == "completed" else set()
+    )
+    assert journaled == expected
+
+    # Resume finishes the skipped tail and converges on the same journal
+    # a never-interrupted run would have produced.
+    (rendezvous / "go").write_text("go")  # keep the gate open
+    resumed = ParallelCampaignRunner(
+        manifest,
+        tmp_path / "journal.json",
+        workers=2,
+        certify=False,
+        registry=registry,
+        check_claims=False,
+    ).run(resume=True)
+    resumed_statuses = [o.status for o in resumed.outcomes]
+    assert resumed_statuses[0] == "resumed"
+    assert set(resumed_statuses[1:]) <= {"resumed", "completed"}
+
+    uninterrupted = tmp_path / "uninterrupted.journal.json"
+    CampaignRunner(
+        manifest,
+        uninterrupted,
+        registry=picklable_registry(ids),
+        check_claims=False,
+    ).run()
+    assert journal_projection(
+        tmp_path / "journal.json"
+    ) == journal_projection(uninterrupted)
+
+
+# ----------------------------------------------------------------------
+# The certificate gate
+# ----------------------------------------------------------------------
+
+
+def test_gate_rejects_registry_outside_the_analyzed_tree(tmp_path):
+    ids = FAKE_IDS[:2]
+    runner = ParallelCampaignRunner(
+        make_manifest(ids),
+        tmp_path / "journal.json",
+        workers=2,
+        registry=picklable_registry(ids),  # test module: uncertifiable
+        check_claims=False,
+    )
+    with pytest.raises(PoolSafetyError, match="cannot be certified"):
+        runner.run()
+    # The gate fires before any durable state is touched.
+    assert not (tmp_path / "journal.json").exists()
+
+
+def test_gate_proves_the_real_entry_points(tmp_path):
+    from repro.lint.effects import CERTIFIED_ROOTS, TIER_POOL_SAFE, TIER_RANK
+
+    proven = verify_pool_safety(
+        cache_path=tmp_path / "effects-cache.json"
+    )
+    floor = TIER_RANK[TIER_POOL_SAFE]
+    for qualname in CERTIFIED_ROOTS:
+        assert TIER_RANK[proven[qualname]] >= floor, (
+            f"{qualname} lost its process-pool-safety proof"
+        )
+
+
+def test_workers_must_be_positive(tmp_path):
+    with pytest.raises(CampaignError, match="workers"):
+        ParallelCampaignRunner(
+            make_manifest(FAKE_IDS[:2]),
+            tmp_path / "journal.json",
+            workers=0,
+        )

@@ -1,0 +1,30 @@
+"""REP201: a pool-reachable function writes shared module state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE = {}
+COUNTER = 0
+
+
+def remember(entry_id, value):
+    # Direct shared-state write in a function submitted to the pool.
+    CACHE[entry_id] = value
+    return value
+
+
+def bump():
+    global COUNTER
+    COUNTER += 1
+    return COUNTER
+
+
+def work(entry_id, value):
+    # Reaches a shared-state write transitively.
+    bump()
+    return remember(entry_id, value)
+
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, key, value) for key, value in items]
+        return [future.result() for future in futures]

@@ -1,0 +1,15 @@
+"""REP201 counterexample: pool-reachable functions keep state local."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(entry_id, value):
+    local = {}
+    local[entry_id] = value
+    return local
+
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, key, value) for key, value in items]
+        return [future.result() for future in futures]

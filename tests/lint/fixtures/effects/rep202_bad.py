@@ -1,0 +1,22 @@
+"""REP202: closures capture enclosing state across the pool boundary.
+
+This is the planted fixture the intraprocedural rules (REP001-REP009)
+and the flow family (REP101-REP104) both miss: no clock, no RNG, no
+serialization sink — just a lambda smuggling a local across a process
+boundary, where fork-vs-spawn start methods make the captured value's
+visibility platform-dependent.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(items):
+    scale = 2.5
+
+    def job(item):
+        return item * scale
+
+    with ProcessPoolExecutor() as pool:
+        lambdas = [pool.submit(lambda item: item * scale, item) for item in items]
+        named = [pool.submit(job, item) for item in items]
+        return [f.result() for f in lambdas + named]

@@ -1,0 +1,14 @@
+"""REP202 counterexample: submitted functions take state as arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def job(item, scale):
+    return item * scale
+
+
+def run_all(items):
+    scale = 2.5
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(job, item, scale) for item in items]
+        return [future.result() for future in futures]

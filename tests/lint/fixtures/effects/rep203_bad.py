@@ -1,0 +1,18 @@
+"""REP203: set-iteration order reaches a serialized artifact.
+
+``collect_ids`` leaks the iteration order of a set as a list; the list
+crosses a function boundary and lands in a durable JSON artifact.
+"""
+
+from repro.core.durable import atomic_write_json
+
+
+def collect_ids(rows):
+    seen = set()
+    for row in rows:
+        seen.add(row.entry_id)
+    return [entry_id for entry_id in seen]
+
+
+def write_report(path, rows):
+    atomic_write_json(path, {"ids": collect_ids(rows)})

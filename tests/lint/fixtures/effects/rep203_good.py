@@ -1,0 +1,14 @@
+"""REP203 counterexample: ``sorted()`` launders the unordered mark."""
+
+from repro.core.durable import atomic_write_json
+
+
+def collect_ids(rows):
+    seen = set()
+    for row in rows:
+        seen.add(row.entry_id)
+    return sorted(seen)
+
+
+def write_report(path, rows):
+    atomic_write_json(path, {"ids": collect_ids(rows)})

@@ -1,0 +1,11 @@
+"""REP204: mutable default, and mutate-and-return parameter aliasing."""
+
+
+def accumulate(row, bucket=[]):
+    bucket.append(row)
+    return bucket
+
+
+def normalize(rows):
+    rows.append("sentinel")
+    return rows

@@ -1,0 +1,17 @@
+"""REP204 counterexamples: fresh state per call; fluent self-return."""
+
+
+def accumulate(row, bucket=None):
+    out = list(bucket or [])
+    out.append(row)
+    return out
+
+
+class Builder:
+    def __init__(self):
+        self.rows = []
+
+    def with_row(self, row):
+        # Mutate-and-return of *self* is the fluent-builder idiom, exempt.
+        self.rows.append(row)
+        return self

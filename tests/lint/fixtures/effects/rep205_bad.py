@@ -1,0 +1,17 @@
+"""REP205: submitting functions the analysis cannot certify pool-safe."""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+
+def stamped(item):
+    # Ambient nondeterminism: wall-clock read makes this uncertifiable.
+    return (item, time.time())
+
+
+def run_all(items, jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(stamped, item) for item in items]
+        # Dynamic callable: not statically analyzable, cannot certify.
+        futures += [pool.submit(job) for job in jobs]
+        return [future.result() for future in futures]

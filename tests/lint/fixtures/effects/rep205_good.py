@@ -1,0 +1,13 @@
+"""REP205 counterexample: only certified-pure work crosses the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def scaled(item, factor):
+    return item * factor
+
+
+def run_all(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(scaled, item, 2.0) for item in items]
+        return [future.result() for future in futures]

