@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import UsageError
+from repro.hotpath import hot
 from repro.middleware.instrument import OpCounter
 
 __all__ = ["pairwise_sq_dists", "charge_distance_ops", "farthest_point_init"]
@@ -49,6 +50,7 @@ def farthest_point_init(
     return sample[chosen].copy()
 
 
+@hot
 def pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances, shape ``(len(points), len(centers))``.
 
@@ -65,6 +67,7 @@ def pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return d2
 
 
+@hot
 def charge_distance_ops(
     ops: OpCounter, num_points: int, num_centers: int, num_dims: int
 ) -> None:

@@ -25,6 +25,7 @@ from typing import Any, Dict, Sequence
 
 import numpy as np
 
+from repro.hotpath import hot
 from repro.middleware.api import GeneralizedReduction
 from repro.middleware.instrument import OpCounter
 from repro.middleware.reduction import ArrayReductionObject
@@ -111,6 +112,7 @@ class EMClustering(GeneralizedReduction):
         # M phase: scatter matrices S_k, flattened.
         return ArrayReductionObject.zeros(self.k * d * d)
 
+    @hot
     def process_chunk(
         self, obj: ArrayReductionObject, payload: np.ndarray, ops: OpCounter
     ) -> None:
@@ -205,6 +207,7 @@ class EMClustering(GeneralizedReduction):
             raise ConfigurationError("covariance matrix lost positive definiteness")
         self._log_norms = -0.5 * (d * np.log(2.0 * np.pi) + logdet)
 
+    @hot
     def _responsibilities(
         self, points: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -18,6 +18,7 @@ from typing import Any, Dict, Sequence
 import numpy as np
 
 from repro.apps.base import charge_distance_ops, pairwise_sq_dists
+from repro.hotpath import hot
 from repro.middleware.api import GeneralizedReduction
 from repro.middleware.instrument import OpCounter
 from repro.middleware.reduction import ArrayReductionObject
@@ -88,6 +89,7 @@ class KMeansClustering(GeneralizedReduction):
         # Row i holds [sum of assigned points (d), assigned count (1)].
         return ArrayReductionObject.zeros((self.k, self._num_dims + 1))
 
+    @hot
     def process_chunk(
         self, obj: ArrayReductionObject, payload: np.ndarray, ops: OpCounter
     ) -> None:

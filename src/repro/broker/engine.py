@@ -87,6 +87,7 @@ from repro.broker.recovery import (
     Requeue,
     make_recovery,
 )
+from repro.hotpath import hot
 from repro.broker.report import (
     BrokerPlacement,
     BrokerPreemption,
@@ -126,7 +127,7 @@ from repro.workloads.registry import WORKLOADS, WorkloadSpec
 __all__ = ["GridBroker", "ActualRun"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ActualRun:
     """Observed component times of one executed placement."""
 
@@ -144,7 +145,7 @@ class ActualRun:
         return (self.t_disk, self.t_network, self.t_compute)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Completion:
     """Payload of a completion event."""
 
@@ -159,7 +160,7 @@ class _Completion:
     full_attempt: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class _Running:
     """Book-keeping of one in-flight attempt (mutable engine state)."""
 
@@ -209,7 +210,7 @@ class _Running:
         return int(done * self.num_passes) / self.num_passes
 
 
-@dataclass
+@dataclass(slots=True)
 class _FaultState:
     """Mutable grid-weather state of one faulted :meth:`GridBroker.run`."""
 
@@ -382,6 +383,7 @@ class GridBroker:
             self._profiles[key] = profile
         return profile
 
+    @hot
     def _selection(self, job: BrokerJob) -> SelectionOutcome:
         """Full-capacity candidate enumeration (raises when infeasible)."""
         key = job.dataset_key
@@ -423,6 +425,7 @@ class GridBroker:
     # Execution (memoized; the middleware is deterministic)
     # ------------------------------------------------------------------
 
+    @hot
     def _execute(self, job: BrokerJob, cand: SelectionCandidate) -> ActualRun:
         fast_key = (id(cand), job.dataset_key)
         cached = self._exec_by_cand.get(fast_key)
@@ -461,6 +464,7 @@ class GridBroker:
         self._exec_by_cand[fast_key] = actual
         return actual
 
+    @hot
     def _recover_charge(self, job: BrokerJob, cand: SelectionCandidate) -> float:
         """T_recover for resuming ``job`` from checkpoints on ``cand``.
 
@@ -503,6 +507,7 @@ class GridBroker:
             self._recover_cache[key] = charge
         return charge
 
+    @hot
     def _wan_factor(
         self,
         replica_site: str,
@@ -527,6 +532,7 @@ class GridBroker:
     # The event loop
     # ------------------------------------------------------------------
 
+    @hot
     def run(
         self,
         jobs: Sequence[BrokerJob],
@@ -638,6 +644,7 @@ class GridBroker:
             str, List[Tuple[str, Optional[str], int, int]]
         ] = {}
 
+        @hot
         def reject(job: BrokerJob, now: float, code: str, reason: str) -> None:
             rejections.append(
                 BrokerRejection(
@@ -652,6 +659,7 @@ class GridBroker:
                 )
             )
 
+        @hot
         def enqueue(job: BrokerJob) -> None:
             nonlocal peak_pending
             entry = ((-job.priority, job.arrival, job.job_id), job)
@@ -662,6 +670,7 @@ class GridBroker:
             if len(pending) > peak_pending:
                 peak_pending = len(pending)
 
+        @hot
         def job_options(
             job: BrokerJob, outcome: SelectionOutcome
         ) -> List[PlacementOption]:
@@ -688,6 +697,7 @@ class GridBroker:
                 use_reference=not indexed,
             )
 
+        @hot
         def settle_preemption(run_state: _Running, cause: str, at: float) -> None:
             """Tear one attempt down and route its job through recovery."""
             assert state is not None
@@ -1092,6 +1102,7 @@ class GridBroker:
             return spec.at + spec.duration
         return None
 
+    @hot
     def _apply_fault(
         self,
         payload: Tuple[int, object],
@@ -1153,6 +1164,7 @@ class GridBroker:
                 )
             )
 
+    @hot
     def _apply_repair(
         self,
         payload: Tuple[int, object],
@@ -1193,6 +1205,7 @@ class GridBroker:
 
     # ------------------------------------------------------------------
 
+    @hot
     def _options(
         self,
         job: BrokerJob,
@@ -1232,6 +1245,7 @@ class GridBroker:
             for cand in candidates
         ]
 
+    @hot
     def _place(
         self,
         job: BrokerJob,

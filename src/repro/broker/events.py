@@ -51,6 +51,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.topology import GridTopology
 
@@ -76,9 +77,13 @@ class EventKind(enum.IntEnum):
     ARRIVAL = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
-    """One simulated occurrence; ``payload`` is owned by the broker."""
+    """One simulated occurrence; ``payload`` is owned by the broker.
+
+    Slotted (REP301): one instance per arrival/completion/fault at
+    trace scale, so the per-instance dict would be pure overhead.
+    """
 
     time: float
     kind: EventKind
@@ -101,6 +106,7 @@ class EventQueue:
         self.peak_depth = 0
         self.total_pushed = 0
 
+    @hot
     def push(self, event: Event) -> None:
         if event.time < 0:
             raise ConfigurationError("event times must be >= 0")
@@ -112,6 +118,7 @@ class EventQueue:
         if len(self._heap) > self.peak_depth:
             self.peak_depth = len(self._heap)
 
+    @hot
     def pop(self) -> Event:
         if not self._heap:
             raise ConfigurationError("event queue is empty")
@@ -130,7 +137,7 @@ class EventQueue:
         return bool(self._heap)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeWindow:
     """One node of one site reserved for one job over ``[start, end)``."""
 
@@ -147,7 +154,7 @@ class NodeWindow:
         return self.start < other.end and other.start < self.end
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OutageRecord:
     """Declared lost capacity: a site (or some of its nodes) down from
     ``start`` until ``end`` (``None`` = never repaired in the run).
@@ -223,6 +230,7 @@ class SitePool:
     def free_count(self) -> int:
         return 0 if self.down else len(self._free_set)
 
+    @hot
     def acquire(
         self, count: int, job_id: str, start: float, end: float
     ) -> Tuple[int, ...]:
@@ -261,6 +269,7 @@ class SitePool:
         self._changed()
         return tuple(taken)
 
+    @hot
     def release(self, nodes: Tuple[int, ...]) -> None:
         """Return previously acquired nodes to the free pool.
 

@@ -22,8 +22,7 @@ makes cheap to evaluate.
 from __future__ import annotations
 
 import abc
-import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.broker.jobs import BrokerJob
@@ -44,7 +43,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlacementOption:
     """One feasible placement with raw and calibrated predictions.
 
@@ -80,16 +79,18 @@ class PlacementOption:
     def compute_nodes(self) -> int:
         return self.candidate.compute_nodes
 
-    @functools.cached_property
-    def predicted_total(self) -> float:
-        """Calibrated predicted execution time of this attempt.
+    #: Calibrated predicted execution time of this attempt.
+    #:
+    #: For a resumed job only the remaining fraction of the work is
+    #: predicted, plus the recovery charge; an active WAN degradation
+    #: stretches the network component.  Fault-free this is exactly
+    #: ``calibrated.total``.  Computed once at construction (the class
+    #: is slotted, so ``functools.cached_property`` has no instance
+    #: dict to cache into): options are immutable and the policies read
+    #: this several times per decision.
+    predicted_total: float = field(init=False, repr=False, compare=False)
 
-        For a resumed job only the remaining fraction of the work is
-        predicted, plus the recovery charge; an active WAN degradation
-        stretches the network component.  Fault-free this is exactly
-        ``calibrated.total``.  Cached: options are immutable and the
-        policies read this several times per decision.
-        """
+    def __post_init__(self) -> None:
         # remaining_fraction <= 1, resume_charge >= 0 and wan_factor >= 1
         # by construction, so these inequalities test for the exact
         # fault-free identity values without a float-equality compare.
@@ -98,11 +99,13 @@ class PlacementOption:
             and self.resume_charge <= 0.0
             and self.wan_factor <= 1.0
         ):
-            return self.calibrated.total
-        stretched = self.calibrated.total + self.calibrated.t_network * (
-            self.wan_factor - 1.0
-        )
-        return self.remaining_fraction * stretched + self.resume_charge
+            total = self.calibrated.total
+        else:
+            stretched = self.calibrated.total + self.calibrated.t_network * (
+                self.wan_factor - 1.0
+            )
+            total = self.remaining_fraction * stretched + self.resume_charge
+        object.__setattr__(self, "predicted_total", total)
 
     @property
     def node_hours(self) -> float:

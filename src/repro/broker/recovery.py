@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Incident:
     """One torn-down execution attempt, as the recovery policy sees it.
 
@@ -63,7 +63,7 @@ class Incident:
     checkpoint_fraction: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Requeue:
     """Re-place the job: eligible again at ``at`` with ``progress`` kept.
 
@@ -76,7 +76,7 @@ class Requeue:
     charge_recovery: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GiveUp:
     """Stop retrying: the job is terminally failed with this code."""
 

@@ -42,7 +42,7 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerPlacement:
     """One completed job: where, when, and how well it was predicted.
 
@@ -95,7 +95,7 @@ class BrokerPlacement:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerRejection:
     """One job the broker refused, with a machine-usable code.
 
@@ -114,7 +114,7 @@ class BrokerRejection:
     arrival_index: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GridFaultEvent:
     """One grid fault becoming active or healing, on the broker clock."""
 
@@ -124,7 +124,7 @@ class GridFaultEvent:
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerPreemption:
     """One execution attempt torn down by a grid fault.
 
@@ -144,7 +144,7 @@ class BrokerPreemption:
     kept_fraction: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TerminalFailure:
     """One admitted job the broker could not finish."""
 
@@ -157,7 +157,7 @@ class TerminalFailure:
     deadline: Optional[float] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PolicyRun:
     """Everything one policy did to one job stream."""
 
@@ -295,7 +295,7 @@ class PolicyRun:
         return dict(sorted(counts.items()))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerReport:
     """Per-policy outcomes of one broker workload."""
 

@@ -1,0 +1,14 @@
+"""Canonical alias for the hot-path registry (see :mod:`repro.hotpath`).
+
+The implementation lives at the top of the package tree because the
+leaf layers that declare hot entries (``repro.simgrid``,
+``repro.broker``) are imported *by* :mod:`repro.core`'s package init —
+importing ``repro.core.hotpath`` from inside the simulator would be a
+cycle.  Framework-level code is welcome to keep importing from here;
+both spellings are the same objects and the same registry, and the
+static analyzer accepts either as a hot declaration.
+"""
+
+from repro.hotpath import HOT_DECORATOR, declared_hot, hot, is_declared_hot
+
+__all__ = ["hot", "declared_hot", "is_declared_hot", "HOT_DECORATOR"]

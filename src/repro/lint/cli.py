@@ -23,6 +23,7 @@ from repro.lint.findings import Finding
 from repro.lint.fixes import apply_fixes
 from repro.lint.effects.ruledefs import EFFECT_CODES, EFFECT_RULES
 from repro.lint.flow.ruledefs import FLOW_CODES, FLOW_RULES
+from repro.lint.perf.ruledefs import PERF_CODES, PERF_RULES
 from repro.lint.registry import all_rules
 from repro.lint.reporters import REPORT_FORMATS, LintReport, render
 
@@ -32,6 +33,8 @@ DEFAULT_PATHS = ("src/repro",)
 DEFAULT_FLOW_CACHE = ".repro-flow-cache.json"
 DEFAULT_EFFECTS_CACHE = ".repro-effects-cache.json"
 DEFAULT_CERTIFICATE = ".repro-effects.json"
+DEFAULT_PERF_CACHE = ".repro-perf-cache.json"
+DEFAULT_PROFILE = ".repro-profile.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -118,9 +121,34 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="let --write-certificate record tier demotions after "
         "review",
     )
+    perf_group = parser.add_mutually_exclusive_group()
+    perf_group.add_argument(
+        "--perf", action="store_true",
+        help="run the performance-contract pass (REP301-REP305); like "
+        "--effects it always analyzes the full PATH scope, even under "
+        "--changed, because hot-region membership is a whole-program "
+        "property",
+    )
+    perf_group.add_argument(
+        "--no-perf", action="store_true",
+        help="force the perf pass off even when --select names a "
+        "REP3xx code",
+    )
+    parser.add_argument(
+        "--perf-cache", default=None, metavar="FILE",
+        help="per-module summary cache for the perf pass "
+        f"(default: ROOT/{DEFAULT_PERF_CACHE})",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="call profile the perf pass cross-validates the declared "
+        f"hot set against (default: ROOT/{DEFAULT_PROFILE}; REP305 "
+        "is skipped when the file is absent)",
+    )
     parser.add_argument(
         "--clear-cache", action="store_true",
-        help="delete the flow and effect summary caches before running",
+        help="delete the flow, effect, and perf summary caches before "
+        "running",
     )
     parser.add_argument(
         "--changed", action="store_true",
@@ -141,7 +169,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
     root = pathlib.Path(args.root) if args.root else pathlib.Path.cwd()
     if args.clear_cache:
         _clear_caches(args, root)
-    rules, flow_selected, effects_selected = _selected_rules(args.select)
+    rules, flow_selected, effects_selected, perf_selected = _selected_rules(
+        args.select
+    )
     paths: List[str] = list(args.paths)
     if args.changed:
         from repro.lint.gitdiff import changed_python_files
@@ -219,6 +249,34 @@ def run_lint_command(args: argparse.Namespace) -> int:
         findings = sorted(
             findings + effect_findings, key=Finding.sort_key
         )
+    if _perf_enabled(args, perf_selected):
+        from repro.lint.perf import analyze_perf
+
+        perf_cache = args.perf_cache or str(root / DEFAULT_PERF_CACHE)
+        perf_certificate = args.certificate or str(
+            root / DEFAULT_CERTIFICATE
+        )
+        profile_path = args.profile or str(root / DEFAULT_PROFILE)
+        # Like the effect pass, the perf pass always covers the original
+        # PATH scope even under --changed: decorating one function can
+        # pull a distant, unchanged callee into the hot region (or push
+        # it out), so a diff-narrowed file list would miss exactly the
+        # regressions REP301-REP304 exist to catch.
+        perf_result = analyze_perf(
+            list(args.paths),
+            root=root,
+            cache_path=perf_cache,
+            certificate_path=perf_certificate,
+            profile_path=profile_path,
+        )
+        perf_findings_list = perf_result.findings
+        if perf_selected is not None:
+            perf_findings_list = [
+                f for f in perf_findings_list if f.code in perf_selected
+            ]
+        findings = sorted(
+            findings + perf_findings_list, key=Finding.sort_key
+        )
     if args.write_baseline:
         if not args.baseline:
             raise ReproError("--write-baseline requires --baseline FILE")
@@ -292,22 +350,43 @@ def _effects_enabled(
     return False
 
 
+def _perf_enabled(
+    args: argparse.Namespace,
+    perf_selected: Optional[frozenset],
+) -> bool:
+    """Whether this run includes the performance-contract pass.
+
+    Off by default, exactly like the effect pass: it is a whole-program
+    analysis that reads the committed certificate and profile artifacts,
+    so it runs when asked for: --perf, or a --select naming a REP3xx
+    code.
+    """
+    if args.no_perf:
+        return False
+    if args.perf:
+        return True
+    if perf_selected is not None:
+        return bool(perf_selected)
+    return False
+
+
 def _clear_caches(args: argparse.Namespace, root: pathlib.Path) -> None:
     for candidate in (
         args.flow_cache or root / DEFAULT_FLOW_CACHE,
         args.effects_cache or root / DEFAULT_EFFECTS_CACHE,
+        args.perf_cache or root / DEFAULT_PERF_CACHE,
     ):
         pathlib.Path(candidate).unlink(missing_ok=True)
 
 
 def _selected_rules(select: Optional[str]):
-    """Split a --select list into engine rules, flow codes, effect codes.
+    """Split a --select list into engine, flow, effect, and perf codes.
 
-    Returns ``(engine_rules, flow_codes, effect_codes)``, all ``None``
-    when no --select was given (meaning: everything).
+    Returns ``(engine_rules, flow_codes, effect_codes, perf_codes)``,
+    all ``None`` when no --select was given (meaning: everything).
     """
     if not select:
-        return None, None, None
+        return None, None, None, None
     from repro.lint.errors import LintError
     from repro.lint.registry import RULES
 
@@ -319,10 +398,14 @@ def _selected_rules(select: Optional[str]):
         if c not in all_instances
         and c not in FLOW_CODES
         and c not in EFFECT_CODES
+        and c not in PERF_CODES
     ]
     if unknown:
         registered = (
-            sorted(RULES) + sorted(FLOW_CODES) + sorted(EFFECT_CODES)
+            sorted(RULES)
+            + sorted(FLOW_CODES)
+            + sorted(EFFECT_CODES)
+            + sorted(PERF_CODES)
         )
         raise LintError(
             f"unknown rule code(s) {', '.join(unknown)} in --select "
@@ -333,7 +416,8 @@ def _selected_rules(select: Optional[str]):
     ]
     flow_codes = frozenset(c for c in codes if c in FLOW_CODES)
     effect_codes = frozenset(c for c in codes if c in EFFECT_CODES)
-    return engine_rules, flow_codes, effect_codes
+    perf_codes = frozenset(c for c in codes if c in PERF_CODES)
+    return engine_rules, flow_codes, effect_codes, perf_codes
 
 
 def _count_files(paths: Sequence[str]) -> int:
@@ -368,6 +452,10 @@ def _rule_table() -> str:
         )
         lines.append(f"        {effect_rule.summary}")
         lines.append(f"        why: {effect_rule.rationale}")
+    for perf_rule in PERF_RULES:
+        lines.append(f"{perf_rule.code}  {perf_rule.name} (perf)")
+        lines.append(f"        {perf_rule.summary}")
+        lines.append(f"        why: {perf_rule.rationale}")
     return "\n".join(lines)
 
 

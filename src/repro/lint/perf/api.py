@@ -1,0 +1,160 @@
+"""The perf layer's entry point: files in, REP301-REP305 findings out.
+
+``analyze_perf`` mirrors ``analyze_effects``: expand paths the same
+way, anchor finding paths on the same ``root``, and return plain
+:class:`Finding` objects the CLI concatenates with the other layers'
+and hands to the same baseline partition and reporters.
+
+Per file: hash the source, hit the perf cache or parse + extract, then
+build the call graph over all summaries (the flow layer's builder,
+unchanged — perf summaries carry identically-shaped ``calls`` and
+``arg_flows``), close the declared hot set over it, and generate
+REP301-REP304.  When a committed call profile is present, REP305 fires
+for every measured-hot function outside the static hot region.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.effects.certificate import load_certificate
+from repro.lint.engine import iter_python_files, relative_finding_path
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph, build_callgraph
+from repro.lint.perf.cache import PerfCache, source_digest
+from repro.lint.perf.extract import PerfExtract, extract_perf
+from repro.lint.perf.hotset import (
+    PerfAnalysis,
+    build_analysis,
+    perf_findings,
+)
+from repro.lint.perf.profile import cross_validate, load_profile
+
+__all__ = ["PerfResult", "analyze_perf", "DEFAULT_PERF_CACHE_NAME"]
+
+DEFAULT_PERF_CACHE_NAME = ".repro-perf-cache.json"
+
+
+@dataclasses.dataclass
+class PerfResult:
+    """Findings plus the analysis artifacts tests and tooling inspect."""
+
+    findings: List[Finding]
+    analysis: PerfAnalysis
+    files_analyzed: int
+    cache_hits: int
+    cache_misses: int
+    #: relpath -> sha256 of the analyzed source
+    module_digests: Dict[str, str]
+
+    @property
+    def callgraph(self) -> CallGraph:
+        return self.analysis.graph
+
+
+def analyze_perf(
+    paths: Sequence[str | pathlib.Path],
+    *,
+    root: Optional[str | pathlib.Path] = None,
+    cache_path: Optional[str | pathlib.Path] = None,
+    certificate_path: Optional[str | pathlib.Path] = None,
+    profile_path: Optional[str | pathlib.Path] = None,
+) -> PerfResult:
+    """Run the whole-program perf analysis over files and directories."""
+    rootpath = (
+        pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    )
+    cache = PerfCache.load(
+        pathlib.Path(cache_path) if cache_path is not None else None
+    )
+
+    extracts: List[PerfExtract] = []
+    sources: Dict[str, Sequence[str]] = {}
+    module_digests: Dict[str, str] = {}
+    for path in iter_python_files([pathlib.Path(p) for p in paths]):
+        relpath = relative_finding_path(path, rootpath)
+        source = path.read_text(encoding="utf-8")
+        sources[relpath] = source.splitlines()
+        digest = source_digest(source)
+        cached = cache.get(relpath, digest)
+        if cached is not None:
+            extracts.append(cached)
+        else:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                continue  # REP000 is the engine's report, not ours
+            extract = extract_perf(tree, relpath)
+            extracts.append(extract)
+            cache.put(relpath, digest, extract)
+        module_digests[relpath] = digest
+
+    graph = build_callgraph(extracts)
+    analysis = build_analysis(extracts, graph)
+
+    certificate_tiers: Optional[Dict[str, str]] = None
+    if certificate_path is not None:
+        certificate = load_certificate(certificate_path)
+        if certificate is not None:
+            functions = certificate.get("functions")
+            if isinstance(functions, dict):
+                certificate_tiers = {
+                    str(k): str(v) for k, v in functions.items()
+                }
+
+    findings = perf_findings(analysis, sources, certificate_tiers)
+
+    if profile_path is not None:
+        profile = load_profile(profile_path)
+        if profile is not None:
+            findings.extend(
+                _rep305_findings(profile, analysis, sources)
+            )
+    findings.sort(key=Finding.sort_key)
+
+    cache.save()
+    return PerfResult(
+        findings=findings,
+        analysis=analysis,
+        files_analyzed=len(extracts),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        module_digests=module_digests,
+    )
+
+
+def _rep305_findings(
+    profile: Dict[str, object],
+    analysis: PerfAnalysis,
+    sources: Dict[str, Sequence[str]],
+) -> List[Finding]:
+    agreement = cross_validate(
+        profile,
+        hot_region=analysis.hot_region,
+        declared=analysis.hot_entries,
+        known=frozenset(analysis.locations),
+    )
+    findings: List[Finding] = []
+    for qualname, share in agreement.undeclared_hot:
+        relpath, line = analysis.locations.get(qualname, ("(profile)", 1))
+        lines = sources.get(relpath, ())
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        findings.append(
+            Finding(
+                code="REP305",
+                message=(
+                    f"'{qualname}' holds {share:.2%} of profiled calls "
+                    f"(threshold {agreement.threshold:.2%}) but is not "
+                    f"in the declared hot region — declare it @hot or "
+                    f"shrink the workload's reliance on it"
+                ),
+                path=relpath,
+                line=line,
+                col=1,
+                snippet=snippet,
+            )
+        )
+    return findings

@@ -1,0 +1,96 @@
+"""Content-hash-keyed cache of per-module perf extracts.
+
+Same contract as the flow and effect caches (which this mirrors):
+entries are keyed by the SHA-256 of the module source, the file is one
+durable canonical-JSON document, and any read problem — corrupt file,
+version skew, malformed entry — degrades to a full re-extract rather
+than an error, because the analysis must give the same answer with or
+without its cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.core.durable import StoreError, atomic_write_json, read_json_document
+from repro.lint.flow.cache import source_digest
+from repro.lint.perf.extract import PerfExtract
+
+__all__ = [
+    "PerfCache",
+    "source_digest",
+    "PERF_CACHE_FORMAT_VERSION",
+    "PERF_ANALYSIS_VERSION",
+]
+
+PERF_CACHE_FORMAT_VERSION = 1
+
+# Semantic version of the *extractor* itself.  Cache entries are keyed
+# by source digest, so a source file that has not changed would happily
+# replay a summary produced by an older extractor with different rules.
+# Bump this whenever extract.py changes what a summary contains or
+# means; mismatched caches are discarded wholesale.
+PERF_ANALYSIS_VERSION = 1
+
+
+class PerfCache:
+    """Per-module perf-extract store; counts hits/misses."""
+
+    def __init__(self, path: Optional[pathlib.Path] = None) -> None:
+        self.path = path
+        self._modules: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Optional[pathlib.Path]) -> "PerfCache":
+        cache = cls(path)
+        if path is None or not path.exists():
+            return cache
+        try:
+            data = read_json_document(
+                path,
+                "perf summary cache",
+                expected_version=PERF_CACHE_FORMAT_VERSION,
+            )
+        except StoreError:
+            return cache  # unreadable cache == no cache
+        if data.get("analysis_version") != PERF_ANALYSIS_VERSION:
+            return cache  # produced by a different extractor revision
+        modules = data.get("modules")
+        if isinstance(modules, dict):
+            cache._modules = modules
+        return cache
+
+    def get(self, relpath: str, digest: str) -> Optional[PerfExtract]:
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            extract = PerfExtract.from_dict(entry["extract"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return extract
+
+    def put(self, relpath: str, digest: str, extract: PerfExtract) -> None:
+        self._modules[relpath] = {
+            "digest": digest,
+            "extract": extract.to_dict(),
+        }
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self.path,
+            {
+                "format_version": PERF_CACHE_FORMAT_VERSION,
+                "analysis_version": PERF_ANALYSIS_VERSION,
+                "modules": self._modules,
+            },
+        )

@@ -1,0 +1,229 @@
+"""Deterministic call profiling: the measured half of the hot contract.
+
+``repro profile`` runs a pinned broker+simulator workload under
+``sys.setprofile`` and *counts call events* — never wall-clock time.
+Call counts of a deterministic workload are themselves deterministic, so
+the profile artifact is reproducible byte-for-byte across machines and
+runs, which is what lets it live next to the determinism certificate as
+a reviewed file instead of a flaky measurement.
+
+The agreement protocol runs in both directions:
+
+- *measured-but-undeclared*: a function whose share of profiled calls
+  meets :data:`~repro.lint.perf.ruledefs.DEFAULT_SHARE_THRESHOLD` but
+  sits outside the declared hot region is a REP305 finding — hot code
+  the cost rules never examined.
+- *declared-but-unreached*: a declared ``@hot`` entry the pinned
+  workload never calls is an agreement failure — either the workload no
+  longer exercises the path or the declaration is stale.
+
+The analyzer keeps the profiler honest about scope; the profiler keeps
+the analyzer honest about what is actually hot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import sys
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.durable import (
+    StoreError,
+    atomic_write_json,
+    read_json_document,
+)
+from repro.lint.errors import LintError
+from repro.lint.perf.ruledefs import DEFAULT_SHARE_THRESHOLD
+
+__all__ = [
+    "DEFAULT_PROFILE_NAME",
+    "PROFILE_FORMAT_VERSION",
+    "collect_call_counts",
+    "build_profile_document",
+    "write_profile",
+    "load_profile",
+    "measured_hot",
+    "ProfileAgreement",
+    "cross_validate",
+]
+
+DEFAULT_PROFILE_NAME = ".repro-profile.json"
+PROFILE_FORMAT_VERSION = 1
+
+#: Only frames whose module matches this prefix are counted; the
+#: profile is a claim about project code, not the stdlib.
+_PROJECT_PREFIX = "repro"
+
+
+def collect_call_counts(
+    workload: Callable[[], Any], *, prefix: str = _PROJECT_PREFIX
+) -> Dict[str, int]:
+    """Run ``workload`` counting project-function call events.
+
+    Keys are ``module.qualname`` — the same identity the static layers
+    use — so the two halves of the contract can be joined directly.
+    """
+    counts: Dict[str, int] = {}
+
+    def tracer(frame: Any, event: str, arg: Any) -> None:
+        if event != "call":
+            return
+        module = frame.f_globals.get("__name__", "")
+        if module != prefix and not module.startswith(prefix + "."):
+            return
+        # ``co_qualname`` writes nested functions as ``f.<locals>.g``;
+        # the static extractor writes ``f.g``.  Normalize here so the
+        # two halves of the contract join on one spelling.
+        qualname = "{}.{}".format(
+            module, frame.f_code.co_qualname.replace(".<locals>.", ".")
+        )
+        counts[qualname] = counts.get(qualname, 0) + 1
+
+    sys.setprofile(tracer)
+    try:
+        workload()
+    finally:
+        sys.setprofile(None)
+    return counts
+
+
+def build_profile_document(
+    counts: Dict[str, int],
+    *,
+    workload: str,
+    threshold: float = DEFAULT_SHARE_THRESHOLD,
+) -> Dict[str, Any]:
+    """Canonical profile artifact: counts and shares, no wall-clock."""
+    total = sum(counts.values())
+    functions = {
+        qualname: {
+            "calls": calls,
+            "share": (calls / total) if total else 0.0,
+        }
+        for qualname, calls in sorted(counts.items())
+    }
+    return {
+        "format_version": PROFILE_FORMAT_VERSION,
+        "workload": workload,
+        "threshold": threshold,
+        "total_calls": total,
+        "functions": functions,
+    }
+
+
+def write_profile(
+    path: str | pathlib.Path, document: Dict[str, Any]
+) -> None:
+    atomic_write_json(pathlib.Path(path), document)
+
+
+def load_profile(
+    path: str | pathlib.Path,
+) -> Optional[Dict[str, Any]]:
+    """Load a profile artifact; ``None`` when absent.
+
+    Like the determinism certificate — and unlike the summary caches —
+    a *corrupt* profile is an error: the file is a reviewed claim, and
+    silently ignoring it would disable REP305.
+    """
+    profile_path = pathlib.Path(path)
+    if not profile_path.exists():
+        return None
+    try:
+        data = read_json_document(
+            profile_path,
+            "call profile",
+            expected_version=PROFILE_FORMAT_VERSION,
+            remedy="regenerate with: repro profile",
+        )
+    except StoreError as exc:
+        raise LintError(str(exc)) from exc
+    functions = data.get("functions")
+    if not isinstance(functions, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, dict)
+        and isinstance(v.get("calls"), int)
+        for k, v in functions.items()
+    ):
+        raise LintError(
+            f"call profile {profile_path} has a malformed 'functions' "
+            "map; regenerate with: repro profile"
+        )
+    return data
+
+
+def measured_hot(
+    document: Dict[str, Any], threshold: Optional[float] = None
+) -> Dict[str, float]:
+    """qualname -> share for every function at or above the threshold."""
+    if threshold is None:
+        raw = document.get("threshold", DEFAULT_SHARE_THRESHOLD)
+        threshold = float(raw) if isinstance(raw, (int, float)) else (
+            DEFAULT_SHARE_THRESHOLD
+        )
+    functions = document.get("functions")
+    if not isinstance(functions, dict):
+        return {}
+    hot: Dict[str, float] = {}
+    for qualname, entry in functions.items():
+        share = entry.get("share") if isinstance(entry, dict) else None
+        if isinstance(share, (int, float)) and share >= threshold:
+            hot[qualname] = float(share)
+    return hot
+
+
+@dataclasses.dataclass
+class ProfileAgreement:
+    """Both directions of the declared-vs-measured comparison."""
+
+    #: (qualname, share) measured hot but outside the hot region (REP305)
+    undeclared_hot: List[Tuple[str, float]]
+    #: declared ``@hot`` entries with zero profiled calls
+    unreached_declared: List[str]
+    threshold: float
+    total_calls: int
+
+    @property
+    def agrees(self) -> bool:
+        return not self.undeclared_hot and not self.unreached_declared
+
+
+def cross_validate(
+    document: Dict[str, Any],
+    *,
+    hot_region: FrozenSet[str],
+    declared: FrozenSet[str],
+    threshold: Optional[float] = None,
+    known: Optional[FrozenSet[str]] = None,
+) -> ProfileAgreement:
+    """Compare the measured profile against the static hot region.
+
+    ``known`` restricts the undeclared-hot direction to qualnames the
+    static analysis can actually locate: the profiler also sees
+    identities no source-level decorator can ever claim — dataclass
+    ``__create_fn__``-generated methods, genexprs — and flagging those
+    would make the contract unsatisfiable.
+    """
+    hot = measured_hot(document, threshold)
+    if threshold is None:
+        raw = document.get("threshold", DEFAULT_SHARE_THRESHOLD)
+        threshold = float(raw) if isinstance(raw, (int, float)) else (
+            DEFAULT_SHARE_THRESHOLD
+        )
+    undeclared = sorted(
+        (qualname, share)
+        for qualname, share in hot.items()
+        if qualname not in hot_region
+        and (known is None or qualname in known)
+    )
+    functions = document.get("functions")
+    called = set(functions) if isinstance(functions, dict) else set()
+    unreached = sorted(q for q in declared if q not in called)
+    total = document.get("total_calls")
+    return ProfileAgreement(
+        undeclared_hot=undeclared,
+        unreached_declared=unreached,
+        threshold=float(threshold),
+        total_calls=int(total) if isinstance(total, int) else 0,
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = [
@@ -138,6 +139,7 @@ def assign_chunks(
     )
 
 
+@hot
 def map_roles_to_survivors(
     compute_nodes: int, crashed: Sequence[int]
 ) -> Dict[int, List[int]]:

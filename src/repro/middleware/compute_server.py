@@ -33,6 +33,14 @@ __all__ = ["ComputeServer"]
 class ComputeServer:
     """Timing model for one compute node."""
 
+    __slots__ = (
+        "config",
+        "node_index",
+        "cluster",
+        "cache",
+        "_remote_cache_link",
+    )
+
     def __init__(self, config: RunConfig, node_index: int) -> None:
         self.config = config
         self.node_index = node_index

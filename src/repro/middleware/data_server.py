@@ -57,14 +57,19 @@ class DataServer:
             latency_s=nic.latency_s,
             bw=min(nic.bw, config.bandwidth),
         )
+        # Dataset and assignment are immutable for the server's lifetime,
+        # so the per-node size lists are computed once (REP303 burn-down:
+        # every phase method used to rebuild them per call).
+        chunk_nbytes = dataset.chunk_nbytes
+        self._per_node_chunk_sizes = [
+            [chunk_nbytes(c) for c in chunks]
+            for chunks in assignment.data_node_chunks
+        ]
 
     @property
     def per_node_chunk_sizes(self) -> List[List[float]]:
         """Chunk byte sizes grouped by owning data node."""
-        return [
-            [self.dataset.chunk_nbytes(c) for c in chunks]
-            for chunks in self.assignment.data_node_chunks
-        ]
+        return self._per_node_chunk_sizes
 
     def retrieval_time(self) -> float:
         """Phase time to read every chunk from the repository disks."""
@@ -89,12 +94,12 @@ class DataServer:
         clear message when the assignment lists no data nodes, instead of
         letting ``max()`` fail on an empty sequence.
         """
-        per_node_chunk_sizes = self.per_node_chunk_sizes
-        if not per_node_chunk_sizes:
+        if not self.assignment.data_node_chunks:
             raise ConfigurationError(
                 "cannot compute communication time: the chunk assignment "
                 "contains no data-node chunk lists"
             )
+        per_node_chunk_sizes = self.per_node_chunk_sizes
         per_node = (
             self._link.stream_time(sizes) for sizes in per_node_chunk_sizes
         )

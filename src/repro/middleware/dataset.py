@@ -16,6 +16,7 @@ from typing import Any, Dict
 
 import numpy as np
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = ["Dataset", "ArrayDataset"]
@@ -62,6 +63,7 @@ class Dataset(abc.ABC):
         self._check_index(index)
         return self.nbytes / self.num_chunks
 
+    @hot
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.num_chunks:
             raise ConfigurationError(
@@ -123,12 +125,14 @@ class ArrayDataset(Dataset):
         """Record width."""
         return int(self.records.shape[1])
 
+    @hot
     def chunk_payload(self, index: int) -> np.ndarray:
         """A view of the rows belonging to chunk ``index``."""
         self._check_index(index)
         lo, hi = self._bounds[index]
         return self.records[lo:hi]
 
+    @hot
     def chunk_nbytes(self, index: int) -> float:
         """Model bytes of chunk ``index``, proportional to its row count."""
         self._check_index(index)

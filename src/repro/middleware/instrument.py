@@ -13,6 +13,7 @@ genuine.
 
 from __future__ import annotations
 
+from repro.hotpath import hot
 from repro.simgrid.hardware import OpVector
 
 __all__ = ["OpCounter"]
@@ -28,6 +29,8 @@ class OpCounter:
     150.0
     """
 
+    __slots__ = ("_ops",)
+
     def __init__(self) -> None:
         self._ops = OpVector.zero()
 
@@ -36,6 +39,7 @@ class OpCounter:
         """The accumulated operation vector."""
         return self._ops
 
+    @hot
     def charge(self, flop: float = 0.0, mem: float = 0.0, branch: float = 0.0) -> None:
         """Add operation counts (each must be >= 0)."""
         self._ops = self._ops + OpVector(flop=flop, mem=mem, branch=branch)
@@ -44,6 +48,7 @@ class OpCounter:
         """Add a pre-built operation vector."""
         self._ops = self._ops + ops
 
+    @hot
     def take(self) -> OpVector:
         """Return the accumulated vector and reset the counter."""
         out = self._ops

@@ -18,12 +18,13 @@ from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = ["ArrayReductionObject", "FeatureListReductionObject"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayReductionObject:
     """A fixed-shape accumulator: element-wise sums plus a sample count."""
 
@@ -40,6 +41,7 @@ class ArrayReductionObject:
         """Serialized size: the array plus the 8-byte counter."""
         return float(self.values.nbytes) + 8.0
 
+    @hot
     def accumulate(self, contribution: np.ndarray, count: float = 0.0) -> None:
         """Element-wise add a contribution (associative and commutative)."""
         contribution = np.asarray(contribution)

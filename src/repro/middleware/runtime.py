@@ -49,6 +49,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.hotpath import hot
 from repro.errors import RecoveryExhaustedError
 from repro.middleware.api import GeneralizedReduction
 from repro.middleware.caching import CacheModel
@@ -148,6 +149,7 @@ class FreerideGRuntime:
     # Faulted-phase helpers
     # ------------------------------------------------------------------
 
+    @hot
     def _transfer_phases_with_faults(
         self,
         pass_index: int,
@@ -235,6 +237,7 @@ class FreerideGRuntime:
         return t_disk, t_network
 
     @staticmethod
+    @hot
     def _local_phase(
         role_totals: List[float],
         role_caches: List[float],
@@ -270,6 +273,7 @@ class FreerideGRuntime:
     # Execution
     # ------------------------------------------------------------------
 
+    @hot
     def execute(self, app: GeneralizedReduction, dataset: Dataset) -> RunResult:
         """Run ``app`` over ``dataset``; returns result + time breakdown."""
         config = self.config

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.hotpath import hot
 from repro.simgrid.engine import FIFOServer
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.hardware import ClusterSpec, DiskSpec
@@ -40,9 +41,28 @@ class DiskModel:
         """Seconds to read one chunk (seek + contended stream)."""
         return self.spec.read_time(nbytes, effective_bw=self.effective_bw)
 
+    @hot
     def batch_read_time(self, chunk_sizes: Sequence[float]) -> float:
-        """Seconds to read a batch of chunks back-to-back on this disk."""
-        return sum(self.chunk_read_time(size) for size in chunk_sizes)
+        """Seconds to read a batch of chunks back-to-back on this disk.
+
+        Inlines :meth:`DiskSpec.read_time` with the contended bandwidth
+        and seek latency hoisted out of the loop (REP303 burn-down); the
+        per-chunk operands and addition order are unchanged, so the sum
+        is bit-identical to the per-call version.
+        """
+        spec = self.spec
+        bw = min(spec.stream_bw, self.effective_bw)
+        seek = spec.seek_s
+        if bw <= 0:
+            raise ConfigurationError("effective disk bandwidth must be > 0")
+        total = 0.0
+        for size in chunk_sizes:
+            if size < 0:
+                raise ConfigurationError(
+                    "cannot read a negative number of bytes"
+                )
+            total += seek + size / bw
+        return total
 
 
 class RepositoryDiskSystem:

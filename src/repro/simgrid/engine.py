@@ -10,22 +10,25 @@ resource (a disk arm, a NIC, a CPU) that serves requests in arrival order.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
+from repro.hotpath import hot
 from repro.simgrid.errors import EngineError
 
 __all__ = ["Event", "Simulator", "FIFOServer"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback in virtual time.
 
     Events compare by ``(time, seq)`` which makes the execution order of
-    same-time events deterministic (FIFO in scheduling order).
+    same-time events deterministic (FIFO in scheduling order).  The class
+    is slotted (REP301): one Event per scheduled callback means the
+    per-instance dict would be pure overhead at trace scale.
     """
 
     time: float
@@ -55,7 +58,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        # Heap of (time, seq, event): ties still resolve by sequence
+        # number exactly as when Events were heaped directly, but the
+        # heap sifts compare C-level tuples of floats/ints instead of
+        # dispatching into the dataclass __lt__ per comparison.
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._processed = 0
 
@@ -74,6 +81,7 @@ class Simulator:
         """Number of events still queued (cancelled events included)."""
         return len(self._queue)
 
+    @hot
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
@@ -82,6 +90,7 @@ class Simulator:
             raise EngineError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    @hot
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
@@ -90,22 +99,32 @@ class Simulator:
             raise EngineError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        event = Event(float(time), next(self._seq), callback, tuple(args))
-        heapq.heappush(self._queue, event)
+        when = float(time)
+        seq = next(self._seq)
+        event = Event(when, seq, callback, tuple(args))
+        heappush(self._queue, (when, seq, event))
         return event
 
     def step(self) -> bool:
-        """Execute the next non-cancelled event. Returns False when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        """Execute the next non-cancelled event. Returns False when idle.
+
+        Not declared ``@hot``: the drain loop in :meth:`run` inlines
+        this sequence, so per-event dispatch no longer routes through
+        here.  It stays in the hot *region* (reachable from ``run``'s
+        bounded branch), so the cost rules still police it.
+        """
+        queue = self._queue
+        while queue:
+            when, _seq, event = heappop(queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = when
             event.callback(*event.args)
             self._processed += 1
             return True
         return False
 
+    @hot
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains, or until virtual time ``until``.
 
@@ -113,18 +132,29 @@ class Simulator:
         even if the queue drains earlier, so phase barriers can be expressed
         as ``sim.run(until=phase_end)``.
         """
+        queue = self._queue
         if until is None:
-            while self.step():
-                pass
+            # Drain inline: one bound-method call per event (the
+            # callback) instead of three.  Same pop/skip/execute
+            # sequence as step(), and the counter still advances per
+            # event so callbacks observing ``processed_events`` see
+            # exactly what they saw under the step() loop.
+            while queue:
+                when, _seq, event = heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = when
+                event.callback(*event.args)
+                self._processed += 1
             return
         if until < self._now:
             raise EngineError(f"cannot run backwards to t={until}")
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        while queue:
+            when, _seq, event = queue[0]
+            if event.cancelled:
+                heappop(queue)
                 continue
-            if head.time > until:
+            if when > until:
                 break
             self.step()
         self._now = float(until)
@@ -176,6 +206,7 @@ class FIFOServer:
         """Number of requests served."""
         return self._requests
 
+    @hot
     def serve(self, arrival: float, duration: float) -> tuple[float, float]:
         """Enqueue a request; returns its (start, end) service window."""
         if duration < 0:

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Mapping
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 
 __all__ = [
@@ -47,7 +48,7 @@ class OpCategory(str, enum.Enum):
     BRANCH = "branch"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpVector:
     """A count of operations per category.
 
@@ -66,11 +67,13 @@ class OpVector:
     mem: float = 0.0
     branch: float = 0.0
 
+    @hot
     def __post_init__(self) -> None:
         for name in ("flop", "mem", "branch"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"negative op count for {name}")
 
+    @hot
     def __add__(self, other: "OpVector") -> "OpVector":
         return OpVector(
             self.flop + other.flop,
@@ -93,6 +96,7 @@ class OpVector:
         return {"flop": self.flop, "mem": self.mem, "branch": self.branch}
 
     @staticmethod
+    @hot
     def zero() -> "OpVector":
         """The additive identity."""
         return OpVector()
@@ -121,6 +125,7 @@ class CPUSpec:
                     f"CPU '{self.name}' needs a positive rate for {cat.value}"
                 )
 
+    @hot
     def compute_time(self, ops: OpVector) -> float:
         """Seconds to execute an operation vector on one core."""
         return (

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.hotpath import hot
 from repro.simgrid.errors import ConfigurationError
 from repro.simgrid.hardware import ClusterSpec
 
@@ -43,15 +44,30 @@ class LinkModel:
         if self.bw <= 0:
             raise ConfigurationError("link bandwidth must be > 0")
 
+    @hot
     def message_time(self, nbytes: float) -> float:
         """Seconds to transfer one message."""
         if nbytes < 0:
             raise ConfigurationError("cannot transfer a negative size")
         return self.latency_s + nbytes / self.bw
 
+    @hot
     def stream_time(self, chunk_sizes: Sequence[float]) -> float:
-        """Seconds to push a sequence of chunks back-to-back."""
-        return sum(self.message_time(size) for size in chunk_sizes)
+        """Seconds to push a sequence of chunks back-to-back.
+
+        Inlines :meth:`message_time` with the frozen-dataclass attribute
+        loads hoisted out of the loop (REP303 burn-down); the additions
+        happen in the same order with the same operands, so the result
+        is bit-identical to summing per-message times.
+        """
+        latency = self.latency_s
+        bw = self.bw
+        total = 0.0
+        for size in chunk_sizes:
+            if size < 0:
+                raise ConfigurationError("cannot transfer a negative size")
+            total += latency + size / bw
+        return total
 
 
 def maxmin_fair_share(

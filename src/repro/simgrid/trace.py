@@ -20,7 +20,7 @@ from repro.simgrid.errors import ConfigurationError
 __all__ = ["PassRecord", "TimeBreakdown"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PassRecord:
     """Component times of a single pass over the data.
 

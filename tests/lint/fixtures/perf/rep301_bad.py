@@ -1,0 +1,17 @@
+"""REP301 bad: a hot loop constructs a dict-backed record per event."""
+
+from repro.hotpath import hot
+
+
+class Sample:
+    def __init__(self, t, v):
+        self.t = t
+        self.v = v
+
+
+@hot
+def drain(pairs):
+    out = []
+    for t, v in pairs:
+        out.append(Sample(t, v))  # REP301: per-iteration dict allocation
+    return out

@@ -1,0 +1,19 @@
+"""REP301 good: the per-event record is slotted — fixed-size struct."""
+
+from repro.hotpath import hot
+
+
+class Sample:
+    __slots__ = ("t", "v")
+
+    def __init__(self, t, v):
+        self.t = t
+        self.v = v
+
+
+@hot
+def drain(pairs):
+    out = []
+    for t, v in pairs:
+        out.append(Sample(t, v))
+    return out

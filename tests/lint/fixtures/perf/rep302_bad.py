@@ -1,0 +1,20 @@
+"""REP302 bad: the planted pool-safe quadratic scan.
+
+``survivors`` is pure by the effect layer's lights — no IO, no shared
+state, no parameter mutation — and the pool would happily run it.  The
+membership test against a list-built collection is still O(n) per job:
+quadratic over the stream, invisible at test scale.  Purity and
+asymptotics are independent axes; this fixture is the proof.
+"""
+
+from repro.hotpath import hot
+
+
+@hot
+def survivors(jobs, done_ids):
+    done = list(done_ids)
+    kept = []
+    for job in jobs:
+        if job in done:  # REP302: linear membership per iteration
+            kept.append(job)
+    return kept

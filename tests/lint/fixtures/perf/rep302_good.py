@@ -1,0 +1,13 @@
+"""REP302 good: hashed membership — the scan is O(1) per iteration."""
+
+from repro.hotpath import hot
+
+
+@hot
+def survivors(jobs, done_ids):
+    done = set(done_ids)
+    kept = []
+    for job in jobs:
+        if job in done:
+            kept.append(job)
+    return kept

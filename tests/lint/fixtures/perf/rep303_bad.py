@@ -1,0 +1,19 @@
+"""REP303 bad: a certified-pure call repeated with invariant arguments.
+
+``unit_cost`` must appear as tier 'pure' in the determinism certificate
+the test supplies; purity is the licence to hoist.
+"""
+
+from repro.hotpath import hot
+
+
+def unit_cost(alpha, beta):
+    return alpha * beta + 1.0
+
+
+@hot
+def total(events, alpha, beta):
+    acc = 0.0
+    for event in events:
+        acc += event * unit_cost(alpha, beta)  # REP303: invariant inputs
+    return acc

@@ -1,0 +1,16 @@
+"""REP303 good: the invariant pure call is hoisted above the loop."""
+
+from repro.hotpath import hot
+
+
+def unit_cost(alpha, beta):
+    return alpha * beta + 1.0
+
+
+@hot
+def total(events, alpha, beta):
+    cost = unit_cost(alpha, beta)
+    acc = 0.0
+    for event in events:
+        acc += event * cost
+    return acc

@@ -1,0 +1,19 @@
+"""REP304 bad: a hot loop calls a project function nobody vouched for.
+
+``mystery`` is absent from the determinism certificate and carries no
+``@hot`` declaration: unknown-cost code on the hottest path.
+"""
+
+from repro.hotpath import hot
+
+
+def mystery(x):
+    return x * 2
+
+
+@hot
+def drive(events):
+    out = []
+    for event in events:
+        out.append(mystery(event))  # REP304: uncertified, undeclared
+    return out

@@ -1,0 +1,16 @@
+"""REP304 good: the per-iteration callee is itself declared hot."""
+
+from repro.hotpath import hot
+
+
+@hot
+def mystery(x):
+    return x * 2
+
+
+@hot
+def drive(events):
+    out = []
+    for event in events:
+        out.append(mystery(event))
+    return out

@@ -1,0 +1,21 @@
+"""REP305 host: ``popular`` is statically locatable but undeclared.
+
+The test pairs this module with a profile document in which ``popular``
+dominates the call counts; it is reachable from no ``@hot`` entry, so
+the undeclared-hot direction of the cross-validation must flag it.
+"""
+
+from repro.hotpath import hot
+
+
+@hot
+def declared_entry(xs):
+    return [helper(x) for x in xs]
+
+
+def helper(x):
+    return x + 1
+
+
+def popular(x):
+    return x - 1
